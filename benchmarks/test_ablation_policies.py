@@ -1,0 +1,113 @@
+"""Ablations of Flint's design choices (beyond the paper's figures).
+
+1. The shuffle refinement (checkpoint shuffle outputs every τ/m): disabling
+   it must make concurrent-revocation recovery slower for shuffle-heavy
+   PageRank — the design rationale of §3.1.1.
+2. Diversification degree: spreading an interactive cluster over more
+   uncorrelated markets must reduce runtime variance (Policy 2), with
+   diminishing returns — the model behind §3.2.2's greedy stop rule.
+3. Bidding: in peaky markets, stratified bids fail together (§3.2.2's
+   argument against bid finesse).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SEED, pagerank_factory
+from repro.analysis.experiments import run_batch_workload
+from repro.analysis.tables import format_table
+from repro.core.bidding import StratifiedBidding, simultaneous_revocation_fraction
+from repro.core.runtime_model import runtime_variance
+from repro.factory import standard_provider
+from repro.simulation.clock import DAY, HOUR
+
+
+def test_ablation_shuffle_rule(benchmark):
+    def run(enabled):
+        from repro.analysis.experiments import build_engine_context
+        from repro.core.ftmanager import FaultToleranceManager
+
+        ctx = build_engine_context(num_workers=10, seed=SEED)
+        manager = FaultToleranceManager(
+            ctx, lambda: 1 * HOUR, shuffle_rule_enabled=enabled
+        )
+        manager.start()
+        workload = pagerank_factory(ctx)
+        workload.load()
+        base_t = ctx.now
+        workload.run()
+        baseline = ctx.now - base_t
+
+        # Fresh universe with a mid-run mass revocation.
+        ctx2 = build_engine_context(num_workers=10, seed=SEED)
+        manager2 = FaultToleranceManager(
+            ctx2, lambda: 1 * HOUR, shuffle_rule_enabled=enabled
+        )
+        manager2.start()
+        workload2 = pagerank_factory(ctx2)
+        workload2.load()
+
+        def inject(event):
+            victims = ctx2.cluster.live_workers()[:5]
+            ctx2.cluster.force_revoke(victims)
+            ctx2.cluster.launch("od/r3.large", 0.175, count=5, delay=120.0)
+
+        ctx2.env.schedule_in(baseline * 0.6, "chaos", callback=inject)
+        t0 = ctx2.now
+        workload2.run()
+        return ctx2.now - t0
+
+    def run_both():
+        return {"with": run(True), "without": run(False)}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(format_table(
+        ["configuration", "runtime with 5 revocations (s)"],
+        [["shuffle rule on", results["with"]], ["shuffle rule off", results["without"]]],
+        title="Ablation: the tau/m shuffle checkpoint refinement (PageRank)",
+    ))
+    assert results["with"] <= results["without"] * 1.05
+    benchmark.extra_info["runtimes"] = results
+
+
+def test_ablation_diversification_degree(benchmark):
+    def sweep():
+        T, delta, mttf = 2 * HOUR, 60.0, 20 * HOUR
+        return {
+            m: runtime_variance(T, delta, [mttf] * m, tau=600.0) for m in (1, 2, 4, 8, 16)
+        }
+
+    variances = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[m, v, np.sqrt(v)] for m, v in variances.items()]
+    print(format_table(
+        ["markets", "runtime variance (s^2)", "std (s)"],
+        rows, title="Ablation: variance vs diversification degree",
+    ))
+    ms = sorted(variances)
+    values = [variances[m] for m in ms]
+    assert values == sorted(values, reverse=True)
+    # Diminishing returns: the 8->16 step saves less than the 1->2 step.
+    assert (variances[8] - variances[16]) < (variances[1] - variances[2])
+    benchmark.extra_info["variances"] = {str(k): v for k, v in variances.items()}
+
+
+def test_ablation_stratified_bidding(benchmark):
+    def measure():
+        provider = standard_provider(seed=31)
+        fractions = []
+        for market in provider.spot_markets()[:6]:
+            bids = StratifiedBidding([0.8, 1.0, 1.25, 1.5]).bids_for_fleet(market, 8)
+            fractions.append(
+                simultaneous_revocation_fraction(market, bids, 0.0, 60 * DAY)
+            )
+        return fractions
+
+    fractions = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(format_table(
+        ["market #", "fleet fraction revoked at first event"],
+        [[i, f] for i, f in enumerate(fractions)],
+        title="Ablation: stratified bids under peaky spikes",
+    ))
+    # The paper's claim: price spikes are large, so the whole stratum dies
+    # together in (nearly) every market.
+    assert np.mean(fractions) > 0.9
+    benchmark.extra_info["fractions"] = fractions

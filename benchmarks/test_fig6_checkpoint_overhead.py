@@ -1,0 +1,131 @@
+"""Figure 6: the cost of checkpointing itself (no failures injected).
+
+Paper results reproduced here:
+  6a — Flint's RDD checkpointing tax is 2-10% at MTTF 50h, highest for ALS;
+  6b — system-level (whole-memory) checkpointing costs ~50% vs Flint ~10%;
+  6c — the ALS tax grows as markets get more volatile (MTTF 50h -> 1h);
+  §5.2 ablation — spanning availability zones barely hurts, because
+       checkpoint writes are bandwidth- not latency-bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import BATCH_WORKLOADS, als_factory, kmeans_factory
+from repro.analysis.experiments import checkpointing_tax
+from repro.analysis.tables import format_table
+from repro.simulation.clock import HOUR
+from repro.storage.dfs import DFSConfig
+
+
+def _fig6a():
+    taxes = {}
+    rows = []
+    for name, factory in BATCH_WORKLOADS.items():
+        result = checkpointing_tax(factory, cluster_mttf=50 * HOUR)
+        taxes[name] = result["tax"]
+        rows.append(
+            [name, result["baseline_runtime"], result["checkpointed_runtime"],
+             result["tax"] * 100, result["checkpoint_gb"]]
+        )
+    return rows, taxes
+
+
+def test_fig6a_rdd_checkpointing_tax(benchmark):
+    rows, taxes = benchmark.pedantic(_fig6a, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["workload", "baseline (s)", "with ckpt (s)", "tax (%)", "ckpt GB"],
+            rows,
+            title="Figure 6a: Flint checkpointing tax @ MTTF 50h (paper: 2-10%)",
+        )
+    )
+    for name, tax in taxes.items():
+        assert -0.01 <= tax < 0.25, f"{name} tax {tax:.1%} outside plausible band"
+    # ALS moves the most data; it pays the highest tax (paper's ordering).
+    assert taxes["ALS"] >= taxes["KMeans"] - 0.02
+    benchmark.extra_info["tax_pct"] = {k: v * 100 for k, v in taxes.items()}
+
+
+def _fig6b():
+    # The paper compares both approaches at the *same* checkpoint frequency;
+    # Flint's effective ALS cadence is the shuffle interval (~2 minutes).
+    flint = checkpointing_tax(als_factory, cluster_mttf=50 * HOUR, mode="flint")
+    system = checkpointing_tax(
+        als_factory, cluster_mttf=50 * HOUR, mode="system", system_interval=120.0
+    )
+    return flint, system
+
+
+def test_fig6b_system_vs_rdd_checkpointing(benchmark):
+    flint, system = benchmark.pedantic(_fig6b, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["approach", "tax (%)", "ckpt GB"],
+            [
+                ["Flint-RDD", flint["tax"] * 100, flint["checkpoint_gb"]],
+                ["System-level", system["tax"] * 100, system["checkpoint_gb"]],
+            ],
+            title="Figure 6b: system-level vs Flint-RDD checkpointing (ALS)",
+        )
+    )
+    # The paper's headline: system-level costs several times Flint's tax.
+    assert system["tax"] > 2 * max(flint["tax"], 0.01)
+    assert system["checkpoint_gb"] > flint["checkpoint_gb"]
+    benchmark.extra_info["flint_tax_pct"] = flint["tax"] * 100
+    benchmark.extra_info["system_tax_pct"] = system["tax"] * 100
+
+
+MTTFS_6C = [50.0, 20.0, 5.0, 1.0]
+
+
+def _fig6c():
+    taxes = {}
+    for mttf_h in MTTFS_6C:
+        result = checkpointing_tax(als_factory, cluster_mttf=mttf_h * HOUR)
+        taxes[mttf_h] = result["tax"]
+    return taxes
+
+
+def test_fig6c_tax_vs_volatility(benchmark):
+    taxes = benchmark.pedantic(_fig6c, rounds=1, iterations=1)
+    rows = [[f"{m:.0f}h", taxes[m] * 100] for m in MTTFS_6C]
+    print(
+        format_table(
+            ["cluster MTTF", "tax (%)"],
+            rows,
+            title="Figure 6c: ALS checkpointing tax vs market volatility",
+        )
+    )
+    # Tax grows (roughly monotonically) with volatility, paper: 10% -> ~50%.
+    assert taxes[1.0] > taxes[50.0]
+    assert taxes[1.0] < 1.0  # bounded by recomputation cost (paper: <=50%)
+    benchmark.extra_info["tax_pct"] = {str(k): v * 100 for k, v in taxes.items()}
+
+
+def _multi_az():
+    same_az = checkpointing_tax(kmeans_factory, cluster_mttf=20 * HOUR)
+    multi_az = checkpointing_tax(
+        kmeans_factory, cluster_mttf=20 * HOUR,
+        dfs_config=DFSConfig(inter_az_latency=0.05),
+    )
+    return same_az, multi_az
+
+
+def test_sec52_multi_az_ablation(benchmark):
+    same_az, multi_az = benchmark.pedantic(_multi_az, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["deployment", "runtime with ckpt (s)"],
+            [
+                ["single AZ", same_az["checkpointed_runtime"]],
+                ["multi AZ (+50ms/op)", multi_az["checkpointed_runtime"]],
+            ],
+            title="§5.2: multi-AZ deployment barely affects runtime",
+        )
+    )
+    penalty = (
+        multi_az["checkpointed_runtime"] - same_az["checkpointed_runtime"]
+    ) / same_az["checkpointed_runtime"]
+    # Paper: 0% for KMeans, 7% for ALS — bandwidth-bound writes.
+    assert penalty < 0.10
+    benchmark.extra_info["penalty_pct"] = penalty * 100

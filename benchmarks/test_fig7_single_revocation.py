@@ -1,0 +1,40 @@
+"""Figure 7: one revocation without checkpointing.
+
+Paper: a single revocation out of ten servers inflates running time 50-90%
+(PageRank worst), almost entirely from lineage recomputation; acquiring the
+replacement server contributes only ~5 points for PageRank and a negligible
+share for the longer workloads.
+"""
+
+from benchmarks.conftest import BATCH_WORKLOADS
+from repro.analysis.experiments import revocation_impact
+from repro.analysis.tables import format_table
+
+
+def _fig7():
+    rows = []
+    increases = {}
+    for name, factory in BATCH_WORKLOADS.items():
+        result = revocation_impact(factory, failures=1, checkpointing="none")
+        increases[name] = result["increase"]
+        rows.append(
+            [name, result["baseline_runtime"], result["runtime"],
+             result["increase"] * 100, result["tasks_lost"]]
+        )
+    return rows, increases
+
+
+def test_fig7_single_revocation_recompute_cost(benchmark):
+    rows, increases = benchmark.pedantic(_fig7, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["workload", "baseline (s)", "1 revocation (s)", "increase (%)",
+             "tasks lost"],
+            rows,
+            title="Figure 7: runtime increase from one revocation (no checkpointing)",
+        )
+    )
+    for name, inc in increases.items():
+        assert inc > 0.05, f"{name}: a revocation must cost real recomputation"
+        assert inc < 2.0, f"{name}: increase implausibly large"
+    benchmark.extra_info["increase_pct"] = {k: v * 100 for k, v in increases.items()}

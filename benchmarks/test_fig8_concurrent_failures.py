@@ -1,0 +1,68 @@
+"""Figure 8: running time vs number of concurrent revocations.
+
+Paper: for each workload, runtimes under {0, 1, 5, 10} simultaneous
+revocations with and without Flint's checkpointing.  Checkpointing bounds
+the degradation (15-100% improvement); the impact of additional concurrent
+revocations is sublinear, supporting the batch policy's single-market
+choice.
+"""
+
+from benchmarks.conftest import BATCH_WORKLOADS
+from repro.analysis.experiments import run_batch_workload
+from repro.analysis.tables import format_table
+from repro.simulation.clock import HOUR
+
+FAILURES = [0, 1, 5, 10]
+#: Low cluster MTTF pins a short τ so checkpoints actually occur within the
+#: measured runs (the paper's failure-injection experiments behave the same).
+CLUSTER_MTTF = 1 * HOUR
+
+
+def _sweep(factory):
+    results = {}
+    for mode in ("none", "flint"):
+        base = run_batch_workload(
+            factory, checkpointing=mode, cluster_mttf=CLUSTER_MTTF
+        )
+        results[(mode, 0)] = base.runtime
+        for k in FAILURES[1:]:
+            failed = run_batch_workload(
+                factory, checkpointing=mode, cluster_mttf=CLUSTER_MTTF,
+                concurrent_failures=k, failure_at=base.runtime * 0.5,
+            )
+            results[(mode, k)] = failed.runtime
+    return results
+
+
+def _run_all():
+    return {name: _sweep(factory) for name, factory in BATCH_WORKLOADS.items()}
+
+
+def test_fig8_concurrent_failures(benchmark):
+    all_results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for name, results in all_results.items():
+        rows = [
+            [k, results[("none", k)], results[("flint", k)]] for k in FAILURES
+        ]
+        print(
+            format_table(
+                ["# failures", "recomputation (s)", "checkpointing (s)"],
+                rows,
+                title=f"Figure 8: {name} runtime vs concurrent revocations",
+            )
+        )
+        recompute = [results[("none", k)] for k in FAILURES]
+        checkpoint = [results[("flint", k)] for k in FAILURES]
+        # Runtime grows with the size of the revocation event.
+        assert recompute[-1] > recompute[0]
+        # Checkpointing bounds the damage at the larger revocation events.
+        assert checkpoint[-1] < recompute[-1]
+        # Sublinear growth: 10 failures cost less than 10x one failure's toll.
+        toll_1 = recompute[1] - recompute[0]
+        toll_10 = recompute[3] - recompute[0]
+        if toll_1 > 1.0:
+            assert toll_10 < 10 * toll_1
+    benchmark.extra_info["runtimes"] = {
+        name: {f"{mode}/{k}": results[(mode, k)] for mode, k in results}
+        for name, results in all_results.items()
+    }

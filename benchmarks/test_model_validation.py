@@ -1,0 +1,56 @@
+"""Model-vs-simulation validation (methodology check, beyond the figures).
+
+Flint's selection acts on the Eq. 1/2 expectations; this benchmark measures
+how well those closed forms track trace-driven execution across volatility
+regimes, and that they *rank* markets the same way the simulator does —
+the property selection actually needs.
+"""
+
+from repro.analysis.longrun import CanonicalConfig
+from repro.analysis.model_validation import validate_catalog
+from repro.analysis.tables import format_table
+from repro.factory import standard_provider
+from repro.simulation.clock import HOUR
+from repro.traces.ec2 import MarketSpec, R3_LARGE
+
+CATALOG = [
+    MarketSpec("stable/r3.large", R3_LARGE, 200.0, steady_fraction=0.22),
+    MarketSpec("typical/r3.large", R3_LARGE, 50.0, steady_fraction=0.25),
+    MarketSpec("volatile/r3.large", R3_LARGE, 8.0, steady_fraction=0.28,
+               spike_duration_hours=0.1),
+]
+
+
+def _run():
+    provider = standard_provider(seed=77, catalog=CATALOG)
+    return validate_catalog(
+        provider,
+        [s.market_id for s in CATALOG],
+        config=CanonicalConfig(job_length=4 * HOUR),
+        num_runs=60,
+    )
+
+
+def test_model_validation(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [p.market_id, p.mttf / HOUR, p.model_runtime, p.simulated_runtime,
+         p.runtime_error * 100, p.model_cost, p.simulated_cost]
+        for p in points
+    ]
+    print(format_table(
+        ["market", "MTTF (h)", "E[T] model (s)", "E[T] sim (s)",
+         "runtime err (%)", "E[C] model ($)", "E[C] sim ($)"],
+        rows, title="Eq. 1/2 expectations vs trace simulation",
+    ))
+    for p in points:
+        assert p.runtime_error < 0.30
+        # Cost is conservative (never wildly optimistic).
+        assert p.model_cost >= 0.7 * p.simulated_cost
+    # The ranking selection relies on is preserved.
+    by_model = [p.market_id for p in sorted(points, key=lambda p: p.model_cost)]
+    by_sim = [p.market_id for p in sorted(points, key=lambda p: p.simulated_cost)]
+    assert by_model == by_sim
+    benchmark.extra_info["runtime_errors_pct"] = {
+        p.market_id: p.runtime_error * 100 for p in points
+    }

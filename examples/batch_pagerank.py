@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Batch BIDI on volatile spot markets: PageRank with automatic checkpointing.
+
+Runs the paper's PageRank workload on a deliberately volatile spot universe
+(MTTF ~45 minutes) three ways — Flint, unmodified Spark on the same spot
+servers, and on-demand — and compares runtime and cost.  Revocations happen
+for real mid-job; Flint's frontier checkpoints bound the recomputation.
+
+Run:  python examples/batch_pagerank.py
+"""
+
+from repro import Flint, FlintConfig, Mode
+from repro.baselines.unmodified import on_demand_flint, unmodified_spark_flint
+from repro.factory import uniform_mttf_provider
+from repro.simulation.clock import HOUR
+from repro.workloads import PageRankWorkload
+
+
+def run_one(label, flint):
+    flint.start()
+    pagerank = PageRankWorkload(
+        flint.context, data_gb=2.0, num_edges=12_000, num_vertices=2_400,
+        partitions=20, iterations=10, seed=3,
+    )
+    report = flint.run(lambda _ctx: pagerank.run(), name="pagerank")
+    summary = flint.cost_summary()
+    ckpts = flint.context.checkpoints.partitions_written
+    print(
+        f"{label:24s} runtime {report.runtime:8.1f}s   "
+        f"revocations {len(flint.cluster.revocation_log):2d}   "
+        f"checkpoint partitions {ckpts:4d}   cost ${summary['total_cost']:.3f}"
+    )
+    flint.shutdown()
+    return report.result
+
+
+def main():
+    config = FlintConfig(cluster_size=10, mode=Mode.BATCH, T_estimate=1 * HOUR)
+
+    provider = uniform_mttf_provider(seed=13, mttf_hours=0.75, num_markets=4)
+    flint_ranks = run_one("Flint (spot)", Flint(provider, config, seed=13))
+
+    provider = uniform_mttf_provider(seed=13, mttf_hours=0.75, num_markets=4)
+    spark_ranks = run_one(
+        "unmodified Spark (spot)", unmodified_spark_flint(provider, config, seed=13)
+    )
+
+    provider = uniform_mttf_provider(seed=13, mttf_hours=0.75, num_markets=4)
+    od_ranks = run_one("on-demand", on_demand_flint(provider, config, seed=13))
+
+    assert flint_ranks == spark_ranks == od_ranks
+    print("\nall three configurations computed identical ranks "
+          f"({len(od_ranks)} vertices) — fault tolerance is exact.")
+
+
+if __name__ == "__main__":
+    main()

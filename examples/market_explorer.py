@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Explore the spot universe the way Flint's node manager sees it.
+
+Prints every market's current price, recent mean, and MTTF at an on-demand
+bid; the pairwise correlation structure; and what the batch and interactive
+selection policies would pick for a 2-hour job — including why the
+application-agnostic "cheapest current price" choice (SpotFleet) differs.
+
+Run:  python examples/market_explorer.py
+"""
+
+from repro import standard_provider
+from repro.analysis.tables import format_table
+from repro.core.selection import (
+    BatchSelectionPolicy,
+    InteractiveSelectionPolicy,
+    market_correlation_fn,
+    snapshot_markets,
+)
+from repro.simulation.clock import HOUR
+
+
+def main():
+    provider = standard_provider(seed=11)
+    t = 0.0
+    snaps = snapshot_markets(provider, t)
+
+    rows = []
+    for s in sorted(snaps, key=lambda s: s.mean_price):
+        mttf = "inf" if s.mttf == float("inf") else f"{s.mttf / HOUR:.0f}h"
+        rows.append([
+            s.market_id, s.current_price, s.mean_price, mttf,
+            "SPIKING" if s.price_is_spiking else "",
+        ])
+    print(format_table(
+        ["market", "current $/h", "mean $/h", "MTTF", "state"], rows,
+        title="Spot universe", float_fmt="{:.4f}",
+    ))
+
+    batch = BatchSelectionPolicy(T_estimate=2 * HOUR)
+    choice = batch.select(snaps)
+    print(f"\nbatch policy picks: {choice.market_ids[0]}")
+    print(f"  expected runtime {choice.expected_runtime:.0f}s, "
+          f"expected cost ${choice.expected_cost_per_server:.4f}/server")
+
+    cheapest_now = min(
+        (s for s in snaps if not s.is_on_demand), key=lambda s: s.current_price
+    )
+    print(f"SpotFleet (cheapest current price) would pick: {cheapest_now.market_id}")
+    print(f"  ... whose billed mean is ${cheapest_now.mean_price:.4f}/h vs the "
+          f"${cheapest_now.current_price:.4f}/h it shows right now")
+
+    interactive = InteractiveSelectionPolicy(T_estimate=2 * HOUR)
+    correlation = market_correlation_fn(provider, t)
+    mix = interactive.select(snaps, correlation)
+    print(f"\ninteractive policy mixes {mix.num_markets} markets:")
+    for market_id in mix.market_ids:
+        print(f"  - {market_id}")
+    print(f"  expected runtime variance {mix.expected_variance:.1f}s^2 "
+          f"(single market: {choice.expected_variance:.1f}s^2)")
+
+
+if __name__ == "__main__":
+    main()

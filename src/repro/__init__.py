@@ -1,0 +1,39 @@
+"""repro - a full reproduction of Flint (EuroSys 2016).
+
+Flint runs batch-interactive data-intensive (BIDI) workloads on transient
+cloud servers at near on-demand performance and near spot price, via
+automated RDD checkpointing and market-aware server selection.  This package
+rebuilds the complete system in Python: a Spark-like RDD engine, a
+discrete-event cluster and spot-market simulator, Flint's policies, the
+paper's workloads, and the baselines it compares against.
+
+Quickstart::
+
+    from repro import Flint, FlintConfig, Mode, standard_provider
+
+    provider = standard_provider(seed=7)
+    flint = Flint(provider, FlintConfig(cluster_size=10, mode=Mode.BATCH), seed=7)
+    flint.start()
+    report = flint.run(lambda ctx: ctx.parallelize(range(10_000)).map(lambda x: x * x).sum())
+    print(report.runtime, flint.cost_summary())
+    flint.shutdown()
+"""
+
+from repro.core.config import FlintConfig, Mode
+from repro.core.flint import Flint, JobReport
+from repro.engine.context import FlintContext
+from repro.engine.costs import CostModel
+from repro.factory import standard_provider
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flint",
+    "FlintConfig",
+    "FlintContext",
+    "JobReport",
+    "Mode",
+    "CostModel",
+    "standard_provider",
+    "__version__",
+]

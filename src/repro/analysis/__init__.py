@@ -1,0 +1,42 @@
+"""Experiment analysis: long-run trace simulation and result formatting.
+
+The systems experiments (Figures 3, 6-9) run the real engine; the cost and
+long-horizon experiments (Figures 10-11) follow the paper in simulating a
+*canonical program* over months of market traces —
+:class:`~repro.analysis.longrun.CanonicalSimulator` is that harness.
+:mod:`repro.analysis.tables` renders the rows each benchmark prints.
+"""
+
+from repro.analysis.longrun import (
+    CanonicalConfig,
+    CanonicalSimulator,
+    RunOutcome,
+    flint_batch_selector,
+    fixed_market_selector,
+    on_demand_selector,
+    spot_fleet_selector,
+)
+from repro.analysis.experiments import (
+    ExperimentRun,
+    build_engine_context,
+    checkpointing_tax,
+    revocation_impact,
+    run_batch_workload,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "ExperimentRun",
+    "build_engine_context",
+    "checkpointing_tax",
+    "revocation_impact",
+    "run_batch_workload",
+    "CanonicalConfig",
+    "CanonicalSimulator",
+    "RunOutcome",
+    "flint_batch_selector",
+    "fixed_market_selector",
+    "on_demand_selector",
+    "spot_fleet_selector",
+    "format_table",
+]

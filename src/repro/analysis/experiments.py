@@ -1,0 +1,218 @@
+"""Reusable experiment harnesses for the paper's systems figures.
+
+The engine-level experiments (Figures 3, 6, 7, 8, 9) share one recipe: build
+a deterministic cluster, cache a workload's input, optionally attach a
+checkpointing manager, optionally inject concurrent revocations mid-run, and
+measure the simulated running time.  This module packages that recipe so
+each benchmark is a thin parameter sweep — and so downstream users can rerun
+any experiment with their own parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.environment import Environment
+from repro.core.ftmanager import FaultToleranceManager
+from repro.engine.context import FlintContext
+from repro.engine.costs import CostModel
+from repro.market.market import OnDemandMarket
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import HOUR
+from repro.storage.dfs import DFSConfig
+
+#: The engine-experiment substrate: non-revocable workers, so every failure
+#: is injected explicitly and experiments are exactly repeatable.
+_MARKET_ID = "od/r3.large"
+
+
+def build_engine_context(
+    num_workers: int = 10,
+    seed: int = 0,
+    dfs_config: Optional[DFSConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> FlintContext:
+    """A fresh deterministic cluster for one experiment run."""
+    provider = CloudProvider([OnDemandMarket(_MARKET_ID, 0.175)])
+    env = Environment(provider, seed=seed, dfs_config=dfs_config)
+    cluster = Cluster(env)
+    ctx = FlintContext(env, cluster, cost_model)
+    cluster.launch(_MARKET_ID, bid=0.175, count=num_workers)
+    return ctx
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one measured workload execution."""
+
+    runtime: float
+    load_time: float
+    result: Any = None
+    checkpoint_partitions: int = 0
+    checkpoint_bytes: int = 0
+    tasks_lost: int = 0
+    revocations: int = 0
+    replacement_delay_share: float = 0.0
+
+
+def run_batch_workload(
+    workload_factory: Callable[[FlintContext], Any],
+    num_workers: int = 10,
+    seed: int = 0,
+    checkpointing: str = "none",
+    cluster_mttf: float = float("inf"),
+    min_tau: float = 30.0,
+    max_tau: Optional[float] = None,
+    concurrent_failures: int = 0,
+    failure_at: Optional[float] = None,
+    replace_failures: bool = True,
+    replacement_delay: float = 120.0,
+    dfs_config: Optional[DFSConfig] = None,
+    system_interval: Optional[float] = None,
+) -> ExperimentRun:
+    """Run one workload to completion under a failure/checkpoint scenario.
+
+    Args:
+        workload_factory: builds the workload from a context; the returned
+            object must expose ``load()`` (cache inputs) and ``run()``.
+        checkpointing: ``"none"`` (unmodified Spark), ``"flint"`` (the
+            fault-tolerance manager), or ``"system"`` (whole-memory
+            snapshots baseline).
+        cluster_mttf: MTTF fed to the checkpointing policy (pins τ).
+        concurrent_failures: how many workers to revoke simultaneously.
+        failure_at: seconds into the measured run to inject the failures
+            (required when ``concurrent_failures > 0``).
+        replace_failures: whether replacements arrive after
+            ``replacement_delay`` (the paper always replaces).
+    """
+    if concurrent_failures > 0 and failure_at is None:
+        raise ValueError("failure_at is required when injecting failures")
+    ctx = build_engine_context(num_workers, seed, dfs_config)
+    manager = None
+    if checkpointing == "flint":
+        manager = FaultToleranceManager(
+            ctx, lambda: cluster_mttf, min_tau=min_tau, max_tau=max_tau
+        )
+        manager.start()
+    elif checkpointing == "system":
+        from repro.baselines.system_checkpoint import SystemCheckpointManager
+
+        manager = SystemCheckpointManager(
+            ctx, lambda: cluster_mttf, min_tau=min_tau, interval=system_interval
+        )
+        manager.start()
+    elif checkpointing != "none":
+        raise ValueError(f"unknown checkpointing mode {checkpointing!r}")
+
+    workload = workload_factory(ctx)
+    t_start = ctx.now
+    workload.load()
+    load_time = ctx.now - t_start
+
+    if concurrent_failures > 0:
+        def inject(event):
+            victims = ctx.cluster.live_workers()[:concurrent_failures]
+            ctx.cluster.force_revoke(victims)
+            if replace_failures:
+                ctx.cluster.launch(
+                    _MARKET_ID, 0.175, count=len(victims), delay=replacement_delay
+                )
+
+        ctx.env.schedule_in(failure_at, "failure-injection", callback=inject)
+
+    t_run = ctx.now
+    result = workload.run()
+    runtime = ctx.now - t_run
+    if manager is not None:
+        manager.stop()
+    reg = ctx.checkpoints
+    return ExperimentRun(
+        runtime=runtime,
+        load_time=load_time,
+        result=result,
+        checkpoint_partitions=reg.partitions_written,
+        checkpoint_bytes=reg.bytes_written,
+        tasks_lost=ctx.scheduler.stats.tasks_lost,
+        revocations=len(ctx.cluster.revocation_log),
+        replacement_delay_share=(
+            replacement_delay / runtime if concurrent_failures and runtime > 0 else 0.0
+        ),
+    )
+
+
+def checkpointing_tax(
+    workload_factory: Callable[[FlintContext], Any],
+    cluster_mttf: float,
+    num_workers: int = 10,
+    seed: int = 0,
+    mode: str = "flint",
+    min_tau: float = 30.0,
+    max_tau: Optional[float] = None,
+    dfs_config: Optional[DFSConfig] = None,
+    system_interval: Optional[float] = None,
+) -> Dict[str, float]:
+    """Fractional runtime increase from checkpointing alone (Figure 6).
+
+    Runs the workload with and without the manager on identical clusters
+    with no failures; the difference is pure checkpointing overhead.
+    """
+    base = run_batch_workload(
+        workload_factory, num_workers, seed, checkpointing="none", dfs_config=dfs_config
+    )
+    with_ck = run_batch_workload(
+        workload_factory, num_workers, seed, checkpointing=mode,
+        cluster_mttf=cluster_mttf, min_tau=min_tau, max_tau=max_tau,
+        dfs_config=dfs_config, system_interval=system_interval,
+    )
+    tax = (with_ck.runtime - base.runtime) / base.runtime
+    return {
+        "baseline_runtime": base.runtime,
+        "checkpointed_runtime": with_ck.runtime,
+        "tax": tax,
+        "checkpoint_partitions": with_ck.checkpoint_partitions,
+        "checkpoint_gb": with_ck.checkpoint_bytes / 1e9,
+    }
+
+
+def revocation_impact(
+    workload_factory: Callable[[FlintContext], Any],
+    failures: int,
+    checkpointing: str = "none",
+    cluster_mttf: float = 2 * HOUR,
+    num_workers: int = 10,
+    seed: int = 0,
+    failure_fraction: float = 0.5,
+    min_tau: float = 30.0,
+    max_tau: Optional[float] = None,
+) -> Dict[str, float]:
+    """Runtime impact of ``failures`` simultaneous revocations (Figures 7-8).
+
+    The failure instant is placed at ``failure_fraction`` of the measured
+    baseline runtime, mirroring the paper's mid-run injections.
+    """
+    base = run_batch_workload(
+        workload_factory, num_workers, seed, checkpointing=checkpointing,
+        cluster_mttf=cluster_mttf, min_tau=min_tau, max_tau=max_tau,
+    )
+    if failures == 0:
+        return {
+            "baseline_runtime": base.runtime,
+            "runtime": base.runtime,
+            "increase": 0.0,
+            "tasks_lost": 0,
+        }
+    failed = run_batch_workload(
+        workload_factory, num_workers, seed, checkpointing=checkpointing,
+        cluster_mttf=cluster_mttf, min_tau=min_tau, max_tau=max_tau,
+        concurrent_failures=failures,
+        failure_at=base.runtime * failure_fraction,
+    )
+    return {
+        "baseline_runtime": base.runtime,
+        "runtime": failed.runtime,
+        "increase": (failed.runtime - base.runtime) / base.runtime,
+        "tasks_lost": failed.tasks_lost,
+    }

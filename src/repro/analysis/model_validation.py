@@ -1,0 +1,91 @@
+"""Validate the analytic runtime model against trace simulation.
+
+Flint's server selection ranks markets with the closed-form Equations 1-2;
+its usefulness depends on those expectations tracking what trace-driven
+execution actually delivers.  This module runs both — the formula and the
+:class:`~repro.analysis.longrun.CanonicalSimulator` over the same market —
+and reports the relative error, which the test suite bounds.  (The paper
+leaves this check implicit; making it explicit is cheap insurance that the
+policy optimises the right quantity.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.longrun import CanonicalConfig, CanonicalSimulator, fixed_market_selector
+from repro.core.runtime_model import expected_cost, expected_runtime
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import HOUR
+
+
+@dataclass
+class ValidationPoint:
+    """Model vs simulation for one market."""
+
+    market_id: str
+    mttf: float
+    model_runtime: float
+    simulated_runtime: float
+    model_cost: float
+    simulated_cost: float
+
+    @property
+    def runtime_error(self) -> float:
+        """Relative error of the Eq. 1 expectation."""
+        return abs(self.model_runtime - self.simulated_runtime) / self.simulated_runtime
+
+    @property
+    def cost_error(self) -> float:
+        """Relative error of the Eq. 2 expectation."""
+        return abs(self.model_cost - self.simulated_cost) / self.simulated_cost
+
+
+def validate_market(
+    provider: CloudProvider,
+    market_id: str,
+    config: Optional[CanonicalConfig] = None,
+    num_runs: int = 60,
+    spacing: float = 7 * HOUR,
+    mttf_window: float = 60 * 24 * HOUR,
+) -> ValidationPoint:
+    """Compare Eq. 1/2 expectations with trace-simulated means on one market."""
+    cfg = config or CanonicalConfig(job_length=4 * HOUR)
+    market = provider.market(market_id)
+    bid = market.on_demand_price * cfg.bid_multiplier
+    # Estimate the inputs exactly as Flint's node manager would: from the
+    # trace's history (here a long window for statistical stability).
+    mttf = market.estimate_mttf(bid, mttf_window, mttf_window)
+    mean_price = market.trace.mean_price(0.0, mttf_window)
+
+    model_runtime = expected_runtime(cfg.job_length, cfg.delta, mttf)
+    model_cost = expected_cost(
+        cfg.job_length, cfg.delta, mttf, mean_price, num_servers=cfg.num_workers
+    )
+
+    sim = CanonicalSimulator(provider, cfg, fixed_market_selector(market_id))
+    outcomes = sim.sweep(num_runs=num_runs, spacing=spacing)
+    simulated_runtime = float(np.mean([o.runtime for o in outcomes]))
+    simulated_cost = float(np.mean([o.cost for o in outcomes]))
+
+    return ValidationPoint(
+        market_id=market_id,
+        mttf=mttf,
+        model_runtime=model_runtime,
+        simulated_runtime=simulated_runtime,
+        model_cost=model_cost,
+        simulated_cost=simulated_cost,
+    )
+
+
+def validate_catalog(
+    provider: CloudProvider,
+    market_ids: Optional[List[str]] = None,
+    **kwargs,
+) -> List[ValidationPoint]:
+    """Validate the model across several markets."""
+    ids = market_ids or [m.market_id for m in provider.spot_markets()]
+    return [validate_market(provider, mid, **kwargs) for mid in ids]

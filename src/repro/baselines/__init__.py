@@ -1,0 +1,32 @@
+"""Baselines the paper compares Flint against (§5).
+
+* **Unmodified Spark on spot** — lineage recomputation only, no automated
+  checkpointing (``unmodified_spark_flint``).
+* **System-level checkpointing** — snapshot each worker's *entire* memory
+  state every interval instead of just the lineage frontier
+  (:class:`~repro.baselines.system_checkpoint.SystemCheckpointManager`),
+  the approach of SpotCheck/SpotOn-style systems.
+* **SpotFleet** — EC2's application-agnostic replacement service: pick the
+  cheapest (or least volatile) market by *current price*, ignoring the
+  impact of revocations on the application
+  (:class:`~repro.baselines.spot_fleet.SpotFleetNodeManager`).
+* **Spark-EMR on spot** — unmodified Spark plus EMR's flat 25%-of-on-demand
+  management fee (:func:`~repro.baselines.emr.emr_fee`).
+* **On-demand** — the non-revocable reference point.
+"""
+
+from repro.baselines.emr import EMR_FEE_FRACTION, emr_fee, emr_total_cost
+from repro.baselines.spot_fleet import SpotFleetNodeManager, SpotFleetStrategy
+from repro.baselines.system_checkpoint import SystemCheckpointManager
+from repro.baselines.unmodified import unmodified_spark_flint, on_demand_flint
+
+__all__ = [
+    "SpotFleetNodeManager",
+    "SpotFleetStrategy",
+    "SystemCheckpointManager",
+    "emr_fee",
+    "emr_total_cost",
+    "EMR_FEE_FRACTION",
+    "unmodified_spark_flint",
+    "on_demand_flint",
+]

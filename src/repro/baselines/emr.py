@@ -1,0 +1,37 @@
+"""Spark-EMR cost model (§5.5).
+
+Amazon's Elastic MapReduce runs unmodified Spark on spot instances but
+charges a flat management fee of 25% of the *on-demand* price per instance
+hour on top of the spot price.  EMR makes no application-aware decisions, so
+its runtime behaviour is the unmodified-Spark baseline; only its bill
+differs.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.clock import HOUR
+
+#: EMR's management fee as a fraction of the on-demand hourly price.
+EMR_FEE_FRACTION = 0.25
+
+
+def emr_fee(
+    on_demand_price: float, num_instances: int, duration_seconds: float
+) -> float:
+    """The EMR surcharge for a cluster over a duration."""
+    if duration_seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if num_instances < 0:
+        raise ValueError("num_instances must be non-negative")
+    hours = duration_seconds / HOUR
+    return EMR_FEE_FRACTION * on_demand_price * num_instances * hours
+
+
+def emr_total_cost(
+    instance_cost: float,
+    on_demand_price: float,
+    num_instances: int,
+    duration_seconds: float,
+) -> float:
+    """Spot instance cost plus the EMR management fee."""
+    return instance_cost + emr_fee(on_demand_price, num_instances, duration_seconds)

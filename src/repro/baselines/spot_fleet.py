@@ -1,0 +1,87 @@
+"""SpotFleet-style server selection (§5.5, Figure 11a).
+
+EC2 SpotFleet is application-agnostic: it bids the on-demand price on the
+user's behalf and replaces revoked instances using a simple allocation
+strategy — ``lowestPrice`` (cheapest *current* spot price) or a
+least-volatile ("diversified"-ish) heuristic — with no model of what a
+revocation costs the application.  Comparing Flint against it isolates the
+value of Flint's expected-cost selection from the generic savings of merely
+using spot instances.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.node_manager import NodeManager
+from repro.core.selection import SelectionResult, snapshot_markets
+
+import numpy as np
+
+
+class SpotFleetStrategy(enum.Enum):
+    LOWEST_PRICE = "lowestPrice"
+    LEAST_VOLATILE = "leastVolatile"
+
+
+class SpotFleetNodeManager(NodeManager):
+    """Replaces Flint's cost-model selection with SpotFleet heuristics.
+
+    Use with ``unmodified_spark_flint(provider, node_manager_cls=...)`` for
+    the faithful EMR/SpotFleet baseline (those services run unmodified
+    Spark).
+    """
+
+    strategy: SpotFleetStrategy = SpotFleetStrategy.LOWEST_PRICE
+
+    def _select(self, exclude: tuple = ()) -> SelectionResult:  # type: ignore[override]
+        self.stats.selections += 1
+        snapshots = snapshot_markets(
+            self.provider,
+            self.env.now,
+            self.bidding,
+            window=self.config.price_window,
+            mttf_window=self.config.mttf_window,
+        )
+        excluded = set(exclude)
+        candidates = [
+            s
+            for s in snapshots
+            if not s.is_on_demand
+            and s.market_id not in excluded
+            # SpotFleet only filters unfulfillable bids, not "risky" prices.
+            and s.current_price <= self.bidding.bid_for(self.provider.market(s.market_id))
+        ]
+        if not candidates:
+            od = self._on_demand_market_id()
+            price = self.provider.market(od).on_demand_price
+            return SelectionResult([od], self.config.T_estimate,
+                                   self.config.T_estimate / 3600.0 * price)
+        if self.strategy == SpotFleetStrategy.LOWEST_PRICE:
+            best = min(candidates, key=lambda s: s.current_price)
+        else:
+            best = min(candidates, key=lambda s: self._volatility(s.market_id))
+        return SelectionResult(
+            market_ids=[best.market_id],
+            expected_runtime=self.config.T_estimate,
+            expected_cost_per_server=self.config.T_estimate / 3600.0 * best.current_price,
+        )
+
+    def _volatility(self, market_id: str) -> float:
+        """Coefficient of variation of recent prices (the 'least volatile'
+        allocation heuristic)."""
+        market = self.provider.market(market_id)
+        end = market._trace_time(self.env.now)
+        start = max(0.0, end - self.config.price_window)
+        samples = np.array(
+            [market.trace.price_at(x) for x in np.arange(start, end, 3600.0)]
+        )
+        if len(samples) == 0 or samples.mean() <= 0:
+            return float("inf")
+        return float(samples.std() / samples.mean())
+
+
+class LeastVolatileSpotFleetNodeManager(SpotFleetNodeManager):
+    """SpotFleet with the least-volatile allocation strategy."""
+
+    strategy = SpotFleetStrategy.LEAST_VOLATILE

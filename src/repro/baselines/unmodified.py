@@ -1,0 +1,61 @@
+"""Unmodified-Spark and on-demand baseline constructors.
+
+"Unmodified Spark on spot instances" keeps Spark's built-in recovery —
+lineage recomputation from cached ancestors or source data — but never
+checkpoints automatically.  The paper's Figure 10b variant still uses
+Flint's server selection (isolating the checkpointing contribution); pass a
+different ``node_manager_cls`` to isolate selection instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.config import FlintConfig, Mode
+from repro.core.flint import Flint
+from repro.core.node_manager import NodeManager
+from repro.market.provider import CloudProvider
+
+
+def unmodified_spark_flint(
+    provider: CloudProvider,
+    config: Optional[FlintConfig] = None,
+    seed: int = 0,
+    node_manager_cls: type = NodeManager,
+    **flint_kwargs,
+) -> Flint:
+    """A Flint deployment running unmodified Spark (no auto-checkpointing)."""
+    base = config or FlintConfig()
+    cfg = dataclasses.replace(base, checkpointing_enabled=False)
+    return Flint(provider, cfg, seed=seed, node_manager_cls=node_manager_cls, **flint_kwargs)
+
+
+class _OnDemandOnlyNodeManager(NodeManager):
+    """Selection pinned to the on-demand pool (the reference baseline)."""
+
+    def _select(self, exclude: tuple = ()):  # type: ignore[override]
+        from repro.core.selection import SelectionResult
+
+        self.stats.selections += 1
+        od = self._on_demand_market_id()
+        price = self.provider.market(od).on_demand_price
+        return SelectionResult(
+            market_ids=[od],
+            expected_runtime=self.config.T_estimate,
+            expected_cost_per_server=self.config.T_estimate / 3600.0 * price,
+        )
+
+
+def on_demand_flint(
+    provider: CloudProvider,
+    config: Optional[FlintConfig] = None,
+    seed: int = 0,
+    **flint_kwargs,
+) -> Flint:
+    """A cluster of non-revocable on-demand servers (no checkpointing needed)."""
+    base = config or FlintConfig()
+    cfg = dataclasses.replace(base, checkpointing_enabled=False)
+    return Flint(
+        provider, cfg, seed=seed, node_manager_cls=_OnDemandOnlyNodeManager, **flint_kwargs
+    )

@@ -1,0 +1,215 @@
+"""Command-line interface to the Flint managed service (§4).
+
+The paper's users "interact with Flint via the command-line to submit,
+monitor, and interact with their Spark programs".  This module is that
+surface for the reproduction:
+
+    python -m repro.cli markets                 # what the node manager sees
+    python -m repro.cli select --mode batch     # dry-run server selection
+    python -m repro.cli run --workload pagerank # run a workload under Flint
+    python -m repro.cli canonical --selector flint-batch --runs 20
+
+Every subcommand builds its own deterministic universe from ``--seed``, so
+runs are reproducible and safe to diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.longrun import (
+    CanonicalConfig,
+    CanonicalSimulator,
+    flint_batch_selector,
+    on_demand_selector,
+    spot_fleet_selector,
+)
+from repro.analysis.tables import format_table
+from repro.core.config import FlintConfig, Mode
+from repro.core.flint import Flint
+from repro.core.selection import (
+    BatchSelectionPolicy,
+    InteractiveSelectionPolicy,
+    market_correlation_fn,
+    snapshot_markets,
+)
+from repro.factory import standard_provider
+from repro.simulation.clock import HOUR
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="universe seed")
+
+
+def cmd_markets(args: argparse.Namespace) -> int:
+    """Print the spot universe as the node manager snapshots it."""
+    provider = standard_provider(seed=args.seed)
+    snaps = snapshot_markets(provider, t=0.0)
+    rows = []
+    for s in sorted(snaps, key=lambda s: s.mean_price):
+        mttf = "inf" if s.mttf == float("inf") else f"{s.mttf / HOUR:.0f}h"
+        rows.append(
+            [s.market_id, s.current_price, s.mean_price, mttf,
+             "SPIKING" if s.price_is_spiking else ""]
+        )
+    print(format_table(
+        ["market", "current $/h", "mean $/h", "MTTF", "state"],
+        rows, title=f"spot universe (seed={args.seed})", float_fmt="{:.4f}",
+    ))
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    """Dry-run the batch or interactive selection policy."""
+    provider = standard_provider(seed=args.seed)
+    snaps = snapshot_markets(provider, t=0.0)
+    if args.mode == "batch":
+        result = BatchSelectionPolicy(T_estimate=args.hours * HOUR).select(snaps)
+    else:
+        correlation = market_correlation_fn(provider, 0.0)
+        result = InteractiveSelectionPolicy(T_estimate=args.hours * HOUR).select(
+            snaps, correlation
+        )
+    print(f"mode: {args.mode}")
+    print(f"markets: {', '.join(result.market_ids)}")
+    print(f"expected runtime: {result.expected_runtime:.0f}s")
+    print(f"expected cost/server: ${result.expected_cost_per_server:.4f}")
+    print(f"expected runtime variance: {result.expected_variance:.1f}s^2")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one of the paper's workloads under a Flint cluster."""
+    from repro.workloads import (
+        ALSWorkload,
+        KMeansWorkload,
+        PageRankWorkload,
+        TPCHSession,
+    )
+
+    provider = standard_provider(seed=args.seed)
+    mode = Mode.INTERACTIVE if args.mode == "interactive" else Mode.BATCH
+    flint = Flint(
+        provider,
+        FlintConfig(cluster_size=args.nodes, mode=mode, T_estimate=args.hours * HOUR),
+        seed=args.seed,
+    )
+    flint.start()
+    print(f"cluster: {flint.cluster.markets_in_use()}")
+    ctx = flint.context
+    if args.workload == "pagerank":
+        workload = PageRankWorkload(ctx, partitions=2 * args.nodes)
+        report = flint.run(lambda _ctx: workload.run(), name="pagerank")
+    elif args.workload == "kmeans":
+        workload = KMeansWorkload(ctx, partitions=2 * args.nodes)
+        report = flint.run(lambda _ctx: workload.run(), name="kmeans")
+    elif args.workload == "als":
+        workload = ALSWorkload(ctx, partitions=2 * args.nodes)
+        report = flint.run(lambda _ctx: workload.run(), name="als")
+    else:  # tpch
+        session = TPCHSession(ctx, partitions=2 * args.nodes)
+        session.load()
+        report = flint.run(lambda _ctx: (session.q1(), session.q3(), session.q6()),
+                           name="tpch")
+    print(f"runtime: {report.runtime:.1f}s (simulated)")
+    print(f"revocations during run: {report.revocations}")
+    summary = flint.cost_summary()
+    print(f"cost: ${summary['total_cost']:.4f} "
+          f"(instances ${summary['instance_cost']:.4f} "
+          f"+ EBS ${summary['ebs_cost']:.4f})")
+    flint.shutdown()
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Print the what-if report for a prospective job."""
+    from repro.core.advisor import JobProfile, advise
+
+    provider = standard_provider(seed=args.seed)
+    advice = advise(
+        provider,
+        JobProfile(runtime=args.hours * HOUR, cluster_size=args.nodes),
+    )
+    print(advice.render())
+    return 0
+
+
+def cmd_canonical(args: argparse.Namespace) -> int:
+    """Long-run canonical-job simulation (the Figures 10/11 harness)."""
+    import numpy as np
+
+    provider = standard_provider(seed=args.seed)
+    selectors = {
+        "flint-batch": (flint_batch_selector(), True),
+        "spot-fleet": (spot_fleet_selector(), False),
+        "on-demand": (on_demand_selector(), False),
+    }
+    selector, checkpointing = selectors[args.selector]
+    config = CanonicalConfig(job_length=args.hours * HOUR, checkpointing=checkpointing)
+    sim = CanonicalSimulator(provider, config, selector)
+    outcomes = sim.sweep(num_runs=args.runs, spacing=8 * HOUR)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["runs", args.runs],
+            ["mean runtime (s)", float(np.mean([o.runtime for o in outcomes]))],
+            ["mean overhead (%)", 100 * float(np.mean([o.overhead for o in outcomes]))],
+            ["mean cost ($)", float(np.mean([o.cost for o in outcomes]))],
+            ["total revocations", sum(o.revocations for o in outcomes)],
+        ],
+        title=f"canonical job under {args.selector}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Flint (EuroSys'16) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("markets", help="show the spot universe")
+    _add_common(p)
+    p.set_defaults(func=cmd_markets)
+
+    p = sub.add_parser("select", help="dry-run server selection")
+    _add_common(p)
+    p.add_argument("--mode", choices=["batch", "interactive"], default="batch")
+    p.add_argument("--hours", type=float, default=2.0, help="job length estimate")
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("run", help="run a workload under Flint")
+    _add_common(p)
+    p.add_argument("--workload", choices=["pagerank", "kmeans", "als", "tpch"],
+                   default="pagerank")
+    p.add_argument("--mode", choices=["batch", "interactive"], default="batch")
+    p.add_argument("--nodes", type=int, default=10)
+    p.add_argument("--hours", type=float, default=2.0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("advise", help="what-if report: every market + both policies")
+    _add_common(p)
+    p.add_argument("--hours", type=float, default=2.0, help="job length")
+    p.add_argument("--nodes", type=int, default=10)
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("canonical", help="long-run canonical-job simulation")
+    _add_common(p)
+    p.add_argument("--selector", choices=["flint-batch", "spot-fleet", "on-demand"],
+                   default="flint-batch")
+    p.add_argument("--runs", type=int, default=20)
+    p.add_argument("--hours", type=float, default=2.0)
+    p.set_defaults(func=cmd_canonical)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

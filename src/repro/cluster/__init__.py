@@ -1,0 +1,16 @@
+"""Simulated cluster of transient servers.
+
+A :class:`~repro.cluster.cluster.Cluster` owns a set of
+:class:`~repro.cluster.worker.Worker` nodes, each backed by a market
+:class:`~repro.market.instance.Instance`.  When an instance is acquired the
+cluster schedules its (deterministic) revocation warning and kill events on
+the shared event queue; listeners — the execution engine and Flint's node
+manager — react to them.  The cluster provides *mechanism* only: which market
+to buy replacements from is a policy question answered in :mod:`repro.core`.
+"""
+
+from repro.cluster.environment import Environment
+from repro.cluster.worker import Worker
+from repro.cluster.cluster import Cluster, ClusterListener
+
+__all__ = ["Environment", "Worker", "Cluster", "ClusterListener"]

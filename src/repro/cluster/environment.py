@@ -1,0 +1,73 @@
+"""The shared simulation environment.
+
+Bundles the clock, event queue, RNG, cloud provider, and durable file system
+that every subsystem of a single experiment shares.  One ``Environment`` is
+one deterministic universe: two environments built with the same seed and the
+same market traces replay identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.rng import SeededRNG
+from repro.storage.dfs import DistributedFileSystem, DFSConfig
+
+
+class Environment:
+    """Shared simulation state for one experiment."""
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        seed: int = 0,
+        dfs: Optional[DistributedFileSystem] = None,
+        dfs_config: Optional[DFSConfig] = None,
+        start_time: float = 0.0,
+    ):
+        self.provider = provider
+        self.clock = SimClock(start_time)
+        self.events = EventQueue()
+        self.rng = SeededRNG(seed, "environment")
+        self.dfs = dfs or DistributedFileSystem(dfs_config)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def schedule_at(self, t: float, kind: str, payload=None, priority: int = 0, callback=None) -> Event:
+        """Schedule an event at absolute time ``t``."""
+        return self.events.schedule(max(t, self.now), kind, payload, priority, callback)
+
+    def schedule_in(self, dt: float, kind: str, payload=None, priority: int = 0, callback=None) -> Event:
+        """Schedule an event ``dt`` seconds from now."""
+        return self.schedule_at(self.now + dt, kind, payload, priority, callback)
+
+    def step(self) -> Optional[Event]:
+        """Pop the next event, advance the clock to it, run its callback.
+
+        Returns the event handled, or None when the queue is empty.
+        """
+        if not self.events:
+            return None
+        event = self.events.pop()
+        self.clock.advance_to(event.time)
+        if event.callback is not None:
+            event.callback(event)
+        return event
+
+    def run_until(self, t: float) -> int:
+        """Process all events up to time ``t``; returns how many fired."""
+        count = 0
+        while True:
+            nxt = self.events.peek()
+            if nxt is None or nxt.time > t:
+                break
+            self.step()
+            count += 1
+        self.clock.advance_to(t)
+        return count

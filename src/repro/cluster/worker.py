@@ -1,0 +1,73 @@
+"""Worker nodes.
+
+A worker is the compute view of a rented instance: CPU slots for tasks, a
+memory budget for the RDD cache, and a local SSD for shuffle output and cache
+spill.  Spark reserves most of the JVM heap for execution; following the
+paper's §5.5 accounting we give the RDD store 40% of instance memory by
+default.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.market.instance import Instance
+from repro.storage.local_disk import LocalDisk
+from repro.traces.ec2 import INSTANCE_TYPES, InstanceType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.block_manager import BlockManager
+
+#: Fraction of instance memory Spark devotes to RDD storage (§5.5: "Spark
+#: only uses 40% of RAM for storing the RDD data").
+DEFAULT_STORAGE_FRACTION = 0.4
+
+GB = 10**9
+
+
+class Worker:
+    """One live (or formerly live) server in the cluster."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        instance: Instance,
+        instance_type: Optional[InstanceType] = None,
+        storage_fraction: float = DEFAULT_STORAGE_FRACTION,
+    ):
+        self.worker_id = worker_id
+        self.instance = instance
+        self.instance_type = instance_type or INSTANCE_TYPES[instance.instance_type_name]
+        if not 0 < storage_fraction <= 1:
+            raise ValueError("storage_fraction must be in (0, 1]")
+        self.storage_fraction = storage_fraction
+        self.alive = True
+        self.local_disk = LocalDisk(capacity_bytes=int(self.instance_type.local_disk_gb * GB))
+        # The execution engine attaches a BlockManager when the worker joins.
+        self.block_manager: Optional["BlockManager"] = None
+
+    @property
+    def slots(self) -> int:
+        """Concurrent task slots (one per VCPU)."""
+        return self.instance_type.vcpus
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total instance memory in bytes."""
+        return int(self.instance_type.memory_gb * GB)
+
+    @property
+    def storage_memory_bytes(self) -> int:
+        """Memory budget for the RDD block cache."""
+        return int(self.memory_bytes * self.storage_fraction)
+
+    def kill(self) -> None:
+        """Revocation: drop all volatile state (memory cache + local disk)."""
+        self.alive = False
+        self.local_disk.clear()
+        if self.block_manager is not None:
+            self.block_manager.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.alive else "dead"
+        return f"Worker({self.worker_id}, {self.instance_type.name}, {status})"

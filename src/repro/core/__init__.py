@@ -1,0 +1,65 @@
+"""Flint's contribution: automated checkpointing and server selection.
+
+This package implements §3 of the paper on top of the engine/market
+substrates:
+
+* :mod:`repro.core.interval` — the optimal checkpoint interval
+  τ = √(2·δ·MTTF) adapted to the RDD model (with the shuffle refinement).
+* :mod:`repro.core.runtime_model` — Equations 1-4: expected runtime and cost
+  on a market, aggregate MTTF of a heterogeneous cluster, and the runtime
+  variance the interactive policy minimises.
+* :mod:`repro.core.ftmanager` — the fault-tolerance manager embedded in the
+  engine: tracks the lineage frontier, marks RDDs for checkpointing every τ,
+  and adapts δ and τ online.
+* :mod:`repro.core.selection` — batch (min expected cost, single market) and
+  interactive (greedy variance-minimising market mix) server selection,
+  restoration after revocations, and the bid-the-on-demand-price policy.
+* :mod:`repro.core.node_manager` — maintains the cluster at size N,
+  replacing revoked servers per the restoration policy.
+* :mod:`repro.core.flint` — the managed-service facade users interact with.
+"""
+
+from repro.core.advisor import Advice, JobProfile, MarketQuote, advise
+from repro.core.config import FlintConfig, Mode
+from repro.core.flint import Flint
+from repro.core.ftmanager import FaultToleranceManager
+from repro.core.interval import optimal_checkpoint_interval, shuffle_checkpoint_interval
+from repro.core.node_manager import NodeManager
+from repro.core.runtime_model import (
+    expected_cost,
+    expected_runtime,
+    expected_runtime_multi,
+    harmonic_mttf,
+    runtime_variance,
+)
+from repro.core.selection import (
+    BatchSelectionPolicy,
+    InteractiveSelectionPolicy,
+    MarketSnapshot,
+    OnDemandBiddingPolicy,
+    snapshot_markets,
+)
+
+__all__ = [
+    "Advice",
+    "JobProfile",
+    "MarketQuote",
+    "advise",
+    "Flint",
+    "FlintConfig",
+    "Mode",
+    "FaultToleranceManager",
+    "NodeManager",
+    "optimal_checkpoint_interval",
+    "shuffle_checkpoint_interval",
+    "expected_runtime",
+    "expected_runtime_multi",
+    "expected_cost",
+    "harmonic_mttf",
+    "runtime_variance",
+    "BatchSelectionPolicy",
+    "InteractiveSelectionPolicy",
+    "MarketSnapshot",
+    "OnDemandBiddingPolicy",
+    "snapshot_markets",
+]

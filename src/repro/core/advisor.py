@@ -1,0 +1,186 @@
+"""What-if advisor: preview cost and runtime before provisioning.
+
+The managed-service pitch of Flint (§2.3) is that users submit jobs and the
+service makes the transient-server decisions.  The advisor exposes those
+decisions *before* any money is spent: given a job profile (failure-free
+runtime, cluster size, checkpoint volume), it evaluates every market and
+policy configuration with the paper's equations and returns a ranked
+comparison — the same numbers the node manager acts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.interval import checkpoint_time_estimate, optimal_checkpoint_interval
+from repro.core.runtime_model import (
+    expected_cost,
+    expected_runtime,
+    expected_runtime_multi,
+    harmonic_mttf,
+    runtime_std,
+)
+from repro.core.selection import (
+    InteractiveSelectionPolicy,
+    MarketSnapshot,
+    OnDemandBiddingPolicy,
+    market_correlation_fn,
+    snapshot_markets,
+)
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import HOUR
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """What the advisor needs to know about a prospective job."""
+
+    runtime: float = 2 * HOUR  # failure-free running time, seconds
+    cluster_size: int = 10
+    checkpoint_bytes: float = 40e9  # frontier volume per checkpoint
+    dfs_write_bandwidth: float = 100e6
+    replication: int = 3
+    replacement_delay: float = 120.0
+
+    @property
+    def delta(self) -> float:
+        """Checkpoint write time δ for this profile."""
+        return checkpoint_time_estimate(
+            self.checkpoint_bytes, self.cluster_size,
+            self.dfs_write_bandwidth, self.replication,
+        )
+
+
+@dataclass
+class MarketQuote:
+    """Advisor output for one candidate market."""
+
+    market_id: str
+    mean_price: float
+    mttf: float
+    tau: float
+    expected_runtime: float
+    expected_cost: float
+    runtime_std: float
+    spiking: bool
+
+
+@dataclass
+class Advice:
+    """The full what-if report."""
+
+    profile: JobProfile
+    quotes: List[MarketQuote]
+    batch_choice: Optional[MarketQuote]
+    interactive_mix: List[str]
+    interactive_runtime: float
+    interactive_cost: float
+    interactive_std: float
+    on_demand_cost: float
+
+    def render(self) -> str:
+        """Human-readable report (what the CLI prints)."""
+        rows = []
+        for q in sorted(self.quotes, key=lambda q: q.expected_cost):
+            mttf = "inf" if q.mttf == float("inf") else f"{q.mttf / HOUR:.0f}h"
+            tau = "-" if q.tau == float("inf") else f"{q.tau:.0f}s"
+            rows.append([
+                q.market_id, q.mean_price, mttf, tau,
+                q.expected_runtime, q.expected_cost,
+                q.runtime_std, "SPIKING" if q.spiking else "",
+            ])
+        lines = [
+            format_table(
+                ["market", "$/h", "MTTF", "tau", "E[runtime] s", "E[cost] $",
+                 "std s", "state"],
+                rows, title="market quotes", float_fmt="{:.3f}",
+            ),
+            "",
+            f"batch pick      : {self.batch_choice.market_id if self.batch_choice else 'n/a'}"
+            f" (E[cost] ${self.batch_choice.expected_cost:.3f})" if self.batch_choice else "",
+            f"interactive mix : {', '.join(self.interactive_mix)}",
+            f"                  E[runtime] {self.interactive_runtime:.0f}s, "
+            f"E[cost] ${self.interactive_cost:.3f}, std {self.interactive_std:.0f}s",
+            f"on-demand cost  : ${self.on_demand_cost:.3f}",
+        ]
+        savings = 1.0 - (self.batch_choice.expected_cost / self.on_demand_cost) if self.batch_choice else 0.0
+        lines.append(f"batch savings   : {savings:.0%} vs on-demand")
+        return "\n".join(line for line in lines if line != "")
+
+
+def advise(
+    provider: CloudProvider,
+    profile: Optional[JobProfile] = None,
+    t: float = 0.0,
+    bidding: Optional[OnDemandBiddingPolicy] = None,
+) -> Advice:
+    """Evaluate every market and both policies for a job profile."""
+    profile = profile or JobProfile()
+    bidding = bidding or OnDemandBiddingPolicy()
+    snaps = snapshot_markets(provider, t, bidding)
+    delta = profile.delta
+    n = profile.cluster_size
+
+    quotes: List[MarketQuote] = []
+    for snap in snaps:
+        tau = optimal_checkpoint_interval(delta, snap.mttf)
+        runtime = expected_runtime(
+            profile.runtime, delta, snap.mttf,
+            replacement_delay=profile.replacement_delay,
+        )
+        cost = expected_cost(
+            profile.runtime, delta, snap.mttf, snap.mean_price,
+            replacement_delay=profile.replacement_delay, num_servers=n,
+        )
+        std = runtime_std(
+            profile.runtime, delta, [snap.mttf],
+            replacement_delay=profile.replacement_delay,
+        )
+        quotes.append(
+            MarketQuote(
+                market_id=snap.market_id,
+                mean_price=snap.mean_price,
+                mttf=snap.mttf,
+                tau=tau,
+                expected_runtime=runtime,
+                expected_cost=cost,
+                runtime_std=std,
+                spiking=snap.price_is_spiking,
+            )
+        )
+
+    usable = [q for q in quotes if not q.spiking]
+    batch_choice = min(usable, key=lambda q: q.expected_cost) if usable else None
+
+    interactive = InteractiveSelectionPolicy(
+        T_estimate=profile.runtime, delta_estimate=delta,
+        replacement_delay=profile.replacement_delay,
+    )
+    correlation = market_correlation_fn(provider, t)
+    mix = interactive.select(snaps, correlation)
+    mix_snaps = [s for s in snaps if s.market_id in mix.market_ids]
+    mttfs = [s.mttf for s in mix_snaps]
+    interactive_runtime = expected_runtime_multi(
+        profile.runtime, delta, mttfs, replacement_delay=profile.replacement_delay
+    )
+    mean_mix_price = sum(s.mean_price for s in mix_snaps) / len(mix_snaps)
+    interactive_cost = interactive_runtime / HOUR * mean_mix_price * n
+    interactive_std = runtime_std(
+        profile.runtime, delta, mttfs, replacement_delay=profile.replacement_delay
+    )
+
+    on_demand_price = min(s.on_demand_price for s in snaps)
+    on_demand_cost = profile.runtime / HOUR * on_demand_price * n
+
+    return Advice(
+        profile=profile,
+        quotes=quotes,
+        batch_choice=batch_choice,
+        interactive_mix=mix.market_ids,
+        interactive_runtime=interactive_runtime,
+        interactive_cost=interactive_cost,
+        interactive_std=interactive_std,
+        on_demand_cost=on_demand_cost,
+    )

@@ -1,0 +1,65 @@
+"""Configuration for the Flint managed service."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulation.clock import DAY, HOUR
+from repro.storage.ebs import EBSCostModel
+
+
+class Mode(enum.Enum):
+    """Workload mode, selecting the checkpointing/selection policy pair.
+
+    BATCH: single cheapest market, all-at-once revocations tolerated.
+    INTERACTIVE: diversified market mix minimising response-time variance.
+    """
+
+    BATCH = "batch"
+    INTERACTIVE = "interactive"
+
+
+@dataclass
+class FlintConfig:
+    """Tunable knobs of a Flint deployment.
+
+    Defaults mirror the paper's evaluation setup: 10 r3.large workers,
+    bid = on-demand price, checkpoints on 3-way replicated HDFS-on-EBS.
+    """
+
+    cluster_size: int = 10
+    mode: Mode = Mode.BATCH
+    instance_type_name: str = "r3.large"
+    bid_multiplier: float = 1.0
+
+    # Policy estimates (refined online by the fault-tolerance manager).
+    T_estimate: float = 2 * HOUR
+    initial_delta: Optional[float] = None  # None => conservative derivation
+    min_tau: float = 30.0
+    max_tau: Optional[float] = None
+
+    # Selection knobs.
+    price_window: float = 7 * DAY
+    mttf_window: float = 14 * DAY
+    correlation_threshold: float = 0.3
+    max_markets: Optional[int] = None
+    #: Override for the aggregate cluster MTTF used by the checkpoint policy;
+    #: None derives it from the markets actually in use.  Experiments use the
+    #: override to pin the MTTF regime (e.g. Figure 6's 50h).
+    mttf_override: Optional[float] = None
+
+    checkpointing_enabled: bool = True
+    #: Proactively request replacements at the revocation warning (§4).
+    replace_on_warning: bool = True
+
+    ebs: EBSCostModel = field(default_factory=EBSCostModel)
+
+    def __post_init__(self):
+        if self.cluster_size <= 0:
+            raise ValueError("cluster_size must be positive")
+        if self.bid_multiplier <= 0:
+            raise ValueError("bid_multiplier must be positive")
+        if self.min_tau <= 0:
+            raise ValueError("min_tau must be positive")

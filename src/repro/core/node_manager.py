@@ -1,0 +1,229 @@
+"""Flint's node manager (§3, §4).
+
+The node manager owns the relationship with the cloud provider: it selects
+markets via the batch or interactive policy, provisions the initial fleet of
+N servers, and replaces revoked servers to hold the cluster at N.  It reacts
+to the provider's revocation *warning* (EC2: two minutes) by immediately
+re-running market selection so replacements arrive as the doomed servers
+die, and it reports the cluster's aggregate MTTF to the fault-tolerance
+manager so the checkpoint interval tracks the fleet actually in use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.cluster import Cluster, ClusterListener
+from repro.cluster.worker import Worker
+from repro.core.config import FlintConfig, Mode
+from repro.core.runtime_model import harmonic_mttf
+from repro.core.selection import (
+    BatchSelectionPolicy,
+    InteractiveSelectionPolicy,
+    MarketSnapshot,
+    OnDemandBiddingPolicy,
+    SelectionResult,
+    market_correlation_fn,
+    snapshot_markets,
+)
+from repro.market.market import OnDemandMarket
+from repro.market.provider import MarketUnavailableError
+from repro.traces.ec2 import INSTANCE_TYPES
+
+
+@dataclass
+class NodeManagerStats:
+    replacements_requested: int = 0
+    warning_replacements: int = 0
+    selections: int = 0
+    on_demand_fallbacks: int = 0
+
+
+class NodeManager(ClusterListener):
+    """Provisioning and replacement driven by Flint's selection policies."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: FlintConfig,
+        bidding: Optional[OnDemandBiddingPolicy] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.provider = cluster.env.provider
+        self.config = config
+        self.bidding = bidding or OnDemandBiddingPolicy(config.bid_multiplier)
+        self.instance_type = INSTANCE_TYPES[config.instance_type_name]
+        self.batch_policy = BatchSelectionPolicy(T_estimate=config.T_estimate)
+        self.interactive_policy = InteractiveSelectionPolicy(
+            T_estimate=config.T_estimate,
+            correlation_threshold=config.correlation_threshold,
+            max_markets=config.max_markets,
+        )
+        self.stats = NodeManagerStats()
+        self.active = False
+        self.current_selection: Optional[SelectionResult] = None
+        self._replacement_requested: Set[str] = set()
+        #: Churn guard (§3.1.2 worst case): when replacements keep getting
+        #: revoked as fast as they arrive — every spot market is spiking —
+        #: Flint "resumes execution on on-demand servers".  We detect that
+        #: regime as more than ``churn_limit`` replacements within
+        #: ``churn_window`` seconds and buy the excess from on-demand.
+        self.churn_window = 600.0
+        self.churn_limit = 3 * config.cluster_size
+        self._recent_replacements: List[float] = []
+        cluster.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Initial provisioning
+    # ------------------------------------------------------------------
+    def provision(self) -> List[Worker]:
+        """Select market(s) and launch the initial fleet of N workers."""
+        self.active = True
+        selection = self._select()
+        self.current_selection = selection
+        n = self.config.cluster_size
+        markets = selection.market_ids
+        workers: List[Worker] = []
+        # Split servers equally across the chosen markets (one market in
+        # batch mode), distributing the remainder to the cheapest first.
+        per_market = [n // len(markets)] * len(markets)
+        for i in range(n % len(markets)):
+            per_market[i] += 1
+        for market_id, count in zip(markets, per_market):
+            if count > 0:
+                workers.extend(self._launch(market_id, count, delay=0.0))
+        return workers
+
+    def _select(self, exclude: tuple = ()) -> SelectionResult:
+        self.stats.selections += 1
+        snapshots = snapshot_markets(
+            self.provider,
+            self.env.now,
+            self.bidding,
+            window=self.config.price_window,
+            mttf_window=self.config.mttf_window,
+        )
+        if self.config.mode == Mode.INTERACTIVE:
+            correlation = market_correlation_fn(self.provider, self.env.now)
+            return self.interactive_policy.select(snapshots, correlation, exclude=exclude)
+        return self.batch_policy.select(snapshots, exclude=exclude)
+
+    def _launch(self, market_id: str, count: int, delay: float) -> List[Worker]:
+        market = self.provider.market(market_id)
+        bid = self.bidding.bid_for(market)
+        # A pool sells one instance type; fall back to the configured type
+        # for pools (on-demand, preemptible) that don't declare one.
+        itype = getattr(market, "instance_type", None) or self.instance_type
+        try:
+            return self.cluster.launch(
+                market_id, bid, count=count, delay=delay, instance_type=itype
+            )
+        except MarketUnavailableError:
+            # Price moved between snapshot and acquisition — fall back to
+            # on-demand, the worst-case restoration path (§3.1.2).
+            self.stats.on_demand_fallbacks += 1
+            od = self._on_demand_market_id()
+            return self.cluster.launch(
+                od, self.provider.market(od).on_demand_price, count=count, delay=delay,
+                instance_type=self.instance_type,
+            )
+
+    def _on_demand_market_id(self) -> str:
+        for market in self.provider.markets.values():
+            if isinstance(market, OnDemandMarket):
+                return market.market_id
+        raise RuntimeError("provider has no on-demand market to fall back to")
+
+    # ------------------------------------------------------------------
+    # Cluster MTTF for the checkpointing policy
+    # ------------------------------------------------------------------
+    def cluster_mttf(self) -> float:
+        """Aggregate MTTF of the markets currently in use (Eq. 3).
+
+        An experiment can pin this via ``config.mttf_override``.
+        """
+        if self.config.mttf_override is not None:
+            return self.config.mttf_override
+        in_use = self.cluster.markets_in_use()
+        if not in_use:
+            return float("inf")
+        mttfs = []
+        t = self.env.now
+        for market_id in in_use:
+            market = self.provider.market(market_id)
+            bid = self.bidding.bid_for(market)
+            mttfs.append(market.estimate_mttf(bid, t, self.config.mttf_window))
+        return harmonic_mttf(mttfs)
+
+    # ------------------------------------------------------------------
+    # Revocation handling (restoration policy)
+    # ------------------------------------------------------------------
+    def on_revocation_warning(self, worker: Worker, t: float) -> None:
+        if not self.active or not self.config.replace_on_warning:
+            return
+        if worker.worker_id in self._replacement_requested:
+            return
+        self._replacement_requested.add(worker.worker_id)
+        self.stats.warning_replacements += 1
+        # Replacement boots while the doomed server drains, arriving roughly
+        # when it dies (warning period ≈ replacement delay on EC2).
+        self._replace(worker, delay=self.provider.replacement_delay)
+
+    def on_worker_revoked(self, worker: Worker, t: float) -> None:
+        if not self.active:
+            return
+        if worker.worker_id in self._replacement_requested:
+            return
+        self._replacement_requested.add(worker.worker_id)
+        self._replace(worker, delay=self.provider.replacement_delay)
+
+    def _replace(self, worker: Worker, delay: float) -> None:
+        self.stats.replacements_requested += 1
+        now = self.env.now
+        self._recent_replacements = [
+            t for t in self._recent_replacements if now - t < self.churn_window
+        ]
+        self._recent_replacements.append(now)
+        if len(self._recent_replacements) > self.churn_limit:
+            # Replacement churn: every spot pool is in a spiking regime and
+            # replacements die as fast as they boot.  Stop the bleeding on
+            # non-revocable capacity (the paper's worst-case restoration).
+            self.stats.on_demand_fallbacks += 1
+            self._launch(self._on_demand_market_id(), 1, delay=delay)
+            return
+        revoked_market = worker.instance.market_id
+        try:
+            if self.config.mode == Mode.INTERACTIVE:
+                market_id = self._interactive_replacement_market(revoked_market)
+            else:
+                selection = self._select(exclude=(revoked_market,))
+                self.current_selection = selection
+                market_id = selection.market_ids[0]
+        except ValueError:
+            self.stats.on_demand_fallbacks += 1
+            market_id = self._on_demand_market_id()
+        self._launch(market_id, 1, delay=delay)
+
+    def _interactive_replacement_market(self, revoked_market: str) -> str:
+        """Lowest-cost *unused* market in L, excluding the revoked one (§3.2.2)."""
+        snapshots = snapshot_markets(
+            self.provider, self.env.now, self.bidding,
+            window=self.config.price_window, mttf_window=self.config.mttf_window,
+        )
+        correlation = market_correlation_fn(self.provider, self.env.now)
+        pool = self.interactive_policy.build_uncorrelated_set(
+            snapshots, correlation, exclude=(revoked_market,)
+        )
+        if not pool:
+            raise ValueError("no usable markets in L")
+        in_use = set(self.cluster.markets_in_use())
+        unused = [s for s in pool if s.market_id not in in_use]
+        chosen = unused[0] if unused else pool[0]
+        return chosen.market_id
+
+    def shutdown(self) -> None:
+        """Stop replacing workers (cluster teardown)."""
+        self.active = False

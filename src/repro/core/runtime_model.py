@@ -1,0 +1,165 @@
+"""Analytic runtime/cost models — Equations 1-4 of the paper.
+
+These are the quantities the server-selection policies optimise:
+
+* Eq. 1: expected running time on a single market,
+  ``E[T_k] = T·(1 + δ/τ + (τ/2 + r_d)/MTTF_k)``.
+* Eq. 2: expected cost ``E[C_k] = E[T_k]·p_k``.
+* Eq. 3: aggregate MTTF of a cluster spread over m markets (harmonic sum —
+  more revocation *events*, each hitting only N/m servers).
+* Eq. 4: expected running time with servers spread over m markets, where
+  each event loses only a 1/m fraction of the work.
+
+The variance model extends Eq. 4: revocations form a Poisson process with
+rate 1/MTTF(S); each event's loss is (U + r_d)/m with U ~ Uniform(0, τ), so
+the compound-Poisson variance is ``(T/MTTF)·E[loss²]`` — decreasing in m,
+which is exactly why the interactive policy diversifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.interval import optimal_checkpoint_interval
+
+#: Default server replacement delay r_d (§3.1.2: ~two minutes on EC2).
+DEFAULT_REPLACEMENT_DELAY = 120.0
+
+
+def harmonic_mttf(mttfs: Sequence[float]) -> float:
+    """Aggregate MTTF of a cluster mixing one server pool per market (Eq. 3).
+
+    Revocation processes in different markets are independent, so event
+    rates add: ``1/MTTF = Σ 1/MTTF_i``.  Infinite MTTFs (on-demand pools)
+    contribute zero rate.
+    """
+    if not mttfs:
+        raise ValueError("need at least one MTTF")
+    rate = 0.0
+    for mttf in mttfs:
+        if mttf <= 0:
+            raise ValueError("MTTFs must be positive")
+        if not math.isinf(mttf):
+            rate += 1.0 / mttf
+    return float("inf") if rate == 0.0 else 1.0 / rate
+
+
+def expected_runtime(
+    T: float,
+    delta: float,
+    mttf: float,
+    tau: Optional[float] = None,
+    replacement_delay: float = DEFAULT_REPLACEMENT_DELAY,
+) -> float:
+    """Eq. 1: expected running time on one market.
+
+    Args:
+        T: failure-free running time (seconds).
+        delta: checkpoint write time δ (seconds).
+        mttf: market MTTF at the bid (seconds, may be ``inf``).
+        tau: checkpoint interval; defaults to the optimal √(2·δ·MTTF).
+        replacement_delay: r_d, time to acquire a replacement server.
+    """
+    if T < 0:
+        raise ValueError("T must be non-negative")
+    if math.isinf(mttf):
+        return T  # no revocations, no checkpointing needed
+    if tau is None:
+        tau = optimal_checkpoint_interval(delta, mttf)
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    checkpoint_overhead = delta / tau
+    recomputation_overhead = (tau / 2.0 + replacement_delay) / mttf
+    return T * (1.0 + checkpoint_overhead + recomputation_overhead)
+
+
+def expected_cost(
+    T: float,
+    delta: float,
+    mttf: float,
+    price_per_hour: float,
+    tau: Optional[float] = None,
+    replacement_delay: float = DEFAULT_REPLACEMENT_DELAY,
+    num_servers: int = 1,
+) -> float:
+    """Eq. 2: expected dollar cost on one market.
+
+    ``price_per_hour`` is the market's recent average price (what EC2
+    actually bills), not the bid.
+    """
+    if price_per_hour < 0:
+        raise ValueError("price must be non-negative")
+    runtime = expected_runtime(T, delta, mttf, tau, replacement_delay)
+    return runtime / 3600.0 * price_per_hour * num_servers
+
+
+def expected_runtime_multi(
+    T: float,
+    delta: float,
+    mttfs: Sequence[float],
+    tau: Optional[float] = None,
+    replacement_delay: float = DEFAULT_REPLACEMENT_DELAY,
+) -> float:
+    """Eq. 4: expected running time with servers spread over ``m = len(mttfs)`` markets.
+
+    Revocation events arrive at the aggregate rate (Eq. 3) but each loses
+    only a 1/m fraction of the cluster, scaling the per-event penalty down.
+    """
+    m = len(mttfs)
+    if m == 0:
+        raise ValueError("need at least one market")
+    aggregate = harmonic_mttf(mttfs)
+    if math.isinf(aggregate):
+        return T
+    if tau is None:
+        tau = optimal_checkpoint_interval(delta, aggregate)
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    checkpoint_overhead = delta / tau
+    recomputation_overhead = (tau / 2.0 + replacement_delay) / aggregate / m
+    return T * (1.0 + checkpoint_overhead + recomputation_overhead)
+
+
+def runtime_variance(
+    T: float,
+    delta: float,
+    mttfs: Sequence[float],
+    tau: Optional[float] = None,
+    replacement_delay: float = DEFAULT_REPLACEMENT_DELAY,
+) -> float:
+    """Variance of running time for a cluster spread over ``m`` markets.
+
+    Compound-Poisson model: events at rate ``1/MTTF(S)`` over the program's
+    duration T, per-event loss ``(U + r_d)/m`` with U ~ Uniform(0, τ), hence
+    ``Var = (T/MTTF)·(τ²/3 + τ·r_d + r_d²)/m²``.  Spreading over more
+    (independent) markets multiplies the event count by ~m but divides the
+    squared per-event loss by m², so variance falls as 1/m — the formal core
+    of Policy 2.
+    """
+    m = len(mttfs)
+    if m == 0:
+        raise ValueError("need at least one market")
+    if T < 0:
+        raise ValueError("T must be non-negative")
+    aggregate = harmonic_mttf(mttfs)
+    if math.isinf(aggregate):
+        return 0.0
+    if tau is None:
+        tau = optimal_checkpoint_interval(delta, aggregate)
+    if math.isinf(tau):
+        return 0.0
+    rd = replacement_delay
+    second_moment = (tau * tau / 3.0 + tau * rd + rd * rd) / (m * m)
+    return (T / aggregate) * second_moment
+
+
+def runtime_std(
+    T: float,
+    delta: float,
+    mttfs: Sequence[float],
+    tau: Optional[float] = None,
+    replacement_delay: float = DEFAULT_REPLACEMENT_DELAY,
+) -> float:
+    """Standard deviation of running time (√ of :func:`runtime_variance`)."""
+    return math.sqrt(runtime_variance(T, delta, mttfs, tau, replacement_delay))

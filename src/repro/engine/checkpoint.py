@@ -1,0 +1,116 @@
+"""Checkpoint registry: partition-level RDD checkpoints in the DFS.
+
+Flint modifies Spark to checkpoint at *partition* granularity (§4): as each
+task finishes a partition of a marked RDD, an asynchronous write task ships
+it to HDFS.  The registry tracks which partitions are durably written, serves
+them during recomputation, and garbage-collects checkpoints made unreachable
+when a descendant RDD is checkpointed (§4, "Checkpoint Garbage Collection").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.engine import lineage
+from repro.storage.dfs import DistributedFileSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.rdd import RDD
+
+
+class CheckpointRegistry:
+    """Driver-side record of checkpointed RDD partitions."""
+
+    def __init__(self, dfs: DistributedFileSystem):
+        self.dfs = dfs
+        self._marked: Set[int] = set()
+        self._written: Dict[int, Set[int]] = {}
+        self._num_partitions: Dict[int, int] = {}
+        self.bytes_written = 0
+        self.partitions_written = 0
+        self.gc_deleted = 0
+
+    @staticmethod
+    def path_for(rdd_id: int, partition: int) -> str:
+        return f"ckpt/rdd_{rdd_id}/part_{partition}"
+
+    @staticmethod
+    def rdd_prefix(rdd_id: int) -> str:
+        return f"ckpt/rdd_{rdd_id}/"
+
+    # ------------------------------------------------------------------
+    def mark(self, rdd: "RDD") -> None:
+        """Flag an RDD so its partitions are checkpointed as they appear."""
+        self._marked.add(rdd.rdd_id)
+        self._num_partitions[rdd.rdd_id] = rdd.num_partitions
+
+    def unmark(self, rdd: "RDD") -> None:
+        self._marked.discard(rdd.rdd_id)
+
+    def is_marked(self, rdd: "RDD") -> bool:
+        return rdd.rdd_id in self._marked
+
+    def has_partition(self, rdd: "RDD", partition: int) -> bool:
+        """True when this partition's checkpoint is durably in the DFS."""
+        return self.dfs.exists(self.path_for(rdd.rdd_id, partition))
+
+    def is_fully_checkpointed(self, rdd: "RDD") -> bool:
+        written = self._written.get(rdd.rdd_id, set())
+        return len(written) >= rdd.num_partitions and all(
+            self.dfs.exists(self.path_for(rdd.rdd_id, p)) for p in range(rdd.num_partitions)
+        )
+
+    def record_write(self, rdd: "RDD", partition: int, data, nbytes: int, t: float) -> None:
+        """Store one partition durably (called when the write task finishes)."""
+        self.dfs.put(self.path_for(rdd.rdd_id, partition), data, nbytes, t)
+        self._written.setdefault(rdd.rdd_id, set()).add(partition)
+        self._num_partitions.setdefault(rdd.rdd_id, rdd.num_partitions)
+        self.bytes_written += nbytes
+        self.partitions_written += 1
+
+    def read_partition(self, rdd: "RDD", partition: int):
+        """Fetch a checkpointed partition's records."""
+        return self.dfs.get(self.path_for(rdd.rdd_id, partition))
+
+    def partition_nbytes(self, rdd: "RDD", partition: int) -> int:
+        return self.dfs.size_of(self.path_for(rdd.rdd_id, partition))
+
+    # ------------------------------------------------------------------
+    def checkpointed_rdd_ids(self) -> List[int]:
+        """Ids of RDDs with at least one durable partition."""
+        return sorted(
+            rid
+            for rid, parts in self._written.items()
+            if any(self.dfs.exists(self.path_for(rid, p)) for p in parts)
+        )
+
+    def gc_after_checkpoint(self, rdd: "RDD") -> int:
+        """Delete ancestor checkpoints made redundant by checkpointing ``rdd``.
+
+        Checkpointing an RDD terminates its lineage: ancestors can no longer
+        be reached through it, so their checkpoints (if any) are garbage once
+        this RDD is fully durable.  Returns the number of partitions deleted.
+        """
+        if not self.is_fully_checkpointed(rdd):
+            return 0
+        deleted = 0
+        for ancestor in lineage.ancestors(rdd):
+            # A persisted ancestor is still *live*: the program holds a
+            # reference and may branch new lineage from it (KMeans keeps
+            # iterating over its cached points), so its checkpoint is not
+            # redundant yet.  Unpersist makes it collectable.
+            if ancestor.persisted:
+                continue
+            if ancestor.rdd_id in self._written:
+                deleted += self.dfs.delete_prefix(self.rdd_prefix(ancestor.rdd_id))
+                self._written.pop(ancestor.rdd_id, None)
+                self._marked.discard(ancestor.rdd_id)
+        self.gc_deleted += deleted
+        return deleted
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of checkpoints currently retained in the DFS."""
+        return sum(
+            nbytes for path, nbytes in self.dfs.items() if path.startswith("ckpt/")
+        )

@@ -1,0 +1,149 @@
+"""FlintContext: the engine's user-facing entry point (Spark's SparkContext).
+
+A context binds an :class:`~repro.cluster.environment.Environment` and a
+:class:`~repro.cluster.cluster.Cluster` to one application: it creates source
+RDDs, runs actions through the scheduler, and hosts the application-wide
+services (shuffle manager, checkpoint registry, and — when Flint manages the
+application — the fault-tolerance manager).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.environment import Environment
+from repro.engine.block_manager import block_id_for
+from repro.engine.checkpoint import CheckpointRegistry
+from repro.engine.costs import CostModel
+from repro.engine.shuffle import ShuffleManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.worker import Worker
+    from repro.engine.rdd import RDD
+
+
+class FlintContext:
+    """Application context for building and executing RDD programs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.cost_model = cost_model or CostModel()
+        self.shuffle_manager = ShuffleManager()
+        self.checkpoints = CheckpointRegistry(env.dfs)
+        #: Set by Flint's fault-tolerance manager when it attaches (optional).
+        self.ft_manager = None
+        self._rdd_counter = itertools.count()
+        self._rdds: List["RDD"] = []
+        # Import here to break the rdd <-> scheduler <-> context cycle.
+        from repro.engine.scheduler import TaskScheduler
+
+        self.scheduler = TaskScheduler(self)
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+    def parallelize(
+        self, data: List[Any], num_partitions: Optional[int] = None, record_size: Optional[int] = None
+    ) -> "RDD":
+        """Distribute driver-side data into an RDD."""
+        from repro.engine.transformations import ParallelCollectionRDD
+
+        if num_partitions is not None and num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        n = num_partitions if num_partitions is not None else max(1, self.default_parallelism)
+        return ParallelCollectionRDD(self, list(data), n, record_size)
+
+    def generate(
+        self,
+        generator: Callable[[int], List[Any]],
+        num_partitions: int,
+        record_size: Optional[int] = None,
+        compute_multiplier: float = 2.0,
+        name: str = "source",
+    ) -> "RDD":
+        """Create a source RDD from a deterministic per-partition generator.
+
+        Models loading input from stable storage (S3/HDFS): recomputing a
+        source partition re-pays the generator's fetch/deserialise cost.
+        """
+        from repro.engine.transformations import GeneratedRDD
+
+        return GeneratedRDD(self, generator, num_partitions, record_size, compute_multiplier, name)
+
+    @property
+    def default_parallelism(self) -> int:
+        """Total CPU slots across live workers (Spark's default parallelism)."""
+        return sum(w.slots for w in self.cluster.live_workers()) or 1
+
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_counter)
+
+    def _register_rdd(self, rdd: "RDD") -> None:
+        self._rdds.append(rdd)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_job(self, rdd: "RDD", func: Callable[[List[Any]], Any]) -> List[Any]:
+        """Run ``func`` over every partition of ``rdd``; returns per-partition results."""
+        return self.scheduler.run_job(rdd, func)
+
+    def run_until(self, t: float) -> None:
+        """Advance simulated time with no job active (interactive idle)."""
+        self.env.run_until(t)
+
+    # ------------------------------------------------------------------
+    # Block lookup across the cluster
+    # ------------------------------------------------------------------
+    def find_block(
+        self, rdd: "RDD", partition: int, prefer: Optional["Worker"] = None
+    ) -> Optional[Tuple[Any, int, "Worker", str]]:
+        """Locate a cached partition on any live worker.
+
+        Returns ``(data, nbytes, worker, tier)`` or None.  The preferred
+        worker (the would-be reader) is searched first so local hits win.
+        """
+        block_id = block_id_for(rdd.rdd_id, partition)
+        workers = self.cluster.live_workers()
+        if prefer is not None and prefer.alive:
+            workers = [prefer] + [w for w in workers if w.worker_id != prefer.worker_id]
+        for worker in workers:
+            manager = worker.block_manager
+            if manager is None:
+                continue
+            hit = manager.get(block_id)
+            if hit is not None:
+                data, nbytes, tier = hit
+                return data, nbytes, worker, tier
+        return None
+
+    def block_exists(self, rdd: "RDD", partition: int) -> bool:
+        """True when a cached copy of the partition exists on a live worker."""
+        block_id = block_id_for(rdd.rdd_id, partition)
+        return any(
+            w.block_manager is not None and w.block_manager.has(block_id)
+            for w in self.cluster.live_workers()
+        )
+
+    def cached_partition_count(self, rdd: "RDD") -> int:
+        """How many of an RDD's partitions are currently cached somewhere."""
+        return sum(1 for p in range(rdd.num_partitions) if self.block_exists(rdd, p))
+
+    def drop_cached_rdd(self, rdd: "RDD") -> None:
+        """Remove all cached partitions of an RDD (unpersist)."""
+        for worker in self.cluster.live_workers():
+            if worker.block_manager is not None:
+                worker.block_manager.remove_rdd(rdd.rdd_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now

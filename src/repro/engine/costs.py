@@ -1,0 +1,71 @@
+"""Timing cost model for simulated task execution.
+
+All durations charged to the simulation clock flow through this model, so
+experiments can be re-calibrated in one place.  Defaults approximate the
+paper's testbed (r3.large: 2 VCPUs, ~1 Gbit network, HDFS on EBS):
+
+* compute: a core streams ~50 MB/s of (virtual) record bytes through a
+  narrow-transformation pipeline;
+* network: ~120 MB/s between workers (shuffle fetch, remote cache reads);
+* DFS: see :class:`repro.storage.dfs.DFSConfig`.
+
+Record sizes are *virtual*: workloads process modest real record counts but
+declare paper-scale per-record byte hints, so memory pressure, checkpoint
+times, and shuffle volumes match the paper's gigabyte regimes without
+gigabytes of host RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Rates used to convert work into simulated seconds.
+
+    Attributes:
+        compute_bandwidth: virtual bytes/sec one CPU slot processes through a
+            transformation of multiplier 1.0.
+        network_bandwidth: bytes/sec for worker-to-worker transfers.
+        local_read_bandwidth: bytes/sec reading spilled blocks from local SSD.
+        task_overhead: fixed per-task cost (scheduling, deserialisation).
+        shuffle_write_factor: extra compute charge per shuffle-output byte
+            (serialisation + partitioning), as a fraction of compute cost.
+        driver_bandwidth: bytes/sec for shipping action results to the driver.
+    """
+
+    compute_bandwidth: float = 50e6
+    network_bandwidth: float = 120e6
+    local_read_bandwidth: float = 300e6
+    task_overhead: float = 0.05
+    shuffle_write_factor: float = 0.3
+    driver_bandwidth: float = 200e6
+
+    def compute_time(self, nbytes: float, multiplier: float = 1.0) -> float:
+        """Seconds of CPU to process ``nbytes`` virtual bytes."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes * multiplier / self.compute_bandwidth
+
+    def network_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` between two workers."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.network_bandwidth
+
+    def local_read_time(self, nbytes: float) -> float:
+        """Seconds to read ``nbytes`` back from local spill."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.local_read_bandwidth
+
+    def shuffle_write_time(self, nbytes: float) -> float:
+        """Extra seconds charged on the map side per shuffle output byte."""
+        return self.compute_time(nbytes, self.shuffle_write_factor)
+
+    def driver_transfer_time(self, nbytes: float) -> float:
+        """Seconds to ship an action result partition to the driver."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.driver_bandwidth

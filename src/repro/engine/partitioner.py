@@ -1,0 +1,54 @@
+"""Partitioners for keyed (shuffle) operations.
+
+Hashing must be deterministic across processes and runs, so we avoid
+Python's salted ``hash`` for strings and use a small stable hash instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def stable_hash(key: Any) -> int:
+    """A deterministic, process-independent hash for common key types."""
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, float):
+        return zlib.crc32(repr(key).encode("utf-8"))
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = (h * 1000003) ^ stable_hash(item)
+        return h & 0x7FFFFFFF
+    if key is None:
+        return 0
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class HashPartitioner:
+    """Maps keys to ``num_partitions`` buckets by stable hash."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = int(num_partitions)
+
+    def partition_for(self, key: Any) -> int:
+        """Bucket index for ``key`` in ``[0, num_partitions)``."""
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashPartitioner) and other.num_partitions == self.num_partitions
+
+    def __hash__(self) -> int:
+        return hash(("HashPartitioner", self.num_partitions))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashPartitioner({self.num_partitions})"

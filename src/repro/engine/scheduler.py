@@ -1,0 +1,543 @@
+"""Event-driven task scheduler with lineage-based fault recovery.
+
+This is the engine's DAG scheduler + task scheduler in one: it resolves which
+materialisation points (cached blocks, checkpoints, shuffle outputs) exist,
+derives the missing shuffle-map work transitively through the lineage graph,
+dispatches tasks onto worker CPU slots, and replays lost work after
+revocations.  Execution is *data-plane eager, side-effect deferred*: a task's
+records are computed (for real) at dispatch, its duration is charged from the
+cost model, and its effects — cached blocks, shuffle outputs, results,
+checkpoint writes — land only when its completion event fires.  A worker
+killed mid-flight therefore loses exactly the work Spark would lose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import ClusterListener
+from repro.engine.block_manager import BlockManager, block_id_for
+from repro.engine.dependencies import NarrowDependency, ShuffleDependency
+from repro.engine.partitioner import stable_hash
+from repro.engine.task import (
+    ComputedPartition,
+    PendingPut,
+    RunningTask,
+    TaskKind,
+    TaskSpec,
+)
+from repro.storage.local_disk import DiskFullError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.worker import Worker
+    from repro.engine.context import FlintContext
+    from repro.engine.rdd import RDD
+
+
+class EngineError(RuntimeError):
+    """Unrecoverable scheduler failure (deadlock, disk exhaustion, ...)."""
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate counters over the scheduler's lifetime."""
+
+    tasks_completed: int = 0
+    tasks_lost: int = 0
+    result_tasks: int = 0
+    map_tasks: int = 0
+    checkpoint_tasks: int = 0
+    task_time_total: float = 0.0
+    checkpoint_time_total: float = 0.0
+
+
+class TaskRuntime:
+    """Per-task data-plane context: resolves inputs and accounts time.
+
+    ``iterator`` is how an RDD's ``compute`` reaches its parents; it resolves
+    (in order) the distributed cache, the checkpoint store, and finally
+    recursive recomputation, charging the cost model for whichever path it
+    takes.  Side effects (cache inserts, materialisation reports) are
+    buffered for the scheduler to apply at completion time.
+    """
+
+    def __init__(self, context: "FlintContext", worker: "Worker", active_target_id: Optional[int]):
+        self.context = context
+        self.worker = worker
+        self.cost = context.cost_model
+        self.active_target_id = active_target_id
+        self.time_charged = 0.0
+        self.pending_puts: List[PendingPut] = []
+        self.computed: List[ComputedPartition] = []
+        self._memo: Dict[Tuple[int, int], List[Any]] = {}
+
+    def charge(self, seconds: float) -> None:
+        """Add simulated seconds to this task's duration."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.time_charged += seconds
+
+    def iterator(self, rdd: "RDD", partition: int) -> List[Any]:
+        """Records of ``(rdd, partition)`` via cache, checkpoint, or recompute."""
+        key = (rdd.rdd_id, partition)
+        memoised = self._memo.get(key)
+        if memoised is not None:
+            return memoised
+
+        found = self.context.find_block(rdd, partition, prefer=self.worker)
+        if found is not None:
+            data, nbytes, holder, tier = found
+            if holder.worker_id == self.worker.worker_id:
+                if tier == "disk":
+                    self.charge(self.cost.local_read_time(nbytes))
+            else:
+                self.charge(self.cost.network_time(nbytes))
+            self._memo[key] = data
+            return data
+
+        registry = self.context.checkpoints
+        if registry.has_partition(rdd, partition):
+            nbytes = registry.partition_nbytes(rdd, partition)
+            self.charge(self.context.env.dfs.read_duration(nbytes))
+            data = registry.read_partition(rdd, partition)
+            self._memo[key] = data
+            return data
+
+        data = rdd.compute(partition, self)
+        nbytes = rdd.partition_bytes(len(data))
+        self.charge(self.cost.compute_time(len(data) * rdd.record_size, rdd.compute_multiplier))
+        if rdd.persisted:
+            self.pending_puts.append(
+                PendingPut(
+                    block_id_for(rdd.rdd_id, partition), data, nbytes, rdd.disk_persist
+                )
+            )
+        if self._is_materialisation_point(rdd):
+            self.computed.append(ComputedPartition(rdd, partition, data, nbytes))
+        self._memo[key] = data
+        return data
+
+    def shuffle_fetch(self, dep: ShuffleDependency, reduce_id: int) -> List[List[Any]]:
+        """Gather one reduce bucket from all map outputs, charging transfer time."""
+        buckets, local_bytes, remote_bytes = self.context.shuffle_manager.fetch(
+            dep, reduce_id, self.worker
+        )
+        self.charge(self.cost.network_time(remote_bytes) + self.cost.local_read_time(local_bytes))
+        return buckets
+
+    def _is_materialisation_point(self, rdd: "RDD") -> bool:
+        """Storage-point RDDs make up the observable lineage frontier."""
+        if rdd.persisted or rdd.rdd_id == self.active_target_id:
+            return True
+        return any(isinstance(dep, ShuffleDependency) for dep in rdd.dependencies)
+
+
+class _JobState:
+    """Progress of one action's execution."""
+
+    _UNSET = object()
+
+    def __init__(self, rdd: "RDD", func: Callable[[List[Any]], Any]):
+        self.rdd = rdd
+        self.func = func
+        self.results: List[Any] = [self._UNSET] * rdd.num_partitions
+        self.remaining = rdd.num_partitions
+
+    def set_result(self, partition: int, value: Any) -> None:
+        if self.results[partition] is self._UNSET:
+            self.remaining -= 1
+        self.results[partition] = value
+
+    def has_result(self, partition: int) -> bool:
+        return self.results[partition] is not self._UNSET
+
+    @property
+    def is_done(self) -> bool:
+        return self.remaining == 0
+
+
+class TaskScheduler(ClusterListener):
+    """Dispatches tasks onto cluster slots and recovers from revocations."""
+
+    def __init__(self, context: "FlintContext"):
+        self.context = context
+        self.env = context.env
+        self.cluster = context.cluster
+        self.busy: Dict[str, int] = {}
+        #: Concurrent checkpoint writes per worker.  Checkpoint tasks are
+        #: I/O-bound (one writer saturates a node's HDFS pipeline), so at
+        #: most one runs per worker — they degrade co-located compute
+        #: proportionally (§3.1.1) instead of starving the job of slots.
+        self._ckpt_busy: Dict[str, int] = {}
+        self.max_checkpoint_tasks_per_worker = 1
+        self.running: Dict[Tuple, RunningTask] = {}
+        self._checkpoint_queue: "OrderedDict[Tuple, TaskSpec]" = OrderedDict()
+        self.job: Optional[_JobState] = None
+        self.stats = SchedulerStats()
+        self._seen_partitions: Dict[int, Set[int]] = {}
+        self._generated: Set[int] = set()
+        self._materialised: Set[int] = set()
+        self._dispatch_rotation = 0
+        self.cluster.add_listener(self)
+        for worker in self.cluster.live_workers():
+            self._register_worker(worker)
+
+    # ------------------------------------------------------------------
+    # Cluster listener hooks
+    # ------------------------------------------------------------------
+    def on_worker_joined(self, worker: "Worker", t: float) -> None:
+        self._register_worker(worker)
+        self._schedule_round()
+
+    def on_worker_revoked(self, worker: "Worker", t: float) -> None:
+        self.context.shuffle_manager.remove_outputs_on(worker.worker_id)
+        doomed = [rt for rt in self.running.values() if rt.worker_id == worker.worker_id]
+        for rt in doomed:
+            self.env.events.cancel(rt.completion_event)
+            del self.running[rt.spec.key]
+            self.stats.tasks_lost += 1
+        self.busy.pop(worker.worker_id, None)
+        self._ckpt_busy.pop(worker.worker_id, None)
+        self._schedule_round()
+
+    def _register_worker(self, worker: "Worker") -> None:
+        if worker.block_manager is None:
+            worker.block_manager = BlockManager(worker)
+        self.context.shuffle_manager.register_worker(worker)
+        self.busy.setdefault(worker.worker_id, 0)
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run_job(self, rdd: "RDD", func: Callable[[List[Any]], Any]) -> List[Any]:
+        """Run an action over every partition of ``rdd``; blocks in sim time."""
+        if self.job is not None:
+            raise EngineError("concurrent jobs are not supported")
+        job = _JobState(rdd, func)
+        self.job = job
+        try:
+            self._schedule_round()
+            while not job.is_done:
+                if not self.env.events:
+                    raise EngineError(
+                        "scheduler deadlock: job incomplete but no pending events "
+                        f"(live workers: {self.cluster.size})"
+                    )
+                self.env.step()
+                self._schedule_round()
+        finally:
+            self.job = None
+        return list(job.results)
+
+    # ------------------------------------------------------------------
+    # Checkpoint task management (driven by the fault-tolerance manager)
+    # ------------------------------------------------------------------
+    def enqueue_checkpoint(self, spec: TaskSpec) -> bool:
+        """Queue an asynchronous checkpoint write; dedupes by partition."""
+        if spec.kind != TaskKind.CHECKPOINT:
+            raise ValueError("enqueue_checkpoint requires a CHECKPOINT spec")
+        if spec.key in self._checkpoint_queue or spec.key in self.running:
+            return False
+        if self.context.checkpoints.has_partition(spec.rdd, spec.partition):
+            return False
+        self._checkpoint_queue[spec.key] = spec
+        return True
+
+    def enqueue_checkpoints_for(self, rdd: "RDD") -> int:
+        """Queue writes for every partition of ``rdd`` reachable in the cache.
+
+        Partitions not currently cached anywhere are skipped — they will be
+        captured the next time a task computes them.
+        """
+        queued = 0
+        for partition in range(rdd.num_partitions):
+            if self.context.checkpoints.has_partition(rdd, partition):
+                continue
+            found = self.context.find_block(rdd, partition, prefer=None)
+            if found is None:
+                continue
+            data, nbytes, holder, _tier = found
+            spec = TaskSpec(
+                TaskKind.CHECKPOINT,
+                rdd,
+                partition,
+                data=data,
+                nbytes=nbytes,
+                preferred_worker_id=holder.worker_id,
+            )
+            if self.enqueue_checkpoint(spec):
+                queued += 1
+        if queued:
+            self._schedule_round()
+        return queued
+
+    # ------------------------------------------------------------------
+    # Scheduling rounds
+    # ------------------------------------------------------------------
+    def _schedule_round(self) -> None:
+        specs = self._ready_specs()
+        for spec in specs:
+            worker = self._pick_worker(spec)
+            if worker is None:
+                if spec.kind == TaskKind.CHECKPOINT:
+                    # Only the per-worker checkpoint-stream cap is exhausted;
+                    # compute slots may still be free for job tasks.
+                    continue
+                break
+            self._dispatch(spec, worker)
+
+    def _ready_specs(self) -> List[TaskSpec]:
+        specs: List[TaskSpec] = []
+        # Checkpoint writes take the next free slots (Flint prioritises
+        # bounding recomputation over marginal task latency).
+        for key, spec in list(self._checkpoint_queue.items()):
+            if key not in self.running:
+                specs.append(spec)
+        job = self.job
+        if job is None:
+            return specs
+        cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]] = {}
+        visited: Set[Tuple] = set()
+        stack: List[TaskSpec] = [
+            TaskSpec(TaskKind.RESULT, job.rdd, p, func=job.func)
+            for p in range(job.rdd.num_partitions)
+            if not job.has_result(p)
+        ]
+        while stack:
+            spec = stack.pop()
+            if spec.key in visited:
+                continue
+            visited.add(spec.key)
+            if spec.key in self.running:
+                continue
+            target = spec.dep.rdd if spec.kind == TaskKind.SHUFFLE_MAP else spec.rdd
+            ready, needed = self._resolve(target, spec.partition, cache)
+            if ready:
+                specs.append(spec)
+            else:
+                stack.extend(needed)
+        return specs
+
+    def _resolve(
+        self,
+        rdd: "RDD",
+        partition: int,
+        cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]],
+    ) -> Tuple[bool, List[TaskSpec]]:
+        """Can ``(rdd, partition)`` be produced right now?
+
+        Returns ``(ready, needed_map_tasks)``: not-ready partitions name the
+        shuffle-map tasks (transitively) blocking them.
+        """
+        key = (rdd.rdd_id, partition)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        if self.context.block_exists(rdd, partition) or self.context.checkpoints.has_partition(
+            rdd, partition
+        ):
+            result = (True, [])
+            cache[key] = result
+            return result
+        ready = True
+        needed: List[TaskSpec] = []
+        for dep in rdd.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                missing = self.context.shuffle_manager.missing_maps(dep)
+                if missing:
+                    ready = False
+                    needed.extend(
+                        TaskSpec(TaskKind.SHUFFLE_MAP, dep.rdd, m, dep=dep) for m in missing
+                    )
+            elif isinstance(dep, NarrowDependency):
+                for parent_partition in dep.parents_of(partition):
+                    sub_ready, sub_needed = self._resolve(dep.rdd, parent_partition, cache)
+                    ready = ready and sub_ready
+                    needed.extend(sub_needed)
+            else:  # pragma: no cover - no other dependency kinds exist
+                raise EngineError(f"unknown dependency type {type(dep).__name__}")
+        result = (ready, needed)
+        cache[key] = result
+        return result
+
+    def _pick_worker(self, spec: TaskSpec) -> Optional["Worker"]:
+        live = self.cluster.live_workers()
+        candidates = [w for w in live if self.busy.get(w.worker_id, 0) < w.slots]
+        if spec.kind == TaskKind.CHECKPOINT:
+            candidates = [
+                w
+                for w in candidates
+                if self._ckpt_busy.get(w.worker_id, 0) < self.max_checkpoint_tasks_per_worker
+            ]
+        if not candidates:
+            return None
+        if spec.preferred_worker_id is not None:
+            for worker in candidates:
+                if worker.worker_id == spec.preferred_worker_id:
+                    return worker
+        # Least-loaded, with a rotation so equal loads spread evenly.
+        self._dispatch_rotation += 1
+        offset = self._dispatch_rotation % len(candidates)
+        rotated = candidates[offset:] + candidates[:offset]
+        return min(rotated, key=lambda w: self.busy.get(w.worker_id, 0) / w.slots)
+
+    # ------------------------------------------------------------------
+    # Dispatch and completion
+    # ------------------------------------------------------------------
+    def _dispatch(self, spec: TaskSpec, worker: "Worker") -> None:
+        self.busy[worker.worker_id] = self.busy.get(worker.worker_id, 0) + 1
+        if spec.kind == TaskKind.CHECKPOINT:
+            self._ckpt_busy[worker.worker_id] = self._ckpt_busy.get(worker.worker_id, 0) + 1
+            self._checkpoint_queue.pop(spec.key, None)
+        target_id = self.job.rdd.rdd_id if self.job is not None else None
+        runtime = TaskRuntime(self.context, worker, target_id)
+        result = None
+        buckets = None
+        if spec.kind == TaskKind.RESULT:
+            data = runtime.iterator(spec.rdd, spec.partition)
+            result = spec.func(data)
+            if isinstance(result, list):
+                runtime.charge(
+                    self.context.cost_model.driver_transfer_time(len(result) * spec.rdd.record_size)
+                )
+        elif spec.kind == TaskKind.SHUFFLE_MAP:
+            buckets = self._execute_map(spec, runtime)
+        elif spec.kind == TaskKind.CHECKPOINT:
+            runtime.charge(self.env.dfs.write_duration(spec.nbytes))
+        duration = self.context.cost_model.task_overhead + runtime.time_charged
+        running = RunningTask(
+            spec=spec,
+            worker_id=worker.worker_id,
+            started_at=self.env.now,
+            duration=duration,
+            result=result,
+            pending_puts=runtime.pending_puts,
+            map_buckets=buckets,
+            computed=runtime.computed,
+        )
+        running.completion_event = self.env.schedule_in(
+            duration, "task_done", running, callback=self._on_task_done
+        )
+        self.running[spec.key] = running
+
+    def _execute_map(self, spec: TaskSpec, runtime: TaskRuntime) -> List[List[Any]]:
+        dep = spec.dep
+        records = runtime.iterator(dep.rdd, spec.partition)
+        n_buckets = dep.num_reduce_partitions
+        if dep.map_side_combine:
+            create, merge_value, _merge_combiners = dep.aggregator
+            tables: List[Dict[Any, Any]] = [dict() for _ in range(n_buckets)]
+            for key, value in records:
+                table = tables[dep.partitioner.partition_for(key)]
+                if key in table:
+                    table[key] = merge_value(table[key], value)
+                else:
+                    table[key] = create(value)
+            buckets = [
+                sorted(table.items(), key=lambda kv: stable_hash(kv[0])) for table in tables
+            ]
+        else:
+            buckets = [[] for _ in range(n_buckets)]
+            for record in records:
+                buckets[dep.partitioner.partition_for(record[0])].append(record)
+        out_records = sum(len(b) for b in buckets)
+        runtime.charge(self.context.cost_model.shuffle_write_time(out_records * dep.rdd.record_size))
+        return buckets
+
+    def _on_task_done(self, event) -> None:
+        running: RunningTask = event.payload
+        spec = running.spec
+        self.running.pop(spec.key, None)
+        worker = self.cluster.workers.get(running.worker_id)
+        if worker is not None:
+            self.busy[running.worker_id] = max(0, self.busy.get(running.worker_id, 1) - 1)
+            if spec.kind == TaskKind.CHECKPOINT:
+                self._ckpt_busy[running.worker_id] = max(
+                    0, self._ckpt_busy.get(running.worker_id, 1) - 1
+                )
+        if worker is None or not worker.alive:
+            # The completion event should have been cancelled at revocation;
+            # treat a straggler as lost work.
+            self.stats.tasks_lost += 1
+            self._schedule_round()
+            return
+
+        now = self.env.now
+        self.stats.tasks_completed += 1
+        self.stats.task_time_total += running.duration
+
+        for put in running.pending_puts:
+            worker.block_manager.put(put.block_id, put.data, put.nbytes, put.spill)
+
+        if spec.kind == TaskKind.SHUFFLE_MAP:
+            self.stats.map_tasks += 1
+            try:
+                self.context.shuffle_manager.register_map_output(
+                    spec.dep, spec.partition, worker, running.map_buckets, spec.dep.rdd.record_size
+                )
+            except DiskFullError as exc:
+                raise EngineError(
+                    f"worker {worker.worker_id} local disk full writing shuffle output"
+                ) from exc
+        elif spec.kind == TaskKind.RESULT:
+            self.stats.result_tasks += 1
+            if self.job is not None and self.job.rdd.rdd_id == spec.rdd.rdd_id:
+                self.job.set_result(spec.partition, running.result)
+        elif spec.kind == TaskKind.CHECKPOINT:
+            self.stats.checkpoint_tasks += 1
+            self.stats.checkpoint_time_total += running.duration
+            registry = self.context.checkpoints
+            registry.record_write(spec.rdd, spec.partition, spec.data, spec.nbytes, now)
+            ft = self.context.ft_manager
+            if registry.is_fully_checkpointed(spec.rdd):
+                registry.gc_after_checkpoint(spec.rdd)
+                if ft is not None:
+                    ft.on_rdd_checkpointed(spec.rdd, now)
+
+        self._process_computed(running, worker, now)
+        self._schedule_round()
+
+    def _process_computed(self, running: RunningTask, worker: "Worker", now: float) -> None:
+        """Track materialisations and capture checkpoint payloads."""
+        ft = self.context.ft_manager
+        newly_generated: List["RDD"] = []
+        newly_materialised: List["RDD"] = []
+        for cp in running.computed:
+            if ft is not None:
+                ft.on_partition_computed(cp, now)
+            seen = self._seen_partitions.setdefault(cp.rdd.rdd_id, set())
+            if not seen and cp.rdd.rdd_id not in self._generated:
+                self._generated.add(cp.rdd.rdd_id)
+                newly_generated.append(cp.rdd)
+            seen.add(cp.partition)
+            if (
+                len(seen) >= cp.rdd.num_partitions
+                and cp.rdd.rdd_id not in self._materialised
+            ):
+                self._materialised.add(cp.rdd.rdd_id)
+                newly_materialised.append(cp.rdd)
+        if ft is not None:
+            # Generation first: marking an RDD as its first partition lands
+            # lets every subsequent partition be captured as it is computed
+            # (Flint's partition-level checkpointing, §4).
+            for rdd in newly_generated:
+                ft.on_rdd_generated(rdd, now)
+            for rdd in newly_materialised:
+                ft.on_rdd_materialized(rdd, now)
+        registry = self.context.checkpoints
+        for cp in running.computed:
+            if cp.rdd.manual_checkpoint and not registry.is_marked(cp.rdd):
+                registry.mark(cp.rdd)
+            if registry.is_marked(cp.rdd) and not registry.has_partition(cp.rdd, cp.partition):
+                self.enqueue_checkpoint(
+                    TaskSpec(
+                        TaskKind.CHECKPOINT,
+                        cp.rdd,
+                        cp.partition,
+                        data=cp.data,
+                        nbytes=cp.nbytes,
+                        preferred_worker_id=worker.worker_id,
+                    )
+                )

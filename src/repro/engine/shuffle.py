@@ -1,0 +1,173 @@
+"""Hash shuffle machinery.
+
+Map tasks bucket their output by the shuffle's partitioner and write the
+buckets to their worker's *local* disk — which means a revocation destroys
+those map outputs and forces the map tasks to re-run, the behaviour behind
+the paper's shuffle-sensitive results (PageRank in Figures 7/8).  The
+``ShuffleManager`` is the driver-side MapOutputTracker: it knows which map
+outputs exist and where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.engine.dependencies import ShuffleDependency
+from repro.storage.local_disk import DiskFullError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.worker import Worker
+
+
+@dataclass
+class MapStatus:
+    """Location and per-reduce-bucket sizes of one map task's output."""
+
+    worker_id: str
+    disk_key: str
+    bucket_bytes: List[int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bucket_bytes)
+
+
+class ShuffleFetchFailure(RuntimeError):
+    """A reduce task found a map output missing (its worker died)."""
+
+    def __init__(self, shuffle_id: int, missing_maps: List[int]):
+        super().__init__(f"shuffle {shuffle_id} missing map outputs {missing_maps}")
+        self.shuffle_id = shuffle_id
+        self.missing_maps = missing_maps
+
+
+class ShuffleManager:
+    """Tracks map outputs for every shuffle in the application."""
+
+    def __init__(self):
+        # shuffle_id -> map_partition -> MapStatus
+        self._outputs: Dict[int, Dict[int, MapStatus]] = {}
+        self._workers: Dict[str, "Worker"] = {}
+        self.bytes_written = 0
+        self.bytes_fetched_remote = 0
+        self.bytes_fetched_local = 0
+
+    def register_worker(self, worker: "Worker") -> None:
+        self._workers[worker.worker_id] = worker
+
+    @staticmethod
+    def _disk_key(shuffle_id: int, map_id: int) -> str:
+        return f"shuffle/{shuffle_id}/map_{map_id}"
+
+    # ------------------------------------------------------------------
+    def register_map_output(
+        self,
+        dep: ShuffleDependency,
+        map_id: int,
+        worker: "Worker",
+        buckets: List[List[Any]],
+        record_size: int,
+    ) -> MapStatus:
+        """Store a map task's buckets on ``worker`` and record their location."""
+        if len(buckets) != dep.num_reduce_partitions:
+            raise ValueError(
+                f"expected {dep.num_reduce_partitions} buckets, got {len(buckets)}"
+            )
+        bucket_bytes = [len(b) * record_size for b in buckets]
+        key = self._disk_key(dep.shuffle_id, map_id)
+        total = sum(bucket_bytes)
+        try:
+            worker.local_disk.put(key, buckets, total)
+        except DiskFullError:
+            # Old shuffle files are always recoverable through lineage, so a
+            # full disk evicts them oldest-first (Spark's ContextCleaner
+            # plays the analogous role via RDD garbage collection).
+            self._evict_local_state(worker, needed=total, keep_key=key)
+            worker.local_disk.put(key, buckets, total)
+        status = MapStatus(worker.worker_id, key, bucket_bytes)
+        self._outputs.setdefault(dep.shuffle_id, {})[map_id] = status
+        self.bytes_written += status.total_bytes
+        return status
+
+    def has_map_output(self, shuffle_id: int, map_id: int) -> bool:
+        status = self._outputs.get(shuffle_id, {}).get(map_id)
+        if status is None:
+            return False
+        worker = self._workers.get(status.worker_id)
+        return worker is not None and worker.alive and worker.local_disk.has(status.disk_key)
+
+    def missing_maps(self, dep: ShuffleDependency) -> List[int]:
+        """Map partitions whose output is absent or lost."""
+        return [
+            m for m in range(dep.num_map_partitions) if not self.has_map_output(dep.shuffle_id, m)
+        ]
+
+    def is_complete(self, dep: ShuffleDependency) -> bool:
+        return not self.missing_maps(dep)
+
+    def fetch(
+        self, dep: ShuffleDependency, reduce_id: int, to_worker: "Worker"
+    ) -> Tuple[List[List[Any]], int, int]:
+        """Gather bucket ``reduce_id`` from every map output.
+
+        Returns ``(buckets, local_bytes, remote_bytes)`` so the caller can
+        charge network time for the remote portion.
+
+        Raises:
+            ShuffleFetchFailure: when any map output has been lost.
+        """
+        missing = self.missing_maps(dep)
+        if missing:
+            raise ShuffleFetchFailure(dep.shuffle_id, missing)
+        buckets: List[List[Any]] = []
+        local_bytes = 0
+        remote_bytes = 0
+        statuses = self._outputs[dep.shuffle_id]
+        for map_id in range(dep.num_map_partitions):
+            status = statuses[map_id]
+            worker = self._workers[status.worker_id]
+            all_buckets = worker.local_disk.get(status.disk_key)
+            buckets.append(all_buckets[reduce_id])
+            nbytes = status.bucket_bytes[reduce_id]
+            if status.worker_id == to_worker.worker_id:
+                local_bytes += nbytes
+            else:
+                remote_bytes += nbytes
+        self.bytes_fetched_local += local_bytes
+        self.bytes_fetched_remote += remote_bytes
+        return buckets, local_bytes, remote_bytes
+
+    def _evict_local_state(self, worker: "Worker", needed: int, keep_key: str) -> None:
+        """Free local-disk space by dropping recomputable state.
+
+        Shuffle files go first (oldest shuffle id first), then cache spill;
+        both regenerate through lineage if ever needed again.
+        """
+        shuffle_keys = sorted(
+            (k for k in worker.local_disk.keys() if k.startswith("shuffle/") and k != keep_key),
+            key=lambda k: int(k.split("/")[1]),
+        )
+        spill_keys = [k for k in worker.local_disk.keys() if k.startswith("spill/")]
+        for key in shuffle_keys + spill_keys:
+            if worker.local_disk.free_bytes >= needed:
+                return
+            worker.local_disk.delete(key)
+            if key.startswith("shuffle/"):
+                _prefix, shuffle_id, map_part = key.split("/")
+                map_id = int(map_part.split("_")[1])
+                self._outputs.get(int(shuffle_id), {}).pop(map_id, None)
+
+    def remove_outputs_on(self, worker_id: str) -> int:
+        """Forget map outputs located on a dead worker; returns count lost."""
+        lost = 0
+        for statuses in self._outputs.values():
+            doomed = [m for m, s in statuses.items() if s.worker_id == worker_id]
+            for m in doomed:
+                del statuses[m]
+                lost += 1
+        return lost
+
+    def output_bytes(self, dep: ShuffleDependency) -> int:
+        """Total bytes currently registered for a shuffle."""
+        return sum(s.total_bytes for s in self._outputs.get(dep.shuffle_id, {}).values())

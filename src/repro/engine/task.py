@@ -1,0 +1,89 @@
+"""Task descriptors for the event-driven scheduler.
+
+Tasks exist only at materialisation points, as in Spark: result tasks
+(pipelined narrow chains ending at an action), shuffle map tasks (pipelined
+chains ending at a shuffle write), and Flint's asynchronous checkpoint write
+tasks.  Everything between those points is computed inline within a task.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.dependencies import ShuffleDependency
+    from repro.engine.rdd import RDD
+
+
+class TaskKind(enum.Enum):
+    RESULT = "result"
+    SHUFFLE_MAP = "shuffle_map"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class TaskSpec:
+    """An executable unit of work, deduplicated by :attr:`key`."""
+
+    kind: TaskKind
+    rdd: "RDD"
+    partition: int
+    # RESULT: the action's per-partition function.
+    func: Optional[Callable[[List[Any]], Any]] = None
+    # SHUFFLE_MAP: the shuffle being written.
+    dep: Optional["ShuffleDependency"] = None
+    # CHECKPOINT: the captured partition payload.
+    data: Any = None
+    nbytes: int = 0
+    preferred_worker_id: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple:
+        if self.kind == TaskKind.SHUFFLE_MAP:
+            return (self.kind, self.dep.shuffle_id, self.partition)
+        return (self.kind, self.rdd.rdd_id, self.partition)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskSpec({self.kind.value}, rdd={self.rdd.rdd_id}, p={self.partition})"
+
+
+@dataclass
+class PendingPut:
+    """A deferred block-manager insert (applied at task completion)."""
+
+    block_id: str
+    data: Any
+    nbytes: int
+    spill: bool = False
+
+
+@dataclass
+class ComputedPartition:
+    """A partition materialised during task execution.
+
+    Reported to the fault-tolerance manager at completion so it can track
+    the lineage frontier and capture checkpoint payloads.
+    """
+
+    rdd: "RDD"
+    partition: int
+    data: Any
+    nbytes: int
+
+
+@dataclass
+class RunningTask:
+    """Bookkeeping for a dispatched task awaiting its completion event."""
+
+    spec: TaskSpec
+    worker_id: str
+    started_at: float
+    duration: float
+    # Deferred side effects captured by the data-plane execution:
+    result: Any = None
+    pending_puts: List[PendingPut] = field(default_factory=list)
+    map_buckets: Optional[List[List[Any]]] = None
+    computed: List[ComputedPartition] = field(default_factory=list)
+    completion_event: Any = None

@@ -1,0 +1,329 @@
+"""Concrete RDD implementations.
+
+Every subclass implements ``compute(split, runtime)`` as a *pure* function of
+its parents' records (reached through ``runtime.iterator``, which resolves
+caches, checkpoints, and shuffle outputs).  Purity is what makes lineage
+recomputation after a revocation return byte-identical results — an invariant
+the property-based tests hammer on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.dependencies import (
+    OneToOneDependency,
+    RangeDependency,
+    ShuffleDependency,
+)
+from repro.engine.partitioner import HashPartitioner, stable_hash
+from repro.engine.rdd import RDD
+from repro.engine.sizeof import estimate_record_size
+from repro.simulation.rng import SeededRNG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import FlintContext
+    from repro.engine.scheduler import TaskRuntime
+
+
+class ParallelCollectionRDD(RDD):
+    """Source RDD from driver-side data, split into even slices."""
+
+    def __init__(
+        self,
+        context: "FlintContext",
+        data: List[Any],
+        num_partitions: int,
+        record_size: Optional[int] = None,
+    ):
+        if record_size is None and data:
+            record_size = estimate_record_size(data)
+        super().__init__(context, [], num_partitions, record_size, name="parallelize")
+        self._slices = self._slice(list(data), num_partitions)
+
+    @staticmethod
+    def _slice(data: List[Any], n: int) -> List[List[Any]]:
+        length = len(data)
+        return [data[(i * length) // n : ((i + 1) * length) // n] for i in range(n)]
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        return list(self._slices[split])
+
+
+class GeneratedRDD(RDD):
+    """Source RDD whose partitions come from a deterministic generator.
+
+    Models reading input from stable storage (S3/HDFS): the generator stands
+    in for the stored bytes, and ``compute_multiplier`` captures the fetch +
+    deserialise + repartition cost the paper observes when interactive state
+    must be rebuilt from source (§5.4).
+    """
+
+    def __init__(
+        self,
+        context: "FlintContext",
+        generator: Callable[[int], List[Any]],
+        num_partitions: int,
+        record_size: Optional[int] = None,
+        compute_multiplier: float = 2.0,
+        name: str = "source",
+    ):
+        super().__init__(
+            context, [], num_partitions, record_size, compute_multiplier, name=name
+        )
+        self._generator = generator
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        return list(self._generator(split))
+
+
+class MappedRDD(RDD):
+    """One-to-one record transformation."""
+
+    def __init__(self, parent: RDD, fn: Callable[[Any], Any], compute_multiplier: float = 1.0):
+        super().__init__(
+            parent.context,
+            [OneToOneDependency(parent)],
+            parent.num_partitions,
+            compute_multiplier=compute_multiplier,
+            name="map",
+        )
+        self._fn = fn
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        return [self._fn(x) for x in runtime.iterator(parent, split)]
+
+
+class FilteredRDD(RDD):
+    """Keeps records matching a predicate."""
+
+    def __init__(self, parent: RDD, predicate: Callable[[Any], bool]):
+        super().__init__(
+            parent.context, [OneToOneDependency(parent)], parent.num_partitions, name="filter"
+        )
+        self._predicate = predicate
+        self.partitioner = parent.partitioner
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        return [x for x in runtime.iterator(parent, split) if self._predicate(x)]
+
+
+class FlatMappedRDD(RDD):
+    """Maps each record to an iterable and flattens."""
+
+    def __init__(self, parent: RDD, fn: Callable[[Any], Any], compute_multiplier: float = 1.0):
+        super().__init__(
+            parent.context,
+            [OneToOneDependency(parent)],
+            parent.num_partitions,
+            compute_multiplier=compute_multiplier,
+            name="flatMap",
+        )
+        self._fn = fn
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        out: List[Any] = []
+        for x in runtime.iterator(parent, split):
+            out.extend(self._fn(x))
+        return out
+
+
+class MapPartitionsRDD(RDD):
+    """Applies a function to an entire partition at once."""
+
+    def __init__(
+        self, parent: RDD, fn: Callable[[List[Any]], List[Any]], compute_multiplier: float = 1.0
+    ):
+        super().__init__(
+            parent.context,
+            [OneToOneDependency(parent)],
+            parent.num_partitions,
+            compute_multiplier=compute_multiplier,
+            name="mapPartitions",
+        )
+        self._fn = fn
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        return list(self._fn(list(runtime.iterator(parent, split))))
+
+
+class PartitionIndexedRDD(RDD):
+    """Tags each record with a deterministic ``(partition, index)`` key.
+
+    Used by ``repartition`` so the redistribution is a pure function of the
+    data — recomputation after a failure lands every record in the same
+    reduce bucket it originally went to.
+    """
+
+    def __init__(self, parent: RDD):
+        super().__init__(
+            parent.context, [OneToOneDependency(parent)], parent.num_partitions, name="indexKey"
+        )
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        return [((split, i), x) for i, x in enumerate(runtime.iterator(parent, split))]
+
+
+class ZipWithIndexRDD(RDD):
+    """Pairs records with global indices from precomputed partition offsets."""
+
+    def __init__(self, parent: RDD, offsets: List[int]):
+        if len(offsets) != parent.num_partitions:
+            raise ValueError("need one offset per partition")
+        super().__init__(
+            parent.context, [OneToOneDependency(parent)], parent.num_partitions,
+            name="zipWithIndex",
+        )
+        self._offsets = list(offsets)
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        base = self._offsets[split]
+        return [(x, base + i) for i, x in enumerate(runtime.iterator(parent, split))]
+
+
+class SampledRDD(RDD):
+    """Deterministic Bernoulli sampling (seeded per partition)."""
+
+    def __init__(self, parent: RDD, fraction: float, seed: int = 0):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        super().__init__(
+            parent.context, [OneToOneDependency(parent)], parent.num_partitions, name="sample"
+        )
+        self._fraction = fraction
+        self._seed = seed
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        parent = self.dependencies[0].rdd
+        # Seeded by (user seed, partition) only — not the RDD id — so the
+        # same pipeline built twice samples identically.
+        rng = SeededRNG(self._seed, f"sample-{split}")
+        records = list(runtime.iterator(parent, split))
+        if not records:
+            return []
+        mask = rng.random(len(records)) < self._fraction
+        return [x for x, keep in zip(records, mask) if keep]
+
+
+class UnionRDD(RDD):
+    """Concatenation of several RDDs via range dependencies."""
+
+    def __init__(self, context: "FlintContext", parents: List[RDD]):
+        if not parents:
+            raise ValueError("union of zero RDDs")
+        deps = []
+        offset = 0
+        for parent in parents:
+            deps.append(RangeDependency(parent, 0, offset, parent.num_partitions))
+            offset += parent.num_partitions
+        super().__init__(context, deps, offset, name="union")
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        for dep in self.dependencies:
+            parents = dep.parents_of(split)
+            if parents:
+                return list(runtime.iterator(dep.rdd, parents[0]))
+        raise IndexError(f"partition {split} out of range for union")
+
+
+class ShuffledRDD(RDD):
+    """Reduce side of a hash shuffle, with optional aggregation.
+
+    With an aggregator (reduceByKey/combineByKey) values are merged map-side
+    into combiners and merged again here; without one (partitionBy) the
+    records pass through bucketed but untouched.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner: HashPartitioner,
+        aggregator: Optional[Tuple[Callable, Callable, Callable]] = None,
+        map_side_combine: bool = False,
+    ):
+        dep = ShuffleDependency(parent, partitioner, aggregator, map_side_combine)
+        super().__init__(
+            parent.context, [dep], partitioner.num_partitions, name="shuffle"
+        )
+        self.partitioner = partitioner
+
+    @property
+    def shuffle_dependency(self) -> ShuffleDependency:
+        return self.dependencies[0]
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        dep = self.shuffle_dependency
+        buckets = runtime.shuffle_fetch(dep, split)
+        if dep.aggregator is None:
+            out: List[Any] = []
+            for bucket in buckets:
+                out.extend(bucket)
+            return out
+        create, merge_value, merge_combiners = dep.aggregator
+        merged: Dict[Any, Any] = {}
+        for bucket in buckets:
+            for key, value in bucket:
+                if dep.map_side_combine:
+                    # Map side already produced combiners.
+                    if key in merged:
+                        merged[key] = merge_combiners(merged[key], value)
+                    else:
+                        merged[key] = value
+                else:
+                    if key in merged:
+                        merged[key] = merge_value(merged[key], value)
+                    else:
+                        merged[key] = create(value)
+        return sorted(merged.items(), key=lambda kv: stable_hash(kv[0]))
+
+
+class CoGroupedRDD(RDD):
+    """Groups two (or more) keyed RDDs by key: ``(k, ([vs_0], [vs_1], ...))``.
+
+    As in Spark, a parent already hash-partitioned by the same partitioner
+    contributes through a *narrow* dependency — its partition ``p`` holds
+    exactly the keys of output partition ``p`` — so iterative joins against
+    a pre-partitioned dataset (PageRank's ``links``) shuffle only the small
+    side.
+    """
+
+    def __init__(self, context: "FlintContext", parents: List[RDD], partitioner: HashPartitioner):
+        if len(parents) < 2:
+            raise ValueError("cogroup needs at least two parents")
+        deps: List = []
+        for parent in parents:
+            if parent.partitioner == partitioner:
+                deps.append(OneToOneDependency(parent))
+            else:
+                deps.append(ShuffleDependency(parent, partitioner, aggregator=None))
+        super().__init__(context, deps, partitioner.num_partitions, name="cogroup")
+        self.partitioner = partitioner
+
+    def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
+        n = len(self.dependencies)
+        table: Dict[Any, List[List[Any]]] = {}
+
+        def absorb(side: int, records) -> None:
+            for key, value in records:
+                groups = table.get(key)
+                if groups is None:
+                    groups = [[] for _ in range(n)]
+                    table[key] = groups
+                groups[side].append(value)
+
+        for side, dep in enumerate(self.dependencies):
+            if isinstance(dep, ShuffleDependency):
+                for bucket in runtime.shuffle_fetch(dep, split):
+                    absorb(side, bucket)
+            else:
+                absorb(side, runtime.iterator(dep.rdd, split))
+        return sorted(
+            ((k, tuple(groups)) for k, groups in table.items()),
+            key=lambda kv: stable_hash(kv[0]),
+        )

@@ -1,0 +1,95 @@
+"""Convenience constructors for common experiment setups.
+
+Experiments need a provider with realistic markets far more often than they
+need custom ones; ``standard_provider`` builds the EC2-like catalog (plus an
+on-demand pool and optionally a GCE-style preemptible pool) from a single
+seed, so every benchmark and example starts from the same two lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.market.market import OnDemandMarket, PreemptibleMarket, SpotMarket
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import DAY, HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.ec2 import EC2_CATALOG, MarketSpec, build_market_traces
+from repro.traces.gce import PreemptibleLifetimeModel
+
+
+def standard_provider(
+    seed: int = 0,
+    catalog: Optional[Sequence[MarketSpec]] = None,
+    horizon: float = 90 * DAY,
+    include_preemptible: bool = False,
+    on_demand_price: float = 0.175,
+) -> CloudProvider:
+    """A provider with the EC2-like spot catalog plus an on-demand pool.
+
+    Args:
+        seed: master seed for all synthetic price traces.
+        catalog: market specs; defaults to :data:`repro.traces.ec2.EC2_CATALOG`.
+        horizon: trace length in seconds (traces repeat periodically past it).
+        include_preemptible: add a GCE-style fixed-price pool
+          (``gce/preemptible``, ~22h MTTF, 24h lifetime cap).
+        on_demand_price: $/hour of the on-demand fallback pool
+          (r3.large's 2015 price by default).
+    """
+    rng = SeededRNG(seed, "standard-provider")
+    specs = list(EC2_CATALOG) if catalog is None else list(catalog)
+    traces = build_market_traces(rng, specs, horizon=horizon)
+    markets: List = []
+    for spec in specs:
+        market = SpotMarket(
+            spec.market_id, traces[spec.market_id], spec.instance_type.on_demand_price
+        )
+        # Workers launched from this pool are this instance type (interactive
+        # clusters mix types across markets, §3.2).
+        market.instance_type = spec.instance_type
+        markets.append(market)
+    markets.append(OnDemandMarket("on-demand/r3.large", on_demand_price))
+    if include_preemptible:
+        markets.append(
+            PreemptibleMarket(
+                "gce/preemptible",
+                fixed_price=0.30 * on_demand_price,
+                on_demand_price=on_demand_price,
+                lifetime_model=PreemptibleLifetimeModel(target_mttf=22 * HOUR),
+                seed=seed,
+            )
+        )
+    return CloudProvider(markets)
+
+
+def uniform_mttf_provider(
+    seed: int,
+    mttf_hours: float,
+    num_markets: int = 5,
+    on_demand_price: float = 0.175,
+    horizon: float = 90 * DAY,
+) -> CloudProvider:
+    """A provider whose spot markets all target one MTTF.
+
+    Used by experiments that sweep volatility (Figures 6c and 10a): every
+    market has the same failure rate, so the cluster MTTF is pinned no
+    matter which market selection picks.
+    """
+    from repro.traces.ec2 import R3_LARGE
+
+    # Keep spikes short relative to the MTTF so the market's *mean* price
+    # stays below on-demand — otherwise selection (correctly) refuses spot.
+    spike_hours = min(0.25, mttf_hours / 30.0)
+    specs = [
+        MarketSpec(
+            f"uniform-{i}/r3.large",
+            R3_LARGE,
+            mttf_hours,
+            steady_fraction=0.25,
+            spike_duration_hours=spike_hours,
+        )
+        for i in range(num_markets)
+    ]
+    return standard_provider(
+        seed, catalog=specs, horizon=horizon, on_demand_price=on_demand_price
+    )

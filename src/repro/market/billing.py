@@ -1,0 +1,58 @@
+"""Billing models for transient and on-demand servers.
+
+EC2 (2015-era, the paper's setting) bills spot instances by the hour at the
+spot price in effect at the start of each hour; a final partial hour is free
+when *Amazon* revokes the instance, but fully charged when the *user*
+terminates it.  On-demand servers bill whole hours at a fixed price.  GCE
+preemptible instances bill per minute with a 10-minute minimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.market.market import Market
+from repro.simulation.clock import HOUR, MINUTE
+
+
+def ec2_hourly_cost(
+    market: Market,
+    start: float,
+    end: float,
+    revoked_by_provider: bool,
+) -> float:
+    """Cost of a spot instance used on ``[start, end]``.
+
+    Each hour boundary (measured from launch) starts a new billing hour at
+    the spot price then in effect.  The in-progress hour at ``end`` is free
+    if the provider revoked the instance, else charged in full.
+    """
+    if end < start:
+        raise ValueError("end must be >= start")
+    if end == start:
+        return 0.0
+    full_hours = int(math.floor((end - start) / HOUR))
+    cost = sum(market.current_price(start + h * HOUR) for h in range(full_hours))
+    partial = (end - start) - full_hours * HOUR
+    if partial > 1e-9 and not revoked_by_provider:
+        cost += market.current_price(start + full_hours * HOUR)
+    return float(cost)
+
+
+def on_demand_cost(price_per_hour: float, start: float, end: float) -> float:
+    """On-demand billing: whole hours at a fixed price."""
+    if end < start:
+        raise ValueError("end must be >= start")
+    if end == start:
+        return 0.0
+    return price_per_hour * math.ceil((end - start) / HOUR - 1e-9)
+
+
+def gce_preemptible_cost(price_per_hour: float, start: float, end: float) -> float:
+    """GCE preemptible billing: per-minute with a 10-minute minimum."""
+    if end < start:
+        raise ValueError("end must be >= start")
+    if end == start:
+        return 0.0
+    minutes = max(10.0, (end - start) / MINUTE)
+    return price_per_hour * minutes / 60.0

@@ -1,0 +1,76 @@
+"""Instance lifecycle records.
+
+An :class:`Instance` is a bookkeeping object: the provider stamps it with its
+(deterministic) revocation time at launch, and billing reads its lifetime to
+compute cost.  The compute side of a server lives in
+:class:`repro.cluster.worker.Worker`, which holds a reference to its instance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle of a rented server."""
+
+    RUNNING = "running"
+    REVOKED = "revoked"  # provider-initiated
+    TERMINATED = "terminated"  # user-initiated
+
+
+@dataclass
+class Instance:
+    """One rented server in one market.
+
+    Attributes:
+        instance_id: unique id assigned by the provider.
+        market_id: the spot pool the instance was drawn from.
+        instance_type_name: catalog name (e.g. ``r3.large``).
+        bid: the user's bid in $/hour (the on-demand price under Flint's
+            default bidding policy).
+        launch_time: simulation time the instance became usable.
+        revocation_time: predetermined provider-kill instant; None if the
+            market never revokes it within the trace.
+    """
+
+    instance_id: str
+    market_id: str
+    instance_type_name: str
+    bid: float
+    launch_time: float
+    revocation_time: Optional[float] = None
+    state: InstanceState = InstanceState.RUNNING
+    end_time: Optional[float] = None
+    cost: float = field(default=0.0)
+
+    @property
+    def is_running(self) -> bool:
+        return self.state == InstanceState.RUNNING
+
+    def warning_time(self, warning: float) -> Optional[float]:
+        """When the revocation warning fires (EC2: 120s, GCE: 30s before)."""
+        if self.revocation_time is None:
+            return None
+        return max(self.launch_time, self.revocation_time - warning)
+
+    def lifetime(self, now: float) -> float:
+        """Seconds the instance has been (or was) alive as of ``now``."""
+        end = self.end_time if self.end_time is not None else now
+        return max(0.0, end - self.launch_time)
+
+    def mark_revoked(self, t: float) -> None:
+        """Record a provider-initiated revocation at time ``t``."""
+        if not self.is_running:
+            raise RuntimeError(f"instance {self.instance_id} is already {self.state.value}")
+        self.state = InstanceState.REVOKED
+        self.end_time = t
+
+    def mark_terminated(self, t: float) -> None:
+        """Record a user-initiated termination at time ``t``."""
+        if not self.is_running:
+            raise RuntimeError(f"instance {self.instance_id} is already {self.state.value}")
+        self.state = InstanceState.TERMINATED
+        self.end_time = t

@@ -1,0 +1,169 @@
+"""Market abstractions: spot, on-demand, and GCE preemptible pools.
+
+A market is the unit of server selection in Flint (§3.1.2): each spot pool
+has its own price process and therefore its own mean price and MTTF at a
+given bid.  On-demand capacity is modelled, exactly as in the paper, as a
+spot pool with a constant price and an infinite MTTF.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simulation.clock import DAY, HOUR
+from repro.simulation.rng import SeededRNG, derive_seed
+from repro.traces.gce import PreemptibleLifetimeModel
+from repro.traces.price_trace import PriceTrace
+from repro.traces.generators import constant_trace
+from repro.traces.stats import estimate_mttf
+
+#: How far into the trace the simulation's t=0 sits, so markets always have
+#: price history to estimate MTTFs from (EC2 publishes 3 months of history).
+DEFAULT_HISTORY_OFFSET = 14 * DAY
+
+
+class Market:
+    """Base class for a pool of rentable servers with a price process."""
+
+    def __init__(
+        self,
+        market_id: str,
+        trace: PriceTrace,
+        on_demand_price: float,
+        history_offset: float = DEFAULT_HISTORY_OFFSET,
+    ):
+        if on_demand_price <= 0:
+            raise ValueError("on_demand_price must be positive")
+        self.market_id = market_id
+        self.trace = trace
+        self.on_demand_price = float(on_demand_price)
+        self.history_offset = float(history_offset)
+
+    def _trace_time(self, sim_time: float) -> float:
+        return sim_time + self.history_offset
+
+    def current_price(self, t: float) -> float:
+        """Spot price in effect at simulation time ``t``."""
+        return self.trace.price_at(self._trace_time(t))
+
+    def mean_recent_price(self, t: float, window: float = 7 * DAY) -> float:
+        """Time-weighted mean price over the trailing ``window`` seconds."""
+        end = self._trace_time(t)
+        start = max(0.0, end - window)
+        return self.trace.mean_price(start, end)
+
+    def is_available(self, t: float, bid: float) -> bool:
+        """True when a bid of ``bid`` would currently be granted."""
+        return self.current_price(t) <= bid
+
+    def estimate_mttf(self, bid: float, t: float, window: float = 14 * DAY) -> float:
+        """MTTF (seconds) at ``bid``, estimated from the trailing price history.
+
+        This is what Flint's node manager computes from EC2's published
+        history; it looks only backwards from ``t``.
+        """
+        raise NotImplementedError
+
+    def revocation_time_for(self, launch_time: float, bid: float, instance_key: str) -> Optional[float]:
+        """Absolute simulation time at which an instance launched now dies.
+
+        Returns None when the instance is never revoked by the provider.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.market_id!r})"
+
+
+class SpotMarket(Market):
+    """An EC2-style spot pool: revocation when price strictly exceeds the bid."""
+
+    #: Granularity of MTTF estimate caching; estimates change slowly.
+    _MTTF_CACHE_REFRESH = 1 * DAY
+
+    def __init__(
+        self,
+        market_id: str,
+        trace: PriceTrace,
+        on_demand_price: float,
+        history_offset: float = DEFAULT_HISTORY_OFFSET,
+    ):
+        super().__init__(market_id, trace, on_demand_price, history_offset)
+        self._mttf_cache: dict = {}
+
+    def estimate_mttf(self, bid: float, t: float, window: float = 14 * DAY) -> float:
+        key = (round(bid, 6), int(self._trace_time(t) // self._MTTF_CACHE_REFRESH), window)
+        if key not in self._mttf_cache:
+            end = self._trace_time(t)
+            start = max(0.0, end - window)
+            self._mttf_cache[key] = estimate_mttf(
+                self.trace, bid, sample_interval=HOUR, start=start, end=end
+            )
+        return self._mttf_cache[key]
+
+    def revocation_time_for(self, launch_time: float, bid: float, instance_key: str) -> Optional[float]:
+        exceed = self.trace.next_exceedance(self._trace_time(launch_time), bid)
+        if exceed is None:
+            return None
+        return exceed - self.history_offset
+
+
+class OnDemandMarket(Market):
+    """Non-revocable capacity at a fixed price; an infinite-MTTF spot pool."""
+
+    def __init__(self, market_id: str, on_demand_price: float, horizon: float = 365 * DAY):
+        super().__init__(
+            market_id,
+            constant_trace(on_demand_price, horizon=horizon),
+            on_demand_price,
+            history_offset=0.0,
+        )
+
+    def estimate_mttf(self, bid: float, t: float, window: float = 14 * DAY) -> float:
+        return float("inf")
+
+    def revocation_time_for(self, launch_time: float, bid: float, instance_key: str) -> Optional[float]:
+        return None
+
+    def is_available(self, t: float, bid: float) -> bool:
+        return True
+
+
+class PreemptibleMarket(Market):
+    """A GCE-style pool: fixed price, no bids, lifetime capped at 24 hours.
+
+    Revocations are random (not price-driven) but reproducible: each instance
+    key hashes to its own lifetime draw, so re-running a simulation replays
+    identical revocations.
+    """
+
+    def __init__(
+        self,
+        market_id: str,
+        fixed_price: float,
+        on_demand_price: float,
+        lifetime_model: Optional[PreemptibleLifetimeModel] = None,
+        seed: int = 0,
+        horizon: float = 365 * DAY,
+    ):
+        super().__init__(
+            market_id,
+            constant_trace(fixed_price, horizon=horizon),
+            on_demand_price,
+            history_offset=0.0,
+        )
+        self.fixed_price = float(fixed_price)
+        self.lifetime_model = lifetime_model or PreemptibleLifetimeModel()
+        self._seed = seed
+
+    def estimate_mttf(self, bid: float, t: float, window: float = 14 * DAY) -> float:
+        return self.lifetime_model.mttf
+
+    def revocation_time_for(self, launch_time: float, bid: float, instance_key: str) -> Optional[float]:
+        rng = SeededRNG(derive_seed(self._seed, self.market_id), instance_key)
+        return launch_time + self.lifetime_model.sample_lifetime(rng)
+
+    def is_available(self, t: float, bid: float) -> bool:
+        # GCE has no bidding: preemptible capacity is granted at the fixed
+        # price whenever requested.
+        return True

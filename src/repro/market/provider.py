@@ -1,0 +1,126 @@
+"""The cloud provider: grants, revokes, and bills instances.
+
+The provider is the only component allowed to mint instances.  Because spot
+revocation is deterministic given a trace and a bid, the provider stamps each
+instance with its future revocation time at launch; the cluster layer turns
+that into simulator events (a warning event 120 seconds ahead, then the kill).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from repro.market.billing import ec2_hourly_cost, gce_preemptible_cost, on_demand_cost
+from repro.market.instance import Instance, InstanceState
+from repro.market.market import Market, OnDemandMarket, PreemptibleMarket
+from repro.simulation.clock import MINUTE
+
+#: EC2 gives a two-minute revocation warning (§2.1); GCE gives 30 seconds.
+REVOCATION_WARNING = 2 * MINUTE
+GCE_REVOCATION_WARNING = 30.0
+
+#: Typical delay to acquire and boot a replacement server (§3.1.2: "the delay
+#: rd for replacing a server is a constant — for EC2, it is typically two
+#: minutes").
+REPLACEMENT_DELAY = 2 * MINUTE
+
+
+class MarketUnavailableError(RuntimeError):
+    """Raised when a bid is below the current spot price at acquisition."""
+
+
+class CloudProvider:
+    """A collection of markets plus instance lifecycle and cost accounting."""
+
+    def __init__(self, markets: Iterable[Market], replacement_delay: float = REPLACEMENT_DELAY):
+        self.markets: Dict[str, Market] = {}
+        for market in markets:
+            if market.market_id in self.markets:
+                raise ValueError(f"duplicate market id {market.market_id!r}")
+            self.markets[market.market_id] = market
+        self.replacement_delay = float(replacement_delay)
+        self.instances: List[Instance] = []
+        self._id_counter = itertools.count()
+
+    def add_market(self, market: Market) -> None:
+        """Register an additional market."""
+        if market.market_id in self.markets:
+            raise ValueError(f"duplicate market id {market.market_id!r}")
+        self.markets[market.market_id] = market
+
+    def market(self, market_id: str) -> Market:
+        """Look up a market by id (raises KeyError on unknown ids)."""
+        return self.markets[market_id]
+
+    def spot_markets(self) -> List[Market]:
+        """All revocable markets (excludes on-demand pools)."""
+        return [m for m in self.markets.values() if not isinstance(m, OnDemandMarket)]
+
+    def acquire(
+        self,
+        market_id: str,
+        bid: float,
+        t: float,
+        count: int = 1,
+        instance_type_name: Optional[str] = None,
+    ) -> List[Instance]:
+        """Rent ``count`` instances from one market at time ``t``.
+
+        Raises:
+            MarketUnavailableError: if the current price exceeds the bid.
+        """
+        market = self.market(market_id)
+        if not market.is_available(t, bid):
+            raise MarketUnavailableError(
+                f"{market_id}: price {market.current_price(t):.4f} above bid {bid:.4f}"
+            )
+        granted = []
+        for _ in range(count):
+            instance_id = f"i-{next(self._id_counter):06d}"
+            revocation = market.revocation_time_for(t, bid, instance_id)
+            instance = Instance(
+                instance_id=instance_id,
+                market_id=market_id,
+                instance_type_name=instance_type_name or "r3.large",
+                bid=bid,
+                launch_time=t,
+                revocation_time=revocation,
+            )
+            self.instances.append(instance)
+            granted.append(instance)
+        return granted
+
+    def terminate(self, instance: Instance, t: float) -> float:
+        """User-initiated termination; returns the instance's final cost."""
+        instance.mark_terminated(t)
+        instance.cost = self._bill(instance, t, revoked_by_provider=False)
+        return instance.cost
+
+    def revoke(self, instance: Instance, t: float) -> float:
+        """Provider-initiated revocation; returns the instance's final cost."""
+        instance.mark_revoked(t)
+        instance.cost = self._bill(instance, t, revoked_by_provider=True)
+        return instance.cost
+
+    def accrued_cost(self, instance: Instance, now: float) -> float:
+        """Cost of an instance as of ``now`` (final cost once it has ended)."""
+        if instance.state != InstanceState.RUNNING:
+            return instance.cost
+        return self._bill(instance, now, revoked_by_provider=False)
+
+    def total_cost(self, now: float) -> float:
+        """Aggregate cost of every instance ever rented, as of ``now``."""
+        return sum(self.accrued_cost(inst, now) for inst in self.instances)
+
+    def running_instances(self) -> List[Instance]:
+        """All instances currently in the RUNNING state."""
+        return [inst for inst in self.instances if inst.is_running]
+
+    def _bill(self, instance: Instance, end: float, revoked_by_provider: bool) -> float:
+        market = self.market(instance.market_id)
+        if isinstance(market, OnDemandMarket):
+            return on_demand_cost(market.on_demand_price, instance.launch_time, end)
+        if isinstance(market, PreemptibleMarket):
+            return gce_preemptible_cost(market.fixed_price, instance.launch_time, end)
+        return ec2_hourly_cost(market, instance.launch_time, end, revoked_by_provider)

@@ -1,0 +1,15 @@
+"""Discrete-event simulation substrate.
+
+Every other subsystem (markets, clusters, the execution engine) advances a
+shared :class:`~repro.simulation.clock.SimClock` by draining a
+:class:`~repro.simulation.events.EventQueue`.  Keeping the clock and queue
+separate from the domain code makes each policy deterministic and unit
+testable: given the same seed and the same event schedule, every run of an
+experiment produces identical timings, costs, and revocations.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.rng import SeededRNG, derive_seed
+
+__all__ = ["SimClock", "Event", "EventQueue", "SeededRNG", "derive_seed"]

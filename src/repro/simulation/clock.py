@@ -1,0 +1,60 @@
+"""Simulated wall clock.
+
+All times in the simulator are floats in *seconds* since the start of the
+simulation.  The clock only moves forward; attempting to rewind it indicates
+an event-ordering bug, so it raises instead of silently accepting the value.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when a caller tries to move the clock backwards."""
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    The clock is deliberately dumb: it stores the current time and enforces
+    monotonicity.  Scheduling lives in :class:`repro.simulation.events.EventQueue`.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock to absolute time ``t`` (must be >= now)."""
+        if t < self._now - 1e-9:
+            raise ClockError(f"cannot rewind clock from {self._now} to {t}")
+        self._now = max(self._now, float(t))
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (must be >= 0)."""
+        if dt < 0:
+            raise ClockError(f"cannot advance clock by negative delta {dt}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f})"
+
+
+HOUR = 3600.0
+MINUTE = 60.0
+DAY = 24 * HOUR
+
+
+def hours(h: float) -> float:
+    """Convert hours to simulator seconds."""
+    return h * HOUR
+
+
+def minutes(m: float) -> float:
+    """Convert minutes to simulator seconds."""
+    return m * MINUTE

@@ -1,0 +1,15 @@
+"""Durable and local storage substrates.
+
+Flint writes RDD checkpoints to HDFS backed by EBS volumes (§4, "Checkpoint
+Storage"): data survives revocations, writes cost time proportional to bytes
+and replication, and the volumes cost real money ($0.10/GB-month).  Workers
+additionally have local SSDs for shuffle outputs and cache spill — storage
+that is *lost* on revocation, which is exactly why shuffle maps must re-run
+after a kill.
+"""
+
+from repro.storage.dfs import DistributedFileSystem, DFSConfig
+from repro.storage.ebs import EBSCostModel
+from repro.storage.local_disk import LocalDisk
+
+__all__ = ["DistributedFileSystem", "DFSConfig", "EBSCostModel", "LocalDisk"]

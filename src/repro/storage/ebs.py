@@ -1,0 +1,51 @@
+"""EBS volume cost model (§4 "Checkpoint Storage" and §5.5).
+
+SSD EBS volumes cost $0.10 per GB per month.  Flint conservatively provisions
+2x cluster memory for checkpoints; because Flint is a managed service the
+volumes are reused across jobs and their cost amortises to about 2% of the
+on-demand instance price and 10-20% of the average spot price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.clock import HOUR
+
+SECONDS_PER_MONTH = 30 * 24 * HOUR
+
+
+@dataclass(frozen=True)
+class EBSCostModel:
+    """Amortised pricing for checkpoint volumes.
+
+    Attributes:
+        price_per_gb_month: Amazon's gp2 SSD price ($0.10/GB-month).
+        memory_provision_factor: volume GB provisioned per GB of cluster
+            memory (the paper conservatively uses 2x).
+    """
+
+    price_per_gb_month: float = 0.10
+    memory_provision_factor: float = 2.0
+
+    def provisioned_gb(self, cluster_memory_gb: float) -> float:
+        """Volume capacity provisioned for a cluster of given total memory."""
+        if cluster_memory_gb < 0:
+            raise ValueError("cluster_memory_gb must be non-negative")
+        return cluster_memory_gb * self.memory_provision_factor
+
+    def hourly_cost(self, volume_gb: float) -> float:
+        """$/hour for a volume of ``volume_gb``."""
+        if volume_gb < 0:
+            raise ValueError("volume_gb must be non-negative")
+        return volume_gb * self.price_per_gb_month / (30 * 24)
+
+    def cost_for(self, volume_gb: float, duration_seconds: float) -> float:
+        """Amortised cost of holding a volume for a duration."""
+        if duration_seconds < 0:
+            raise ValueError("duration_seconds must be non-negative")
+        return self.hourly_cost(volume_gb) * duration_seconds / HOUR
+
+    def cluster_checkpoint_cost(self, cluster_memory_gb: float, duration_seconds: float) -> float:
+        """Cost of checkpoint volumes for a cluster over a duration."""
+        return self.cost_for(self.provisioned_gb(cluster_memory_gb), duration_seconds)

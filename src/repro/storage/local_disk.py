@@ -1,0 +1,99 @@
+"""Worker-local SSD storage.
+
+Local disks hold shuffle map outputs and blocks evicted from the in-memory
+RDD cache.  Unlike the DFS, local-disk contents vanish when the instance is
+revoked — losing shuffle files is the reason concurrent revocations force
+upstream map-stage re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+class DiskFullError(RuntimeError):
+    """Raised when a put would exceed the disk's capacity."""
+
+
+@dataclass
+class _DiskEntry:
+    data: Any
+    nbytes: int
+
+
+class LocalDisk:
+    """A capacity-bounded local object store with a timing model.
+
+    Defaults approximate the r3.large local SSD: 32GB, a few hundred MB/s.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 32 * 10**9,
+        read_bandwidth: float = 300e6,
+        write_bandwidth: float = 200e6,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.read_bandwidth = float(read_bandwidth)
+        self.write_bandwidth = float(write_bandwidth)
+        self._entries: Dict[str, _DiskEntry] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def write_duration(self, nbytes: int) -> float:
+        """Seconds to write ``nbytes`` sequentially."""
+        return nbytes / self.write_bandwidth
+
+    def read_duration(self, nbytes: int) -> float:
+        """Seconds to read ``nbytes`` sequentially."""
+        return nbytes / self.read_bandwidth
+
+    def put(self, key: str, data: Any, nbytes: int) -> None:
+        """Store an object; raises :class:`DiskFullError` when over capacity."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        old = self._entries.get(key)
+        delta = nbytes - (old.nbytes if old else 0)
+        if self._used + delta > self.capacity_bytes:
+            raise DiskFullError(
+                f"put of {nbytes}B would exceed capacity "
+                f"({self._used}/{self.capacity_bytes}B used)"
+            )
+        self._entries[key] = _DiskEntry(data=data, nbytes=nbytes)
+        self._used += delta
+
+    def get(self, key: str) -> Any:
+        """Fetch a stored object (KeyError if absent)."""
+        return self._entries[key].data
+
+    def size_of(self, key: str) -> int:
+        return self._entries[key].nbytes
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; returns True if it existed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry.nbytes
+        return True
+
+    def keys(self) -> List[str]:
+        return sorted(self._entries)
+
+    def clear(self) -> None:
+        """Wipe the disk — what a revocation does to local state."""
+        self._entries.clear()
+        self._used = 0

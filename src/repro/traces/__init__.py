@@ -1,0 +1,49 @@
+"""Spot-price and availability traces.
+
+EC2 publishes only three months of price history and GCE publishes nothing,
+so the paper itself estimates MTTFs empirically and simulates long-run
+behaviour over traces.  This package provides the same raw material:
+
+* :class:`~repro.traces.price_trace.PriceTrace` — a piecewise-constant price
+  series with exact exceedance queries (the revocation primitive).
+* Generators for "peaky" EC2-like markets with controllable steady-state
+  price, spike rate (and therefore MTTF at a given bid), and cross-market
+  correlation (:mod:`repro.traces.generators`).
+* GCE preemptible lifetime models (:mod:`repro.traces.gce`).
+* The statistics the paper derives from traces — MTTF at a bid, availability
+  ECDFs, and pairwise price correlation (:mod:`repro.traces.stats`).
+* A catalog of named markets mirroring the instance types and MTTF ranges the
+  paper reports (:mod:`repro.traces.ec2`).
+"""
+
+from repro.traces.price_trace import PriceTrace
+from repro.traces.generators import (
+    constant_trace,
+    peaky_trace,
+    correlated_peaky_traces,
+    mean_reverting_trace,
+)
+from repro.traces.gce import PreemptibleLifetimeModel
+from repro.traces.stats import (
+    availability_ecdf,
+    estimate_mttf,
+    pairwise_price_correlation,
+    time_to_failure_samples,
+)
+from repro.traces.ec2 import EC2_CATALOG, InstanceType, build_market_traces
+
+__all__ = [
+    "PriceTrace",
+    "constant_trace",
+    "peaky_trace",
+    "correlated_peaky_traces",
+    "mean_reverting_trace",
+    "PreemptibleLifetimeModel",
+    "availability_ecdf",
+    "estimate_mttf",
+    "pairwise_price_correlation",
+    "time_to_failure_samples",
+    "EC2_CATALOG",
+    "InstanceType",
+    "build_market_traces",
+]

@@ -1,0 +1,118 @@
+"""A catalog of named EC2-like markets.
+
+The paper's evaluation uses r3.large clusters in US-East and reports that,
+at a bid equal to the on-demand price, spot-market MTTFs range from roughly
+18 to 700 hours (Figure 2a names us-west-2c at 701h, eu-west-1c at 101h and
+sa-east-1a at 18.8h).  The catalog below mirrors those regimes: each entry
+pins an on-demand price and a target MTTF, and :func:`build_market_traces`
+turns the catalog into concrete synthetic traces whose spike rate realises
+that MTTF at an on-demand bid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulation.clock import HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import peaky_trace
+from repro.traces.price_trace import PriceTrace
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Static description of a rentable server type.
+
+    Sizes mirror the paper's testbed (r3.large: 2 VCPUs, 15GB RAM, 32GB SSD).
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    local_disk_gb: float
+    on_demand_price: float  # $/hour
+
+
+R3_LARGE = InstanceType("r3.large", vcpus=2, memory_gb=15.0, local_disk_gb=32.0, on_demand_price=0.175)
+R3_XLARGE = InstanceType("r3.xlarge", vcpus=4, memory_gb=30.5, local_disk_gb=80.0, on_demand_price=0.350)
+M1_XLARGE = InstanceType("m1.xlarge", vcpus=4, memory_gb=15.0, local_disk_gb=420.0, on_demand_price=0.350)
+M2_2XLARGE = InstanceType("m2.2xlarge", vcpus=4, memory_gb=34.2, local_disk_gb=850.0, on_demand_price=0.490)
+M3_2XLARGE = InstanceType("m3.2xlarge", vcpus=8, memory_gb=30.0, local_disk_gb=160.0, on_demand_price=0.532)
+
+INSTANCE_TYPES: Dict[str, InstanceType] = {
+    it.name: it for it in (R3_LARGE, R3_XLARGE, M1_XLARGE, M2_2XLARGE, M3_2XLARGE)
+}
+
+
+@dataclass(frozen=True)
+class MarketSpec:
+    """Catalog entry: one spot pool (availability zone x instance type).
+
+    ``spike_duration_hours`` controls how long price spikes last; volatile
+    markets need short spikes or their *mean* price would exceed on-demand,
+    at which point Flint's policy (correctly) refuses to use them.
+    """
+
+    market_id: str
+    instance_type: InstanceType
+    target_mttf_hours: float
+    steady_fraction: float = 0.25
+    spike_duration_hours: float = 0.25
+    #: Price-change granularity of the synthetic trace.  Must be no larger
+    #: than the spike duration or short spikes get stretched to one grid
+    #: cell, inflating the market's mean price.
+    step_seconds: float = 300.0
+    #: Rate of frequent *sub-bid* price surges (no revocation, higher bill)
+    #: — the lowball trap application-agnostic selection falls into.
+    churn_rate_per_hour: float = 0.0
+
+
+# The three zones of Figure 2a plus a spread of intermediate-volatility pools
+# so server selection has a realistic search space.
+EC2_CATALOG: List[MarketSpec] = [
+    MarketSpec("us-west-2c/r3.large", R3_LARGE, 701.0, steady_fraction=0.22),
+    MarketSpec("us-east-1a/r3.large", R3_LARGE, 350.0, steady_fraction=0.24),
+    MarketSpec("us-east-1b/r3.large", R3_LARGE, 220.0, steady_fraction=0.20),
+    MarketSpec("us-east-1c/r3.large", R3_LARGE, 140.0, steady_fraction=0.27),
+    MarketSpec("eu-west-1c/r3.large", R3_LARGE, 101.0, steady_fraction=0.25),
+    MarketSpec("us-east-1d/r3.large", R3_LARGE, 60.0, steady_fraction=0.11),
+    MarketSpec("ap-south-1a/r3.large", R3_LARGE, 35.0, steady_fraction=0.30),
+    MarketSpec("sa-east-1a/r3.large", R3_LARGE, 18.8, steady_fraction=0.35),
+    MarketSpec("us-east-1a/r3.xlarge", R3_XLARGE, 280.0, steady_fraction=0.23),
+    MarketSpec("us-east-1b/r3.xlarge", R3_XLARGE, 90.0, steady_fraction=0.21),
+    MarketSpec("us-east-1a/m1.xlarge", M1_XLARGE, 180.0, steady_fraction=0.26),
+    MarketSpec("us-east-1a/m2.2xlarge", M2_2XLARGE, 240.0, steady_fraction=0.22),
+    MarketSpec("us-east-1a/m3.2xlarge", M3_2XLARGE, 160.0, steady_fraction=0.24),
+    # "Lowball" pools: very cheap steady price, but churned by frequent
+    # sub-bid surges (high billed mean) — instantaneous-price selection
+    # (SpotFleet lowestPrice) lands here and overpays (§5.5, Figure 11a).
+    MarketSpec("us-east-1e/r3.large", R3_LARGE, 45.0, steady_fraction=0.08, churn_rate_per_hour=1.5),
+    MarketSpec("ap-northeast-1a/r3.large", R3_LARGE, 30.0, steady_fraction=0.10, churn_rate_per_hour=1.2),
+]
+
+
+def build_market_traces(
+    rng: SeededRNG,
+    catalog: Optional[Sequence[MarketSpec]] = None,
+    horizon: float = 90 * 24 * HOUR,
+) -> Dict[str, PriceTrace]:
+    """Materialise a synthetic price trace for every catalog entry.
+
+    The spike rate is set to ``1 / target_mttf``, so that at a bid equal to
+    the on-demand price the measured MTTF approximates the catalog target.
+    """
+    specs = EC2_CATALOG if catalog is None else list(catalog)
+    traces: Dict[str, PriceTrace] = {}
+    for spec in specs:
+        traces[spec.market_id] = peaky_trace(
+            rng.child(spec.market_id),
+            spec.instance_type.on_demand_price,
+            steady_fraction=spec.steady_fraction,
+            spike_rate_per_hour=1.0 / spec.target_mttf_hours,
+            spike_duration_mean=spec.spike_duration_hours * 3600.0,
+            horizon=horizon,
+            step=min(spec.step_seconds, spec.spike_duration_hours * 3600.0),
+            churn_rate_per_hour=spec.churn_rate_per_hour,
+        )
+    return traces

@@ -1,0 +1,164 @@
+"""Piecewise-constant spot price traces.
+
+A trace is a sequence of ``(start_time, price)`` segments covering
+``[0, horizon)``.  Revocation in an EC2-style market is *deterministic* given
+a trace and a bid: the instance dies at the first instant the price strictly
+exceeds the bid.  ``PriceTrace`` therefore exposes exact exceedance queries
+rather than sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class PriceTrace:
+    """An immutable piecewise-constant price series on ``[0, horizon)``.
+
+    Args:
+        times: segment start times, strictly increasing, ``times[0] == 0``.
+        prices: price during ``[times[i], times[i+1])``; same length as times.
+        horizon: end of the trace; queries beyond it wrap around (the trace
+            is treated as periodic) so that long simulations never fall off
+            the end of a finite synthetic trace.
+    """
+
+    def __init__(self, times: Sequence[float], prices: Sequence[float], horizon: float):
+        times_arr = np.asarray(times, dtype=float)
+        prices_arr = np.asarray(prices, dtype=float)
+        if times_arr.ndim != 1 or times_arr.shape != prices_arr.shape:
+            raise ValueError("times and prices must be 1-D arrays of equal length")
+        if len(times_arr) == 0:
+            raise ValueError("trace must have at least one segment")
+        if times_arr[0] != 0.0:
+            raise ValueError(f"first segment must start at 0, got {times_arr[0]}")
+        if np.any(np.diff(times_arr) <= 0):
+            raise ValueError("segment start times must be strictly increasing")
+        if horizon <= times_arr[-1]:
+            raise ValueError("horizon must exceed the last segment start")
+        if np.any(prices_arr < 0):
+            raise ValueError("prices must be non-negative")
+        self._times = times_arr
+        self._prices = prices_arr
+        self.horizon = float(horizon)
+        # Cumulative integral of price from 0 to each segment start (plus the
+        # horizon endpoint), so mean_price is O(log n) instead of a scan.
+        widths = np.diff(np.append(times_arr, horizon))
+        self._cumint = np.concatenate([[0.0], np.cumsum(self._prices * widths)])
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times
+
+    @property
+    def prices(self) -> np.ndarray:
+        return self._prices
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def _wrap(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"negative time {t}")
+        return t % self.horizon
+
+    def price_at(self, t: float) -> float:
+        """Price in effect at absolute time ``t`` (periodic past horizon)."""
+        tw = self._wrap(t)
+        idx = int(np.searchsorted(self._times, tw, side="right")) - 1
+        return float(self._prices[idx])
+
+    def mean_price(self, start: float, end: float) -> float:
+        """Time-weighted mean price over ``[start, end]``."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        if end == start:
+            return self.price_at(start)
+        # Integrate in horizon-sized chunks to respect periodicity.  Guard
+        # against float round-off at period boundaries (where the remaining
+        # span of the current period collapses to ~0 and the loop would
+        # stall).
+        total = 0.0
+        t = start
+        while t < end - 1e-12:
+            offset = self._wrap(t)
+            remaining = self.horizon - offset
+            if remaining <= 1e-9:
+                offset = 0.0
+                remaining = self.horizon
+            chunk_end = min(end, t + remaining)
+            total += self._integrate_within(offset, offset + (chunk_end - t))
+            t = chunk_end
+        return total / (end - start)
+
+    def _integrate_within(self, a: float, b: float) -> float:
+        """Integrate price over ``[a, b]`` where both lie in one period."""
+        return self._integral_to(b) - self._integral_to(a)
+
+    def _integral_to(self, t: float) -> float:
+        """Integral of price over ``[0, t]`` for t within one period."""
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return float(self._cumint[idx] + self._prices[idx] * (t - self._times[idx]))
+
+    def next_exceedance(self, t: float, threshold: float) -> Optional[float]:
+        """First absolute time ``>= t`` at which price strictly exceeds ``threshold``.
+
+        Returns None if the (periodic) trace never exceeds the threshold.
+        """
+        if not np.any(self._prices > threshold):
+            return None
+        tw = self._wrap(t)
+        base = t - tw
+        idx = int(np.searchsorted(self._times, tw, side="right")) - 1
+        # Current segment already above threshold: exceedance is immediate.
+        if self._prices[idx] > threshold:
+            return t
+        # Scan the remainder of this period.
+        above = np.nonzero(self._prices[idx + 1 :] > threshold)[0]
+        if len(above) > 0:
+            return self._snap_above(base + float(self._times[idx + 1 + above[0]]), threshold)
+        # Wrap: first exceedance anywhere in the next period.
+        first = int(np.nonzero(self._prices > threshold)[0][0])
+        return self._snap_above(base + self.horizon + float(self._times[first]), threshold)
+
+    def _snap_above(self, t_abs: float, threshold: float) -> float:
+        """Nudge a reconstructed absolute time forward past float round-off
+        so the price at the returned instant genuinely exceeds the threshold
+        (``base + times[i]`` can land an ulp before the segment boundary)."""
+        candidate = t_abs
+        for _ in range(4):
+            if self.price_at(candidate) > threshold:
+                return candidate
+            candidate += 1e-9 * max(1.0, abs(candidate))
+        return candidate
+
+    def next_drop_below(self, t: float, threshold: float) -> Optional[float]:
+        """First absolute time ``>= t`` at which price is ``<= threshold``."""
+        if not np.any(self._prices <= threshold):
+            return None
+        tw = self._wrap(t)
+        base = t - tw
+        idx = int(np.searchsorted(self._times, tw, side="right")) - 1
+        if self._prices[idx] <= threshold:
+            return t
+        below = np.nonzero(self._prices[idx + 1 :] <= threshold)[0]
+        if len(below) > 0:
+            return base + float(self._times[idx + 1 + below[0]])
+        first = int(np.nonzero(self._prices <= threshold)[0][0])
+        return base + self.horizon + float(self._times[first])
+
+    def sample_grid(self, dt: float, start: float = 0.0, end: Optional[float] = None) -> np.ndarray:
+        """Prices sampled on a uniform grid (used for correlation analysis)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        end_time = self.horizon if end is None else end
+        grid = np.arange(start, end_time, dt)
+        return np.array([self.price_at(float(g)) for g in grid])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PriceTrace(segments={len(self)}, horizon={self.horizon:.0f}s, "
+            f"min={self._prices.min():.4f}, max={self._prices.max():.4f})"
+        )

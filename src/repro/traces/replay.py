@@ -1,0 +1,87 @@
+"""Load and save price traces (plug in real spot-price archives).
+
+The paper replays six months of EC2 spot prices.  Those archives are not
+redistributable, but anyone holding them (or gathering fresh ones via
+``describe-spot-price-history``) can export to the simple CSV this module
+reads — ``timestamp_seconds,price`` rows — and run every experiment against
+real data instead of the synthetic generators.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.traces.price_trace import PriceTrace
+
+PathLike = Union[str, Path]
+
+
+def trace_to_csv(trace: PriceTrace, path: Optional[PathLike] = None) -> str:
+    """Serialise a trace to ``timestamp,price`` CSV (returned, and written
+    to ``path`` when given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["timestamp_seconds", "price"])
+    for t, p in zip(trace.times, trace.prices):
+        writer.writerow([f"{float(t):.3f}", f"{float(p):.6f}"])
+    writer.writerow([f"{trace.horizon:.3f}", ""])  # horizon sentinel
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def trace_from_csv(source: Union[PathLike, str], horizon: Optional[float] = None) -> PriceTrace:
+    """Parse a trace from CSV text or a file path.
+
+    Rows must be ``timestamp_seconds,price`` sorted by time; timestamps are
+    normalised so the first row becomes t=0 (real archives use epoch
+    stamps).  A trailing row with an empty price is read as the horizon;
+    otherwise pass ``horizon`` or the last segment is padded by its
+    preceding gap (or one hour for single-segment traces).
+    """
+    text = source
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+        text = Path(source).read_text()
+    times: List[float] = []
+    prices: List[float] = []
+    parsed_horizon: Optional[float] = None
+    reader = csv.reader(io.StringIO(text))
+    for row in reader:
+        if not row or row[0].strip().lower().startswith("timestamp"):
+            continue
+        stamp = float(row[0])
+        if len(row) < 2 or row[1].strip() == "":
+            parsed_horizon = stamp
+            continue
+        times.append(stamp)
+        prices.append(float(row[1]))
+    if not times:
+        raise ValueError("no price rows in CSV")
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise ValueError("timestamps must be strictly increasing")
+    base = times[0]
+    times = [t - base for t in times]
+    if parsed_horizon is not None:
+        parsed_horizon -= base
+    end = horizon if horizon is not None else parsed_horizon
+    if end is None:
+        pad = (times[-1] - times[-2]) if len(times) > 1 else 3600.0
+        end = times[-1] + pad
+    return PriceTrace(times, prices, end)
+
+
+def merge_aligned(traces: Sequence[PriceTrace]) -> List[Tuple[float, List[float]]]:
+    """Sample several traces onto their union of change points.
+
+    Handy for eyeballing exported market sets: returns ``(time, [price per
+    trace])`` rows covering the shortest horizon.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    horizon = min(t.horizon for t in traces)
+    points = sorted({float(tp) for trace in traces for tp in trace.times if tp < horizon} | {0.0})
+    return [(t, [trace.price_at(t) for trace in traces]) for t in points]

@@ -1,0 +1,35 @@
+"""The paper's evaluation workloads (§5.1), rebuilt on the RDD engine.
+
+* :class:`~repro.workloads.pagerank.PageRankWorkload` — iterative graph
+  processing with a join + shuffle per iteration (many RDDs, shuffle-heavy).
+* :class:`~repro.workloads.kmeans.KMeansWorkload` — compute-intensive
+  clustering: narrow map pipeline + one small shuffle per iteration.
+* :class:`~repro.workloads.als.ALSWorkload` — shuffle-intensive alternating
+  least squares with two joins per iteration.
+* :class:`~repro.workloads.tpch.TPCHSession` — an interactive in-memory SQL
+  session over TPC-H-style tables (queries 1, 3, and 6).
+
+Input sizes are *virtual* (per-record byte hints) so each workload matches
+the paper's data volumes — PageRank 2GB, ALS 10GB, KMeans 16GB, TPC-H 10GB —
+while computing over modest real record counts.
+"""
+
+from repro.workloads.als import ALSWorkload
+from repro.workloads.datagen import (
+    generate_clustered_points,
+    generate_graph_partition,
+    generate_ratings_partition,
+)
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.tpch import TPCHSession
+
+__all__ = [
+    "PageRankWorkload",
+    "KMeansWorkload",
+    "ALSWorkload",
+    "TPCHSession",
+    "generate_graph_partition",
+    "generate_clustered_points",
+    "generate_ratings_partition",
+]

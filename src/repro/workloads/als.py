@@ -1,0 +1,150 @@
+"""Alternating Least Squares (§5.1): the shuffle-intensive workload.
+
+Spark mllib's MovieLensALS over a 10GB ratings dataset.  Each half-iteration
+joins the ratings against the opposite side's factors and reduces the
+per-rating contributions back by key — two joins and two wide reductions per
+iteration, with heavier per-record math than KMeans.  ALS has the largest
+collective RDD set of the batch workloads, hence the highest checkpointing
+tax (Figure 6a) and the most network-sensitive behaviour (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.context import FlintContext
+from repro.engine.rdd import RDD
+from repro.workloads.datagen import generate_ratings_partition, initial_factors
+
+GB = 10**9
+
+
+def _solve_factor(
+    contributions: List[Tuple[Tuple[float, ...], float]], rank: int, reg: float = 0.1
+) -> Tuple[float, ...]:
+    """A cheap regularised least-squares surrogate: rating-weighted average
+    of the opposite factors.  (The real normal-equations solve does not
+    change lineage shape, only constants, which the compute multiplier
+    models.)"""
+    if not contributions:
+        return tuple(0.0 for _ in range(rank))
+    acc = [0.0] * rank
+    weight = 0.0
+    for factor, rating in contributions:
+        for i in range(rank):
+            acc[i] += factor[i] * rating
+        weight += abs(rating) + reg
+    return tuple(a / weight for a in acc)
+
+
+class ALSWorkload:
+    """Matrix factorisation by alternating least squares.
+
+    Args:
+        data_gb: virtual dataset size (paper: 10GB MovieLens-scale).
+        num_ratings: real rating count.
+        rank: latent factor dimensionality.
+        solve_cost: compute multiplier for the factor-update stages (ALS's
+            per-record work dominates KMeans's, per §5.1).
+    """
+
+    def __init__(
+        self,
+        ctx: FlintContext,
+        data_gb: float = 10.0,
+        num_ratings: int = 24_000,
+        num_users: int = 1_500,
+        num_items: int = 600,
+        rank: int = 8,
+        partitions: Optional[int] = None,
+        iterations: int = 6,
+        solve_cost: float = 4.0,
+        source_cost: float = 5.0,
+        seed: int = 31,
+    ):
+        self.ctx = ctx
+        self.rank = rank
+        self.iterations = iterations
+        self.partitions = partitions or max(8, ctx.default_parallelism)
+        self.num_ratings = num_ratings
+        self.num_users = num_users
+        self.num_items = num_items
+        self.solve_cost = solve_cost
+        self.source_cost = source_cost
+        self.seed = seed
+        self.rating_record_size = max(1, int(data_gb * GB / num_ratings))
+        self.ratings: Optional[RDD] = None
+
+    def load(self) -> RDD:
+        """Build and cache the ratings RDD of ``(user, item, rating)``."""
+        per_part = self.num_ratings // self.partitions
+        self.ratings = self.ctx.generate(
+            lambda p: generate_ratings_partition(
+                self.seed, p, per_part, self.num_users, self.num_items
+            ),
+            self.partitions,
+            record_size=self.rating_record_size,
+            compute_multiplier=self.source_cost,
+            name="ratings",
+        ).persist()
+        self.ratings.count()
+        return self.ratings
+
+    def run(self, iterations: Optional[int] = None) -> Dict[int, Tuple[float, ...]]:
+        """Run ALS; returns the final user factors."""
+        if self.ratings is None:
+            self.load()
+        ratings = self.ratings
+        iters = iterations or self.iterations
+        user_factors = self.ctx.parallelize(
+            initial_factors(self.seed, "users", self.num_users, self.rank),
+            self.partitions,
+            record_size=self.rating_record_size // 4,
+        ).set_name("user-factors-0")
+        item_factors = self.ctx.parallelize(
+            initial_factors(self.seed, "items", self.num_items, self.rank),
+            self.partitions,
+            record_size=self.rating_record_size // 4,
+        ).set_name("item-factors-0")
+
+        for i in range(iters):
+            old_users, old_items = user_factors, item_factors
+            user_factors = self._half_step(
+                ratings.map(lambda r: (r[1], (r[0], r[2]))),  # keyed by item
+                item_factors,
+                f"user-factors-{i + 1}",
+            )
+            item_factors = self._half_step(
+                ratings.map(lambda r: (r[0], (r[1], r[2]))),  # keyed by user
+                user_factors,
+                f"item-factors-{i + 1}",
+            )
+            # Superseded factor generations are dead weight in the cache.
+            for stale in (old_users, old_items):
+                if stale.persisted:
+                    stale.unpersist()
+        return dict(user_factors.collect())
+
+    def _half_step(self, keyed_ratings: RDD, opposite_factors: RDD, name: str) -> RDD:
+        """One ALS half-iteration: join ratings with the fixed side's factors,
+        redistribute contributions to the side being solved, and solve."""
+        rank = self.rank
+
+        def contribs(kv):
+            _key, (rating_pairs, factor_values) = kv
+            if not factor_values:
+                return []
+            factor = factor_values[0]
+            return [(target, (factor, rating)) for target, rating in rating_pairs]
+
+        joined = keyed_ratings.cogroup(opposite_factors, self.partitions).flat_map(
+            contribs, compute_multiplier=self.solve_cost
+        )
+        solved = (
+            joined.group_by_key(self.partitions)
+            .map_values(lambda cs: _solve_factor(cs, rank))
+            .persist()
+            .set_name(name)
+        )
+        solved.count()
+        return solved

@@ -1,0 +1,125 @@
+"""KMeans clustering (§5.1): the compute-intensive workload.
+
+Spark mllib's DenseKMeans over a 16GB random dataset: a cached points RDD,
+and per iteration a narrow distance-computation map followed by one small
+shuffle (reduceByKey over k keys).  Because the expensive state is a single
+cached *source-derived* RDD, KMeans has the flattest lineage of the three
+batch workloads and the lowest checkpointing tax (Figure 6a).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.engine.context import FlintContext
+from repro.engine.rdd import RDD
+from repro.workloads.datagen import generate_clustered_points, initial_centroids
+
+GB = 10**9
+
+
+def _closest(point: Tuple[float, ...], centroids: List[Tuple[float, ...]]) -> int:
+    best, best_d = 0, float("inf")
+    for i, c in enumerate(centroids):
+        d = sum((p - q) * (p - q) for p, q in zip(point, c))
+        if d < best_d:
+            best, best_d = i, d
+    return best
+
+
+def _add_vectors(a: Tuple[float, ...], b: Tuple[float, ...]) -> Tuple[float, ...]:
+    return tuple(x + y for x, y in zip(a, b))
+
+
+class KMeansWorkload:
+    """Lloyd's algorithm over cached points.
+
+    Args:
+        data_gb: virtual dataset size (paper: 16GB).
+        num_points: real point count.
+        k: cluster count.
+        dim: point dimensionality.
+        distance_cost: compute multiplier of the assignment map — models the
+            k distance evaluations per point that make KMeans CPU-bound.
+    """
+
+    def __init__(
+        self,
+        ctx: FlintContext,
+        data_gb: float = 16.0,
+        num_points: int = 24_000,
+        k: int = 10,
+        dim: int = 8,
+        partitions: Optional[int] = None,
+        iterations: int = 8,
+        distance_cost: float = 6.0,
+        source_cost: float = 5.0,
+        seed: int = 23,
+    ):
+        self.ctx = ctx
+        self.k = k
+        self.dim = dim
+        self.iterations = iterations
+        self.partitions = partitions or max(8, ctx.default_parallelism)
+        self.num_points = num_points
+        self.distance_cost = distance_cost
+        # Re-materialising points means re-fetching and re-parsing the raw
+        # dataset from object storage - much slower than streaming memory.
+        self.source_cost = source_cost
+        self.seed = seed
+        self.point_record_size = max(1, int(data_gb * GB / num_points))
+        self.points: Optional[RDD] = None
+
+    def load(self) -> RDD:
+        """Build and cache the points RDD."""
+        per_part = self.num_points // self.partitions
+        self.points = self.ctx.generate(
+            lambda p: generate_clustered_points(self.seed, p, per_part, self.k, self.dim),
+            self.partitions,
+            record_size=self.point_record_size,
+            compute_multiplier=self.source_cost,
+            name="points",
+        ).persist()
+        self.points.count()
+        return self.points
+
+    def run(self, iterations: Optional[int] = None) -> List[Tuple[float, ...]]:
+        """Run Lloyd iterations; returns the final centroids."""
+        if self.points is None:
+            self.load()
+        points = self.points
+        centroids = initial_centroids(self.seed, self.k, self.dim)
+        iters = iterations or self.iterations
+        for _ in range(iters):
+            frozen = list(centroids)
+            stats = (
+                points.map(
+                    lambda p, cs=frozen: (_closest(p, cs), (p, 1)),
+                    compute_multiplier=self.distance_cost,
+                )
+                .reduce_by_key(
+                    lambda a, b: (_add_vectors(a[0], b[0]), a[1] + b[1]),
+                    min(self.partitions, self.k),
+                )
+            )
+            totals = stats.collect()
+            new_centroids = list(centroids)
+            for idx, (vec_sum, count) in totals:
+                new_centroids[idx] = tuple(x / count for x in vec_sum)
+            centroids = new_centroids
+        return centroids
+
+    def cost(self, centroids: List[Tuple[float, ...]]) -> float:
+        """Within-cluster sum of squared distances (quality metric)."""
+        if self.points is None:
+            self.load()
+
+        def partition_cost(records):
+            total = 0.0
+            for p in records:
+                c = centroids[_closest(p, centroids)]
+                total += sum((x - y) * (x - y) for x, y in zip(p, c))
+            return total
+
+        return float(sum(self.ctx.run_job(self.points, partition_cost)))

@@ -1,0 +1,116 @@
+"""A Spark-Streaming-style micro-batch workload (related-work extension).
+
+The paper notes (§6) that Spark Streaming's periodic RDD checkpointing does
+not account for recomputation overhead or cluster volatility, and that its
+workloads "may also benefit" from Flint's policies.  This workload lets us
+test that: a discretised stream of event batches folds into a running state
+RDD via ``updateStateByKey``-style cogroups.  The state's lineage grows with
+every batch, so without checkpoint truncation a revocation late in the
+stream forces recomputation across the entire history — the exact failure
+mode Flint's τ-periodic frontier checkpoints bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.context import FlintContext
+from repro.engine.rdd import RDD
+from repro.simulation.rng import SeededRNG
+
+GB = 10**9
+
+
+class StreamingWorkload:
+    """Micro-batch aggregation with growing lineage.
+
+    Args:
+        batch_records: real events per micro-batch.
+        batch_gb: virtual volume per micro-batch.
+        num_keys: cardinality of the aggregation key space.
+        batch_interval: simulated arrival spacing between batches; the
+            engine idles between batches like a real streaming job.
+    """
+
+    def __init__(
+        self,
+        ctx: FlintContext,
+        batch_records: int = 2_000,
+        batch_gb: float = 0.5,
+        num_keys: int = 100,
+        partitions: Optional[int] = None,
+        batch_interval: float = 60.0,
+        seed: int = 47,
+    ):
+        self.ctx = ctx
+        self.partitions = partitions or max(8, ctx.default_parallelism)
+        self.batch_records = batch_records
+        self.num_keys = num_keys
+        self.batch_interval = batch_interval
+        self.seed = seed
+        self.record_size = max(1, int(batch_gb * GB / batch_records))
+        self.state: Optional[RDD] = None
+        self.batches_processed = 0
+
+    def _batch_rdd(self, batch_index: int) -> RDD:
+        per_part = self.batch_records // self.partitions
+        seed = self.seed
+        keys = self.num_keys
+
+        def generate(p: int) -> List[Tuple[int, int]]:
+            rng = SeededRNG(seed, f"batch-{batch_index}-{p}")
+            return [
+                (int(k), 1)
+                for k in rng.integers(0, keys, size=per_part)
+            ]
+
+        return self.ctx.generate(
+            generate, self.partitions, record_size=self.record_size,
+            name=f"batch-{batch_index}",
+        )
+
+    def process_batch(self) -> int:
+        """Ingest one micro-batch and fold it into the running state."""
+        batch = self._batch_rdd(self.batches_processed)
+        counts = batch.reduce_by_key(lambda a, b: a + b, self.partitions)
+        if self.state is None:
+            new_state = counts
+        else:
+
+            def merge(kv):
+                _key, (olds, news) = kv
+                total = (olds[0] if olds else 0) + (news[0] if news else 0)
+                return total
+
+            new_state = (
+                self.state.cogroup(counts, self.partitions)
+                .map(lambda kv: (kv[0], merge(kv)))
+                .set_record_size(max(1, self.record_size // 4))
+            )
+        old_state = self.state
+        self.state = new_state.persist().set_name(
+            f"state-{self.batches_processed}"
+        )
+        total = self.state.count()
+        if old_state is not None and old_state.persisted:
+            old_state.unpersist()
+        self.batches_processed += 1
+        return total
+
+    def run(self, num_batches: int = 10) -> Dict[int, int]:
+        """Process a stream of batches with arrival gaps; returns final state."""
+        for _ in range(num_batches):
+            self.process_batch()
+            self.ctx.env.run_until(self.ctx.now + self.batch_interval)
+        return dict(self.state.collect())
+
+    def expected_state(self, num_batches: int) -> Dict[int, int]:
+        """Reference result computed without the engine."""
+        counts: Dict[int, int] = {}
+        per_part = self.batch_records // self.partitions
+        for b in range(num_batches):
+            for p in range(self.partitions):
+                rng = SeededRNG(self.seed, f"batch-{b}-{p}")
+                for k in rng.integers(0, self.num_keys, size=per_part):
+                    counts[int(k)] = counts.get(int(k), 0) + 1
+        return counts

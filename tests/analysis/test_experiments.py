@@ -1,0 +1,85 @@
+"""The shared experiment harness."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    build_engine_context,
+    checkpointing_tax,
+    revocation_impact,
+    run_batch_workload,
+)
+from repro.simulation.clock import HOUR
+from repro.workloads import PageRankWorkload
+
+
+def tiny_pagerank(ctx):
+    return PageRankWorkload(
+        ctx, data_gb=0.5, num_edges=2_000, num_vertices=500,
+        partitions=8, iterations=3, seed=5,
+    )
+
+
+def test_build_engine_context():
+    ctx = build_engine_context(num_workers=3, seed=1)
+    assert ctx.cluster.size == 3
+    assert ctx.default_parallelism == 6
+
+
+def test_run_batch_workload_baseline():
+    run = run_batch_workload(tiny_pagerank, num_workers=4, seed=1)
+    assert run.runtime > 0
+    assert run.load_time > 0
+    assert run.revocations == 0
+    assert run.checkpoint_partitions == 0  # checkpointing="none"
+    assert len(run.result) > 0
+
+
+def test_run_batch_workload_flint_checkpoints():
+    run = run_batch_workload(
+        tiny_pagerank, num_workers=4, seed=1,
+        checkpointing="flint", cluster_mttf=0.5 * HOUR,
+    )
+    assert run.checkpoint_partitions > 0
+
+
+def test_run_batch_workload_failure_injection():
+    base = run_batch_workload(tiny_pagerank, num_workers=4, seed=1)
+    failed = run_batch_workload(
+        tiny_pagerank, num_workers=4, seed=1,
+        concurrent_failures=2, failure_at=base.runtime * 0.5,
+    )
+    assert failed.revocations == 2
+    assert failed.runtime > base.runtime
+
+
+def test_failure_requires_failure_at():
+    with pytest.raises(ValueError):
+        run_batch_workload(tiny_pagerank, concurrent_failures=1)
+
+
+def test_unknown_checkpointing_mode_rejected():
+    with pytest.raises(ValueError):
+        run_batch_workload(tiny_pagerank, checkpointing="bogus")
+
+
+def test_checkpointing_tax_non_negative_and_reported():
+    result = checkpointing_tax(
+        tiny_pagerank, cluster_mttf=0.5 * HOUR, num_workers=4, seed=1
+    )
+    assert result["checkpointed_runtime"] >= result["baseline_runtime"] * 0.99
+    assert result["tax"] >= -0.01
+    assert result["checkpoint_gb"] >= 0
+
+
+def test_revocation_impact_zero_failures():
+    result = revocation_impact(tiny_pagerank, failures=0, num_workers=4, seed=1)
+    assert result["increase"] == 0.0
+    assert result["runtime"] == result["baseline_runtime"]
+
+
+def test_revocation_impact_positive():
+    result = revocation_impact(
+        tiny_pagerank, failures=1, checkpointing="none", num_workers=4, seed=1
+    )
+    assert result["increase"] > 0.0
+    assert result["runtime"] > result["baseline_runtime"]

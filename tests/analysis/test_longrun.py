@@ -1,0 +1,121 @@
+"""Canonical long-run simulator (the Figures 10-11 harness)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.longrun import (
+    CanonicalConfig,
+    CanonicalSimulator,
+    fixed_market_selector,
+    flint_batch_selector,
+    on_demand_selector,
+    spot_fleet_selector,
+)
+from repro.factory import standard_provider, uniform_mttf_provider
+from repro.simulation.clock import HOUR
+
+
+def test_delta_derivation():
+    cfg = CanonicalConfig(checkpoint_bytes_per_worker=4e9, dfs_write_bandwidth=100e6,
+                          replication=3)
+    assert cfg.delta == pytest.approx(120.0)
+
+
+def test_on_demand_run_has_zero_overhead():
+    provider = standard_provider(seed=2)
+    sim = CanonicalSimulator(provider, CanonicalConfig(job_length=2 * HOUR),
+                             on_demand_selector())
+    out = sim.run_batch_job(0.0)
+    assert out.revocations == 0
+    assert out.overhead == pytest.approx(0.0)
+    assert out.cost == pytest.approx(2 * 0.175 * 10)
+
+
+def test_checkpointing_adds_delta_overhead_without_failures():
+    provider = standard_provider(seed=2)
+    cfg = CanonicalConfig(job_length=2 * HOUR)
+    sim = CanonicalSimulator(provider, cfg, fixed_market_selector("us-west-2c/r3.large"))
+    out = sim.run_batch_job(0.0)
+    if out.revocations == 0:
+        assert out.runtime == pytest.approx(
+            cfg.job_length + out.checkpoints * cfg.delta
+        )
+
+
+def test_volatile_market_revocations_and_recovery():
+    provider = uniform_mttf_provider(seed=6, mttf_hours=0.5, num_markets=3)
+    cfg = CanonicalConfig(job_length=4 * HOUR)
+    sim = CanonicalSimulator(provider, cfg, flint_batch_selector())
+    out = sim.run_batch_job(0.0)
+    assert out.revocations > 0
+    assert out.runtime > out.work
+    assert out.checkpoints > 0
+    assert out.cost > 0
+
+
+def test_no_checkpointing_restarts_from_scratch():
+    """Statistically, recompute-from-scratch loses badly to checkpointing in
+    a volatile market (individual runs can get lucky, so compare sweeps)."""
+    provider = uniform_mttf_provider(seed=6, mttf_hours=1.0, num_markets=3)
+    with_ck = CanonicalSimulator(
+        provider, CanonicalConfig(job_length=3 * HOUR, checkpointing=True),
+        flint_batch_selector(),
+    ).sweep(num_runs=10, spacing=12 * HOUR)
+    without = CanonicalSimulator(
+        provider, CanonicalConfig(job_length=3 * HOUR, checkpointing=False),
+        flint_batch_selector(),
+    ).sweep(num_runs=10, spacing=12 * HOUR)
+    mean_with = sum(o.runtime for o in with_ck) / len(with_ck)
+    mean_without = sum(o.runtime for o in without) / len(without)
+    assert mean_without > mean_with
+
+
+def test_interactive_fractional_losses():
+    provider = uniform_mttf_provider(seed=6, mttf_hours=1.0, num_markets=4)
+    markets = [m.market_id for m in provider.spot_markets()]
+    cfg = CanonicalConfig(job_length=3 * HOUR)
+    sim = CanonicalSimulator(provider, cfg, flint_batch_selector())
+    out = sim.run_interactive_job(0.0, markets)
+    assert out.work == 3 * HOUR
+    assert out.runtime >= out.work
+    # More aggregate events than single-market, each smaller.
+    single = sim.run_batch_job(0.0)
+    if out.revocations and single.revocations:
+        assert out.revocations >= single.revocations
+
+
+def test_sweep_returns_requested_runs():
+    provider = standard_provider(seed=2)
+    sim = CanonicalSimulator(provider, CanonicalConfig(job_length=HOUR),
+                             flint_batch_selector())
+    outs = sim.sweep(num_runs=5, spacing=6 * HOUR)
+    assert len(outs) == 5
+    assert all(o.work == HOUR for o in outs)
+
+
+def test_unit_cost_property():
+    provider = standard_provider(seed=2)
+    sim = CanonicalSimulator(provider, CanonicalConfig(job_length=2 * HOUR),
+                             on_demand_selector())
+    out = sim.run_batch_job(0.0)
+    assert out.unit_cost == pytest.approx(out.cost / 2.0)
+
+
+def test_selectors():
+    provider = standard_provider(seed=2)
+    assert fixed_market_selector("x")(provider, 0.0, ()) == "x"
+    assert on_demand_selector()(provider, 0.0, ()) == "on-demand/r3.large"
+    fleet = spot_fleet_selector()(provider, 0.0, ())
+    assert fleet in provider.markets
+    batch = flint_batch_selector()(provider, 0.0, ())
+    assert batch in provider.markets
+
+
+def test_spot_fleet_selector_excludes():
+    provider = standard_provider(seed=2)
+    sel = spot_fleet_selector()
+    first = sel(provider, 0.0, ())
+    second = sel(provider, 0.0, (first,))
+    assert second != first

@@ -1,0 +1,60 @@
+"""Eq. 1/2 expectations track trace-simulated reality."""
+
+import pytest
+
+from repro.analysis.model_validation import validate_catalog, validate_market
+from repro.factory import uniform_mttf_provider
+from repro.analysis.longrun import CanonicalConfig
+from repro.simulation.clock import HOUR
+
+
+def test_model_matches_simulation_on_stable_market():
+    provider = uniform_mttf_provider(seed=9, mttf_hours=40.0, num_markets=2)
+    point = validate_market(
+        provider, provider.spot_markets()[0].market_id,
+        CanonicalConfig(job_length=4 * HOUR), num_runs=50,
+    )
+    # Few revocations: both should sit near the failure-free runtime.
+    assert point.runtime_error < 0.05
+    assert point.cost_error < 0.25
+
+
+def test_model_matches_simulation_on_volatile_market():
+    provider = uniform_mttf_provider(seed=9, mttf_hours=3.0, num_markets=2)
+    point = validate_market(
+        provider, provider.spot_markets()[0].market_id,
+        CanonicalConfig(job_length=4 * HOUR), num_runs=80,
+    )
+    # First-order model: runtime expectation stays tight...
+    assert point.runtime_error < 0.30
+    # ...while the cost expectation is *conservative* in volatile markets:
+    # Eq. 2 prices the job at the unconditional mean price, but an instance
+    # only ever pays prices at or below its bid (it is revoked before the
+    # spikes it would have been billed for).  Overestimation is the safe
+    # direction for selection; bound it rather than demand exactness.
+    assert point.model_cost >= point.simulated_cost * 0.8
+    assert point.model_cost <= point.simulated_cost * 2.5
+
+
+def test_model_ranks_markets_like_simulation():
+    """What selection actually needs: the *ordering* of markets by cost."""
+    calm = uniform_mttf_provider(seed=9, mttf_hours=40.0, num_markets=1)
+    # Merge a volatile market into the same provider universe.
+    from repro.factory import standard_provider
+    from repro.traces.ec2 import MarketSpec, R3_LARGE
+
+    provider = standard_provider(
+        seed=9,
+        catalog=[
+            MarketSpec("calm/r3.large", R3_LARGE, 60.0, steady_fraction=0.20),
+            MarketSpec("wild/r3.large", R3_LARGE, 2.0, steady_fraction=0.20,
+                       spike_duration_hours=0.05),
+        ],
+    )
+    points = validate_catalog(
+        provider, ["calm/r3.large", "wild/r3.large"],
+        config=CanonicalConfig(job_length=4 * HOUR), num_runs=50,
+    )
+    by_model = sorted(points, key=lambda p: p.model_cost)
+    by_sim = sorted(points, key=lambda p: p.simulated_cost)
+    assert [p.market_id for p in by_model] == [p.market_id for p in by_sim]

@@ -1,0 +1,33 @@
+"""Result table formatting."""
+
+from repro.analysis.tables import format_table
+
+
+def test_basic_table():
+    out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "2.50" in lines[2]
+    assert "x" in lines[3]
+
+
+def test_title_prepended():
+    out = format_table(["h"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_empty_rows():
+    out = format_table(["col"], [])
+    assert "col" in out
+
+
+def test_float_format_override():
+    out = format_table(["v"], [[3.14159]], float_fmt="{:.4f}")
+    assert "3.1416" in out
+
+
+def test_alignment_consistent():
+    out = format_table(["name", "v"], [["long-name-here", 1], ["s", 2]])
+    lines = out.splitlines()
+    assert len(lines[1]) == len(lines[2]) or lines[1].rstrip()

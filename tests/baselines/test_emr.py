@@ -1,0 +1,30 @@
+"""EMR fee model."""
+
+import pytest
+
+from repro.baselines.emr import EMR_FEE_FRACTION, emr_fee, emr_total_cost
+from repro.simulation.clock import HOUR
+
+
+def test_fee_fraction_is_papers_25_percent():
+    assert EMR_FEE_FRACTION == 0.25
+
+
+def test_fee_computation():
+    # 10 instances, 2 hours, $0.175 on-demand => 0.25*0.175*10*2 = 0.875
+    assert emr_fee(0.175, 10, 2 * HOUR) == pytest.approx(0.875)
+
+
+def test_total_cost_adds_fee():
+    assert emr_total_cost(1.0, 0.175, 10, 2 * HOUR) == pytest.approx(1.875)
+
+
+def test_zero_duration_zero_fee():
+    assert emr_fee(0.175, 10, 0.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        emr_fee(0.175, 10, -1.0)
+    with pytest.raises(ValueError):
+        emr_fee(0.175, -1, 1.0)

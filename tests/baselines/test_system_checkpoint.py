@@ -1,0 +1,90 @@
+"""System-level checkpointing baseline (Figure 6b)."""
+
+import pytest
+
+from repro.baselines.system_checkpoint import SystemCheckpointManager
+from repro.simulation.clock import HOUR
+from tests.conftest import build_on_demand_context
+
+
+def test_snapshot_writes_all_cached_blocks_inflated():
+    ctx = build_on_demand_context(2)
+    manager = SystemCheckpointManager(
+        ctx, lambda: 50 * HOUR, system_overhead_factor=2.5, interval=600.0
+    )
+    rdd = ctx.parallelize(list(range(40)), 4, record_size=10_000).persist()
+    rdd.count()
+    queued = manager.snapshot_now()
+    assert queued == 4
+    ctx.env.run_until(ctx.now + 120)
+    # Inflated by the system factor relative to the raw cached bytes.
+    raw = 4 * 10 * 10_000
+    assert manager.stats.bytes_written == pytest.approx(raw * 2.5)
+
+
+def test_snapshot_rewrites_every_time():
+    ctx = build_on_demand_context(2)
+    manager = SystemCheckpointManager(ctx, lambda: 50 * HOUR, interval=600.0)
+    rdd = ctx.parallelize(list(range(40)), 4, record_size=10_000).persist()
+    rdd.count()
+    manager.snapshot_now()
+    ctx.env.run_until(ctx.now + 120)
+    queued_again = manager.snapshot_now()
+    assert queued_again == 4  # no incremental dedupe: full image again
+
+
+def test_timer_drives_snapshots():
+    ctx = build_on_demand_context(2)
+    manager = SystemCheckpointManager(ctx, lambda: 50 * HOUR, interval=300.0)
+    rdd = ctx.parallelize(list(range(40)), 4, record_size=10_000).persist()
+    rdd.count()
+    manager.start()
+    ctx.env.run_until(ctx.now + 1000.0)
+    assert manager.stats.snapshots >= 3
+    manager.stop()
+
+
+def test_derived_interval_uses_system_delta():
+    ctx = build_on_demand_context(2)
+    manager = SystemCheckpointManager(ctx, lambda: 50 * HOUR)
+    rdd = ctx.parallelize(list(range(1000)), 4, record_size=1_000_000).persist()
+    rdd.count()
+    # System delta covers the full cached volume; interval is finite.
+    interval = manager.current_interval()
+    assert manager.min_tau <= interval < float("inf")
+
+
+def test_overhead_factor_validated():
+    ctx = build_on_demand_context(1)
+    with pytest.raises(ValueError):
+        SystemCheckpointManager(ctx, lambda: HOUR, system_overhead_factor=0.5)
+
+
+def test_system_tax_exceeds_flint_tax():
+    """The Figure 6b relationship: whole-memory snapshots cost much more
+    runtime than frontier-only checkpoints at the same interval."""
+    from repro.core.ftmanager import FaultToleranceManager
+
+    def run(with_manager):
+        ctx = build_on_demand_context(4)
+        if with_manager == "system":
+            mgr = SystemCheckpointManager(ctx, lambda: HOUR, interval=20.0)
+            mgr.start()
+        elif with_manager == "flint":
+            mgr = FaultToleranceManager(
+                ctx, lambda: HOUR, initial_delta=2.0, min_tau=5.0, max_tau=20.0
+            )
+            mgr.start()
+        t0 = ctx.now
+        rdd = ctx.parallelize(list(range(800)), 8, record_size=2_000_000).persist()
+        for _ in range(6):
+            rdd = rdd.map(lambda x: x + 1).persist()
+            rdd.count()
+        # Let pending asynchronous writes finish so their cost is visible.
+        ctx.env.run_until(ctx.now + 1.0)
+        return ctx.now - t0
+
+    base = run(None)
+    flint = run("flint")
+    system = run("system")
+    assert system > flint >= base

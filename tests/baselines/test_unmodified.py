@@ -1,0 +1,58 @@
+"""Unmodified-Spark and on-demand baseline constructors."""
+
+from repro.baselines.spot_fleet import SpotFleetNodeManager
+from repro.baselines.unmodified import on_demand_flint, unmodified_spark_flint
+from repro.core.config import FlintConfig, Mode
+from repro.factory import standard_provider
+from repro.simulation.clock import HOUR
+
+
+def test_unmodified_spark_has_no_checkpointing():
+    provider = standard_provider(seed=1)
+    flint = unmodified_spark_flint(provider, FlintConfig(cluster_size=2), seed=1)
+    assert flint.ft_manager is None
+    flint.start()
+    report = flint.run(lambda ctx: ctx.parallelize([1, 2, 3], 2).count())
+    assert report.result == 3
+    assert flint.context.checkpoints.partitions_written == 0
+    flint.shutdown()
+
+
+def test_unmodified_spark_keeps_flint_selection_by_default():
+    provider = standard_provider(seed=1)
+    flint = unmodified_spark_flint(provider, FlintConfig(cluster_size=2), seed=1)
+    flint.start()
+    # Flint's expected-cost policy avoids the churny lowball pools.
+    for market_id in flint.cluster.markets_in_use():
+        market = provider.market(market_id)
+        assert market.mean_recent_price(0.0) <= 1.5 * market.current_price(0.0) + 0.05
+    flint.shutdown()
+
+
+def test_unmodified_spark_with_spotfleet_selection():
+    provider = standard_provider(seed=1)
+    flint = unmodified_spark_flint(
+        provider, FlintConfig(cluster_size=2), seed=1,
+        node_manager_cls=SpotFleetNodeManager,
+    )
+    flint.start()
+    assert isinstance(flint.node_manager, SpotFleetNodeManager)
+    flint.shutdown()
+
+
+def test_on_demand_flint_never_revoked():
+    provider = standard_provider(seed=1)
+    flint = on_demand_flint(provider, FlintConfig(cluster_size=3, T_estimate=HOUR), seed=1)
+    flint.start()
+    assert set(flint.cluster.markets_in_use()) == {"on-demand/r3.large"}
+    flint.idle_until(flint.env.now + 10 * HOUR)
+    assert flint.cluster.size == 3
+    assert len(flint.cluster.revocation_log) == 0
+    flint.shutdown()
+
+
+def test_config_not_mutated():
+    provider = standard_provider(seed=1)
+    cfg = FlintConfig(cluster_size=2, checkpointing_enabled=True)
+    unmodified_spark_flint(provider, cfg, seed=1)
+    assert cfg.checkpointing_enabled  # caller's config untouched

@@ -1,0 +1,141 @@
+"""Cluster membership, revocation events, listeners."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterListener
+from repro.cluster.environment import Environment
+from repro.market.market import OnDemandMarket, SpotMarket
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import HOUR, MINUTE
+from repro.traces.price_trace import PriceTrace
+
+
+class Recorder(ClusterListener):
+    def __init__(self):
+        self.joined = []
+        self.warned = []
+        self.revoked = []
+
+    def on_worker_joined(self, worker, t):
+        self.joined.append((worker.worker_id, t))
+
+    def on_revocation_warning(self, worker, t):
+        self.warned.append((worker.worker_id, t))
+
+    def on_worker_revoked(self, worker, t):
+        self.revoked.append((worker.worker_id, t))
+
+
+def make_cluster(spike_at=5 * HOUR):
+    trace = PriceTrace(
+        [0.0, spike_at, spike_at + 600.0], [0.05, 0.50, 0.05], 100 * HOUR
+    )
+    provider = CloudProvider(
+        [SpotMarket("spot", trace, 0.175, history_offset=0.0), OnDemandMarket("od", 0.175)]
+    )
+    env = Environment(provider, seed=0)
+    cluster = Cluster(env)
+    rec = Recorder()
+    cluster.add_listener(rec)
+    return env, cluster, rec
+
+
+def test_launch_joins_immediately_without_delay():
+    env, cluster, rec = make_cluster()
+    workers = cluster.launch("spot", 0.175, count=3)
+    assert cluster.size == 3
+    assert len(rec.joined) == 3
+    assert all(w.alive for w in workers)
+
+
+def test_launch_with_delay_boots_later():
+    env, cluster, rec = make_cluster()
+    cluster.launch("spot", 0.175, count=1, delay=2 * MINUTE)
+    assert cluster.size == 0
+    env.run_until(2 * MINUTE)
+    assert cluster.size == 1
+    assert rec.joined[0][1] == pytest.approx(2 * MINUTE)
+
+
+def test_revocation_fires_warning_then_kill():
+    env, cluster, rec = make_cluster(spike_at=1 * HOUR)
+    cluster.launch("spot", 0.175, count=2)
+    env.run_until(2 * HOUR)
+    assert [t for _w, t in rec.warned] == [pytest.approx(HOUR - 120.0)] * 2
+    assert [t for _w, t in rec.revoked] == [pytest.approx(HOUR)] * 2
+    assert cluster.size == 0
+    assert len(cluster.revocation_log) == 2
+
+
+def test_revocation_clears_worker_state():
+    env, cluster, _ = make_cluster(spike_at=1 * HOUR)
+    (w,) = cluster.launch("spot", 0.175, count=1)
+    w.local_disk.put("x", None, 10)
+    env.run_until(2 * HOUR)
+    assert not w.alive
+    assert w.local_disk.used_bytes == 0
+    assert not w.instance.is_running
+
+
+def test_on_demand_worker_never_revoked():
+    env, cluster, rec = make_cluster()
+    cluster.launch("od", 0.175, count=1)
+    env.run_until(50 * HOUR)
+    assert cluster.size == 1
+    assert rec.revoked == []
+
+
+def test_terminate_worker_cancels_pending_revocation():
+    env, cluster, rec = make_cluster(spike_at=1 * HOUR)
+    (w,) = cluster.launch("spot", 0.175, count=1)
+    cluster.terminate_worker(w)
+    env.run_until(2 * HOUR)
+    assert rec.revoked == []  # kill event was cancelled
+    assert not w.alive
+
+
+def test_terminate_all_stops_billing():
+    env, cluster, _ = make_cluster()
+    cluster.launch("spot", 0.175, count=3)
+    env.run_until(30 * MINUTE)
+    cluster.terminate_all()
+    cost_at_teardown = env.provider.total_cost(env.now)
+    env.clock.advance_to(10 * HOUR)
+    assert env.provider.total_cost(env.now) == cost_at_teardown
+
+
+def test_force_revoke_subset():
+    env, cluster, rec = make_cluster()
+    workers = cluster.launch("spot", 0.175, count=4)
+    cluster.force_revoke(workers[:2])
+    assert cluster.size == 2
+    assert len(rec.revoked) == 2
+    # Their scheduled natural revocations must not fire again later.
+    env.run_until(20 * HOUR)
+    assert len([1 for w, _ in rec.revoked if w == workers[0].worker_id]) == 1
+
+
+def test_markets_in_use_counts():
+    env, cluster, _ = make_cluster()
+    cluster.launch("spot", 0.175, count=2)
+    cluster.launch("od", 0.175, count=1)
+    assert cluster.markets_in_use() == {"spot": 2, "od": 1}
+
+
+def test_total_storage_memory():
+    env, cluster, _ = make_cluster()
+    workers = cluster.launch("spot", 0.175, count=2)
+    expected = sum(w.storage_memory_bytes for w in workers)
+    assert cluster.total_storage_memory() == expected
+
+
+def test_replacement_revoked_before_boot_stays_dead():
+    """A replacement bought from a market that spikes during its boot window
+    must not come alive after its instance was revoked."""
+    env, cluster, rec = make_cluster(spike_at=1 * HOUR)
+    # Boot delay straddles the spike: launch at t=59min, boots at 61min,
+    # but the market revokes at 60min.
+    env.schedule_at(59 * MINUTE, "launch", callback=lambda e: cluster.launch(
+        "spot", 0.175, count=1, delay=2 * MINUTE))
+    env.run_until(2 * HOUR)
+    assert cluster.size == 0

@@ -1,0 +1,69 @@
+"""Environment: event pumping and time control."""
+
+import pytest
+
+from repro.cluster.environment import Environment
+from repro.market.market import OnDemandMarket
+from repro.market.provider import CloudProvider
+
+
+def make_env():
+    return Environment(CloudProvider([OnDemandMarket("od", 0.175)]), seed=1)
+
+
+def test_schedule_and_step():
+    env = make_env()
+    fired = []
+    env.schedule_at(5.0, "a", callback=lambda e: fired.append((e.kind, e.time)))
+    env.schedule_at(2.0, "b", callback=lambda e: fired.append((e.kind, e.time)))
+    env.step()
+    assert env.now == 2.0
+    env.step()
+    assert env.now == 5.0
+    assert fired == [("b", 2.0), ("a", 5.0)]
+
+
+def test_step_empty_returns_none():
+    env = make_env()
+    assert env.step() is None
+
+
+def test_schedule_in_relative():
+    env = make_env()
+    env.schedule_at(3.0, "x")
+    env.step()
+    event = env.schedule_in(2.0, "y")
+    assert event.time == 5.0
+
+
+def test_schedule_at_past_clamps_to_now():
+    env = make_env()
+    env.schedule_at(10.0, "x")
+    env.step()
+    event = env.schedule_at(1.0, "late")
+    assert event.time == 10.0
+
+
+def test_run_until_processes_and_advances():
+    env = make_env()
+    fired = []
+    for t in [1.0, 2.0, 8.0]:
+        env.schedule_at(t, f"e{t}", callback=lambda e: fired.append(e.time))
+    count = env.run_until(5.0)
+    assert count == 2
+    assert fired == [1.0, 2.0]
+    assert env.now == 5.0
+
+
+def test_events_scheduled_during_run_until_are_processed():
+    env = make_env()
+    fired = []
+
+    def chain(event):
+        fired.append(event.time)
+        if event.time < 3.0:
+            env.schedule_in(1.0, "next", callback=chain)
+
+    env.schedule_at(1.0, "first", callback=chain)
+    env.run_until(10.0)
+    assert fired == [1.0, 2.0, 3.0]

@@ -1,0 +1,50 @@
+"""Worker resources and kill semantics."""
+
+import pytest
+
+from repro.cluster.worker import DEFAULT_STORAGE_FRACTION, Worker
+from repro.engine.block_manager import BlockManager
+from repro.market.instance import Instance
+from repro.traces.ec2 import INSTANCE_TYPES
+
+
+def make_worker(storage_fraction=DEFAULT_STORAGE_FRACTION):
+    inst = Instance("i-1", "m", "r3.large", 0.175, 0.0)
+    return Worker("w-1", inst, storage_fraction=storage_fraction)
+
+
+def test_resources_follow_instance_type():
+    w = make_worker()
+    r3 = INSTANCE_TYPES["r3.large"]
+    assert w.slots == r3.vcpus == 2
+    assert w.memory_bytes == int(r3.memory_gb * 10**9)
+    assert w.local_disk.capacity_bytes == int(r3.local_disk_gb * 10**9)
+
+
+def test_storage_memory_is_fraction():
+    w = make_worker(storage_fraction=0.4)
+    assert w.storage_memory_bytes == int(0.4 * w.memory_bytes)
+
+
+def test_invalid_storage_fraction():
+    with pytest.raises(ValueError):
+        make_worker(storage_fraction=0.0)
+    with pytest.raises(ValueError):
+        make_worker(storage_fraction=1.5)
+
+
+def test_kill_clears_volatile_state():
+    w = make_worker()
+    w.block_manager = BlockManager(w)
+    w.block_manager.put("rdd_0_0", [1], 100)
+    w.local_disk.put("shuffle/0/map_0", [[1]], 100)
+    w.kill()
+    assert not w.alive
+    assert w.local_disk.used_bytes == 0
+    assert w.block_manager.used_bytes == 0
+
+
+def test_kill_without_block_manager_is_safe():
+    w = make_worker()
+    w.kill()
+    assert not w.alive

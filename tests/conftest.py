@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic clusters and providers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.environment import Environment
+from repro.engine.context import FlintContext
+from repro.market.market import OnDemandMarket, SpotMarket
+from repro.market.provider import CloudProvider
+from repro.simulation.clock import HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import peaky_trace
+
+
+def build_on_demand_context(num_workers: int = 4, seed: int = 0):
+    """An engine context over non-revocable workers (pure-engine tests)."""
+    provider = CloudProvider([OnDemandMarket("od/r3.large", 0.175)])
+    env = Environment(provider, seed=seed)
+    cluster = Cluster(env)
+    ctx = FlintContext(env, cluster)
+    cluster.launch("od/r3.large", bid=0.175, count=num_workers)
+    return ctx
+
+
+def build_spot_context(
+    num_workers: int = 4, mttf_hours: float = 2.0, seed: int = 0
+):
+    """A context over one volatile spot market (failure tests).
+
+    Returns ``(ctx, market_id)``.
+    """
+    rng = SeededRNG(seed, "test-spot")
+    trace = peaky_trace(
+        rng,
+        on_demand_price=0.175,
+        spike_rate_per_hour=1.0 / mttf_hours,
+        spike_duration_mean=180.0,
+        step=60.0,
+        horizon=30 * 24 * HOUR,
+    )
+    provider = CloudProvider(
+        [
+            SpotMarket("volatile/r3.large", trace, 0.175),
+            OnDemandMarket("od/r3.large", 0.175),
+        ]
+    )
+    env = Environment(provider, seed=seed)
+    cluster = Cluster(env)
+    ctx = FlintContext(env, cluster)
+    cluster.launch("volatile/r3.large", bid=0.175, count=num_workers)
+    return ctx, "volatile/r3.large"
+
+
+@pytest.fixture
+def ctx():
+    """Default 4-worker on-demand context."""
+    return build_on_demand_context()
+
+
+@pytest.fixture
+def big_ctx():
+    """10-worker on-demand context (paper's cluster size)."""
+    return build_on_demand_context(num_workers=10)

@@ -1,0 +1,62 @@
+"""The what-if advisor."""
+
+import pytest
+
+from repro.core.advisor import Advice, JobProfile, advise
+from repro.factory import standard_provider
+from repro.simulation.clock import HOUR
+
+
+@pytest.fixture(scope="module")
+def advice():
+    provider = standard_provider(seed=21)
+    return advise(provider, JobProfile(runtime=2 * HOUR, cluster_size=10))
+
+
+def test_quotes_cover_every_market(advice):
+    provider_markets = 16  # 15 catalog pools + on-demand
+    assert len(advice.quotes) == provider_markets
+
+
+def test_profile_delta():
+    profile = JobProfile(checkpoint_bytes=40e9, dfs_write_bandwidth=100e6,
+                         replication=3, cluster_size=10)
+    assert profile.delta == pytest.approx(120.0)
+
+
+def test_batch_choice_is_cheapest_usable(advice):
+    usable = [q for q in advice.quotes if not q.spiking]
+    cheapest = min(usable, key=lambda q: q.expected_cost)
+    assert advice.batch_choice.market_id == cheapest.market_id
+
+
+def test_batch_choice_beats_on_demand(advice):
+    assert advice.batch_choice.expected_cost < 0.5 * advice.on_demand_cost
+
+
+def test_interactive_mix_diversified(advice):
+    assert len(advice.interactive_mix) > 1
+    single_std = min(
+        q.runtime_std for q in advice.quotes
+        if q.market_id == advice.batch_choice.market_id
+    )
+    assert advice.interactive_std <= single_std + 1e-9
+
+
+def test_expected_runtime_at_least_T(advice):
+    for q in advice.quotes:
+        assert q.expected_runtime >= advice.profile.runtime
+
+
+def test_on_demand_quote_is_exact(advice):
+    od = next(q for q in advice.quotes if q.market_id == "on-demand/r3.large")
+    assert od.expected_runtime == pytest.approx(advice.profile.runtime)
+    assert od.mttf == float("inf")
+
+
+def test_render_is_complete(advice):
+    text = advice.render()
+    assert "market quotes" in text
+    assert "batch pick" in text
+    assert "interactive mix" in text
+    assert "savings" in text

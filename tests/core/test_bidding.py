@@ -1,0 +1,78 @@
+"""Bidding strategies and the stratification claim."""
+
+import pytest
+
+from repro.core.bidding import (
+    FixedMultiplierBidding,
+    StratifiedBidding,
+    simultaneous_revocation_fraction,
+)
+from repro.market.market import SpotMarket
+from repro.simulation.clock import DAY, HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import peaky_trace
+from repro.traces.price_trace import PriceTrace
+
+
+def peaky_market(seed=1, heights=(2.0, 10.0)):
+    trace = peaky_trace(
+        SeededRNG(seed, "bid"), 0.175, spike_rate_per_hour=1 / 10.0,
+        spike_height_range=heights, horizon=30 * DAY,
+    )
+    return SpotMarket("m", trace, 0.175)
+
+
+def test_fixed_multiplier():
+    market = peaky_market()
+    assert FixedMultiplierBidding(1.0).bid_for(market) == pytest.approx(0.175)
+    assert FixedMultiplierBidding(2.0).bid_for(market) == pytest.approx(0.35)
+
+
+def test_stratified_cycles_bids():
+    market = peaky_market()
+    policy = StratifiedBidding([0.9, 1.1])
+    bids = policy.bids_for_fleet(market, 4)
+    assert bids == pytest.approx([0.175 * 0.9, 0.175 * 1.1] * 2)
+
+
+def test_stratified_validation():
+    with pytest.raises(ValueError):
+        StratifiedBidding([])
+    with pytest.raises(ValueError):
+        StratifiedBidding([1.0, -1.0])
+
+
+def test_large_spikes_defeat_stratification():
+    """The paper's §3.2.2 claim: current spot spikes overshoot the whole bid
+    stratum, so everything is revoked together."""
+    market = peaky_market(heights=(2.0, 10.0))
+    bids = StratifiedBidding([0.8, 1.0, 1.25, 1.5]).bids_for_fleet(market, 8)
+    frac = simultaneous_revocation_fraction(market, bids, 0.0, 30 * DAY)
+    assert frac == pytest.approx(1.0)
+
+
+def test_small_spikes_would_reward_stratification():
+    """In a hypothetical market with shallow spikes, stratified bids *would*
+    fail at different times — it's the spike magnitude, not the idea, that
+    kills stratification today."""
+    trace = PriceTrace(
+        [0.0, 5 * HOUR, 5.1 * HOUR, 10 * HOUR, 10.1 * HOUR],
+        [0.05, 0.20, 0.05, 0.40, 0.05],
+        30 * DAY,
+    )
+    market = SpotMarket("shallow", trace, 0.175, history_offset=0.0)
+    bids = [0.175 * 0.9, 0.175 * 2.0]
+    frac = simultaneous_revocation_fraction(market, bids, 0.0, 30 * DAY)
+    assert frac < 1.0
+
+
+def test_no_revocations_returns_zero():
+    market = SpotMarket("flat", PriceTrace([0.0], [0.05], DAY), 0.175, history_offset=0.0)
+    frac = simultaneous_revocation_fraction(market, [0.175, 0.35], 0.0, DAY)
+    assert frac == 0.0
+
+
+def test_empty_bids_rejected():
+    market = peaky_market()
+    with pytest.raises(ValueError):
+        simultaneous_revocation_fraction(market, [], 0.0, DAY)

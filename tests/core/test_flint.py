@@ -1,0 +1,109 @@
+"""Flint facade: lifecycle, job reports, cost summary."""
+
+import pytest
+
+from repro import Flint, FlintConfig, Mode, standard_provider
+from repro.core.config import FlintConfig as Cfg
+from repro.factory import uniform_mttf_provider
+from repro.simulation.clock import HOUR
+
+
+def make_flint(**kwargs):
+    defaults = dict(cluster_size=4, mode=Mode.BATCH, T_estimate=HOUR)
+    defaults.update(kwargs)
+    provider = standard_provider(seed=9)
+    return Flint(provider, FlintConfig(**defaults), seed=9)
+
+
+def test_start_provisions_cluster():
+    flint = make_flint()
+    flint.start()
+    assert flint.cluster.size == 4
+    assert flint.current_tau is not None and flint.current_tau > 0
+    flint.shutdown()
+
+
+def test_run_before_start_raises():
+    flint = make_flint()
+    with pytest.raises(RuntimeError):
+        flint.run(lambda ctx: None)
+
+
+def test_run_reports_runtime_and_cost():
+    flint = make_flint()
+    flint.start()
+    report = flint.run(
+        lambda ctx: ctx.parallelize(list(range(100)), 8, record_size=100_000).sum(),
+        name="sum",
+    )
+    assert report.name == "sum"
+    assert report.result == sum(range(100))
+    assert report.runtime > 0
+    assert report.finished_at > report.started_at
+    flint.shutdown()
+
+
+def test_cost_summary_includes_ebs():
+    flint = make_flint()
+    flint.start()
+    flint.run(lambda ctx: ctx.parallelize(list(range(10)), 2).count())
+    flint.idle_until(flint.env.now + HOUR)
+    summary = flint.cost_summary()
+    assert summary["instance_cost"] > 0
+    assert summary["ebs_cost"] > 0
+    assert summary["total_cost"] == pytest.approx(
+        summary["instance_cost"] + summary["ebs_cost"]
+    )
+    # §4: EBS is a small fraction of instance cost.
+    assert summary["ebs_cost"] < 0.25 * summary["instance_cost"]
+    flint.shutdown()
+
+
+def test_checkpointing_disabled_mode():
+    provider = standard_provider(seed=9)
+    cfg = FlintConfig(cluster_size=2, checkpointing_enabled=False)
+    flint = Flint(provider, cfg, seed=9)
+    flint.start()
+    assert flint.ft_manager is None
+    assert flint.current_tau is None
+    flint.shutdown()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        Cfg(cluster_size=0)
+    with pytest.raises(ValueError):
+        Cfg(bid_multiplier=0.0)
+    with pytest.raises(ValueError):
+        Cfg(min_tau=0.0)
+
+
+def test_flint_survives_revocations_during_job():
+    provider = uniform_mttf_provider(seed=4, mttf_hours=0.3, num_markets=4)
+    flint = Flint(
+        provider,
+        FlintConfig(cluster_size=4, mode=Mode.BATCH, T_estimate=HOUR),
+        seed=4,
+    )
+    flint.start()
+
+    def job(ctx):
+        rdd = ctx.generate(
+            lambda p: [(i % 10, 1) for i in range(p * 500, (p + 1) * 500)],
+            8,
+            record_size=2_000_000,
+        )
+        return dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+
+    report = flint.run(job)
+    assert sum(report.result.values()) == 8 * 500
+    flint.shutdown()
+
+
+def test_revocations_counted_in_report():
+    provider = uniform_mttf_provider(seed=4, mttf_hours=0.1, num_markets=4)
+    flint = Flint(provider, FlintConfig(cluster_size=3, T_estimate=HOUR), seed=4)
+    flint.start()
+    flint.idle_until(flint.env.now + 1 * HOUR)
+    assert len(flint.cluster.revocation_log) > 0
+    flint.shutdown()

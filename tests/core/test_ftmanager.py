@@ -1,0 +1,180 @@
+"""Fault-tolerance manager: τ adaptation, frontier marking, shuffle rule."""
+
+import math
+
+import pytest
+
+from repro.core.ftmanager import FaultToleranceManager
+from repro.simulation.clock import HOUR
+from tests.conftest import build_on_demand_context
+
+
+def attach_ft(ctx, mttf_hours=50.0, **kwargs):
+    return FaultToleranceManager(ctx, lambda: mttf_hours * HOUR, **kwargs)
+
+
+def test_attaches_to_context():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx)
+    assert ctx.ft_manager is ft
+
+
+def test_conservative_initial_delta_assumes_full_memory():
+    ctx = build_on_demand_context(10)
+    ft = attach_ft(ctx)
+    # 10 workers x 6GB storage x3 replication / (100MB/s x 10 workers) = 180s
+    assert ft.delta == pytest.approx(180.0, rel=0.05)
+
+
+def test_explicit_initial_delta():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, initial_delta=42.0)
+    assert ft.delta == 42.0
+
+
+def test_tau_follows_daly_formula():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=50.0, initial_delta=60.0)
+    assert ft.tau == pytest.approx(math.sqrt(2 * 60.0 * 50 * HOUR))
+
+
+def test_tau_clamped_by_bounds():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, initial_delta=0.0001, min_tau=30.0)
+    assert ft.tau == 30.0
+    ft2 = FaultToleranceManager(
+        build_on_demand_context(2), lambda: 1000 * HOUR, initial_delta=600.0, max_tau=900.0
+    )
+    assert ft2.tau == 900.0
+
+
+def test_set_delta_refreshes_tau():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, initial_delta=60.0)
+    tau_before = ft.tau
+    ft.set_delta(240.0)
+    assert ft.tau == pytest.approx(tau_before * 2.0)
+    with pytest.raises(ValueError):
+        ft.set_delta(-1.0)
+
+
+def test_infinite_mttf_disables_timer():
+    ctx = build_on_demand_context(2)
+    ft = FaultToleranceManager(ctx, lambda: float("inf"), initial_delta=60.0)
+    ft.start()
+    assert math.isinf(ft.tau)
+    assert len(ctx.env.events) == 0  # no timer scheduled
+
+
+def test_timer_sets_due_and_reschedules():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=1.0, initial_delta=10.0)
+    ft.start()
+    assert not ft.checkpoint_due
+    ctx.env.run_until(ft.tau + 1.0)
+    assert ft.checkpoint_due
+    assert ft.stats.timer_fires == 1
+    ctx.env.run_until(2 * ft.tau + 2.0)
+    assert ft.stats.timer_fires == 2
+
+
+def test_stop_cancels_timer():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=1.0, initial_delta=10.0)
+    ft.start()
+    ft.stop()
+    ctx.env.run_until(10 * HOUR)
+    assert ft.stats.timer_fires == 0
+
+
+def test_due_flag_marks_next_generated_rdd():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=1.0, initial_delta=10.0)
+    ft._due = True
+    rdd = ctx.parallelize(list(range(8)), 2, record_size=1000).map(lambda x: x).persist()
+    rdd.count()
+    assert ctx.checkpoints.is_marked(rdd)
+    assert not ft.checkpoint_due  # consumed
+    assert ft.stats.rdds_marked == 1
+    ctx.env.run_until(ctx.now + 60)
+    assert ctx.checkpoints.is_fully_checkpointed(rdd)
+
+
+def test_without_due_no_marking():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=1000.0, initial_delta=10.0)
+    rdd = ctx.parallelize(list(range(8)), 2).map(lambda x: x).persist()
+    rdd.count()
+    assert not ctx.checkpoints.is_marked(rdd)
+
+
+def test_shuffle_outputs_marked_at_shuffle_interval():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=2.0, initial_delta=30.0)
+    # Move past the first shuffle interval so the rule can fire.
+    ctx.env.clock.advance_to(ft.tau)
+    shuffled = ctx.parallelize([(i % 3, i) for i in range(30)], 4, record_size=1000).reduce_by_key(
+        lambda a, b: a + b
+    )
+    shuffled.collect()
+    assert ft.stats.shuffle_marks >= 1
+
+
+def test_delta_tracks_materialized_frontier_bytes():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=50.0)
+    initial = ft.delta
+    rdd = ctx.parallelize(list(range(100)), 4, record_size=10_000).persist()
+    rdd.count()
+    # Frontier is 1MB, far below the conservative all-memory bound.
+    assert ft.delta < initial
+    assert ft.stats.delta_updates >= 1
+
+
+def test_reset_conservative_delta_after_provisioning():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, initial_delta=None)
+    before = ft.delta
+    ctx.cluster.launch("od/r3.large", 0.175, count=2)
+    ft.reset_conservative_delta()
+    # Same per-worker memory and bandwidth => delta unchanged by scale,
+    # but the call must not blow up and must keep tau consistent.
+    assert ft.delta == pytest.approx(before)
+    assert len(ft.stats.tau_history) >= 1
+
+
+def test_timer_marks_cached_frontier():
+    """Policy 1's letter: every τ, the current frontier gets checkpointed —
+    including long-lived cached RDDs generated before the timer ever fired
+    (an interactive session's tables, KMeans's points)."""
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=1.0, initial_delta=10.0, max_tau=120.0)
+    table = ctx.parallelize(list(range(40)), 4, record_size=10_000).persist()
+    table.count()
+    ft.start()
+    ctx.env.run_until(ctx.now + 3 * ft.tau)
+    assert ctx.checkpoints.is_fully_checkpointed(table)
+
+
+def test_cached_frontier_excludes_interior_rdds():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=1.0, initial_delta=10.0)
+    base = ctx.parallelize(list(range(20)), 2, record_size=100).persist()
+    derived = base.map(lambda x: x + 1).persist()
+    base.count()
+    derived.count()
+    frontier = ft._cached_frontier()
+    ids = {r.rdd_id for r in frontier}
+    assert derived.rdd_id in ids
+    assert base.rdd_id not in ids
+
+
+def test_shuffle_rule_can_be_disabled():
+    ctx = build_on_demand_context(2)
+    ft = attach_ft(ctx, mttf_hours=0.5, initial_delta=5.0,
+                   shuffle_rule_enabled=False)
+    ctx.env.clock.advance_to(ft.tau)
+    shuffled = ctx.parallelize([(i % 3, i) for i in range(30)], 4,
+                               record_size=1000).reduce_by_key(lambda a, b: a + b)
+    shuffled.collect()
+    assert ft.stats.shuffle_marks == 0

@@ -1,0 +1,88 @@
+"""Optimal checkpoint interval math (§3.1.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import (
+    checkpoint_time_estimate,
+    optimal_checkpoint_interval,
+    shuffle_checkpoint_interval,
+)
+from repro.simulation.clock import HOUR
+
+
+def test_daly_formula():
+    # τ = sqrt(2 * 60s * 50h)
+    tau = optimal_checkpoint_interval(60.0, 50 * HOUR)
+    assert tau == pytest.approx(math.sqrt(2 * 60 * 50 * 3600))
+
+
+def test_infinite_mttf_never_checkpoints():
+    assert optimal_checkpoint_interval(60.0, float("inf")) == float("inf")
+
+
+def test_zero_delta_gives_zero_interval():
+    assert optimal_checkpoint_interval(0.0, HOUR) == 0.0
+
+
+def test_mttf_below_delta_clamps_to_delta():
+    # Guarantees forward progress is impossible; checkpoint ASAP.
+    assert optimal_checkpoint_interval(100.0, 50.0) == 100.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        optimal_checkpoint_interval(-1.0, HOUR)
+    with pytest.raises(ValueError):
+        optimal_checkpoint_interval(1.0, 0.0)
+
+
+@given(st.floats(0.001, 1e4), st.floats(1.0, 1e7))
+@settings(max_examples=100, deadline=None)
+def test_tau_monotone_in_inputs(delta, mttf):
+    tau = optimal_checkpoint_interval(delta, mttf)
+    assert tau > 0
+    # Monotone: more failure-prone -> checkpoint at least as often.
+    assert optimal_checkpoint_interval(delta, mttf * 2) >= tau
+    # More expensive checkpoints -> spaced at least as far apart.
+    assert optimal_checkpoint_interval(delta * 2, mttf) >= tau
+
+
+@given(st.floats(0.001, 100.0), st.floats(1e3, 1e7))
+@settings(max_examples=50, deadline=None)
+def test_tau_is_the_overhead_minimiser(delta, mttf):
+    """τ from the formula beats nearby intervals on the first-order
+    overhead model δ/τ + τ/(2·MTTF)."""
+
+    def overhead(tau):
+        return delta / tau + tau / (2 * mttf)
+
+    tau = optimal_checkpoint_interval(delta, mttf)
+    if mttf > delta:
+        assert overhead(tau) <= overhead(tau * 1.5) + 1e-12
+        assert overhead(tau) <= overhead(tau / 1.5) + 1e-12
+
+
+def test_shuffle_interval_divides_by_map_partitions():
+    assert shuffle_checkpoint_interval(160.0, 16) == pytest.approx(10.0)
+    assert shuffle_checkpoint_interval(float("inf"), 16) == float("inf")
+    with pytest.raises(ValueError):
+        shuffle_checkpoint_interval(100.0, 0)
+
+
+def test_checkpoint_time_estimate():
+    # 10GB replicated 3x over 10 workers at 100MB/s each => 30s.
+    delta = checkpoint_time_estimate(10e9, 10, 100e6, replication=3)
+    assert delta == pytest.approx(30.0)
+
+
+def test_checkpoint_time_estimate_validation():
+    with pytest.raises(ValueError):
+        checkpoint_time_estimate(-1, 10, 100e6)
+    with pytest.raises(ValueError):
+        checkpoint_time_estimate(1e9, 0, 100e6)
+    with pytest.raises(ValueError):
+        checkpoint_time_estimate(1e9, 10, 0)

@@ -1,0 +1,140 @@
+"""Node manager: provisioning, restoration, cluster MTTF."""
+
+import math
+
+import pytest
+
+from repro.core.config import FlintConfig, Mode
+from repro.core.node_manager import NodeManager
+from repro.cluster.cluster import Cluster
+from repro.cluster.environment import Environment
+from repro.factory import standard_provider, uniform_mttf_provider
+from repro.simulation.clock import HOUR
+
+
+def make_nm(mode=Mode.BATCH, n=6, provider=None, seed=0, **cfg_kwargs):
+    provider = provider or standard_provider(seed=seed)
+    env = Environment(provider, seed=seed)
+    cluster = Cluster(env)
+    config = FlintConfig(cluster_size=n, mode=mode, T_estimate=2 * HOUR, **cfg_kwargs)
+    return NodeManager(cluster, config), cluster, env
+
+
+def test_batch_provisions_single_market():
+    nm, cluster, _ = make_nm(Mode.BATCH, n=6)
+    nm.provision()
+    in_use = cluster.markets_in_use()
+    assert sum(in_use.values()) == 6
+    assert len(in_use) == 1
+
+
+def test_interactive_provisions_multiple_markets():
+    nm, cluster, _ = make_nm(Mode.INTERACTIVE, n=8)
+    nm.provision()
+    in_use = cluster.markets_in_use()
+    assert sum(in_use.values()) == 8
+    assert len(in_use) > 1
+    # Servers spread roughly equally.
+    assert max(in_use.values()) - min(in_use.values()) <= 1
+
+
+def test_cluster_mttf_single_market():
+    nm, cluster, _ = make_nm(Mode.BATCH)
+    nm.provision()
+    mttf = nm.cluster_mttf()
+    assert 0 < mttf < float("inf")
+
+
+def test_cluster_mttf_override():
+    nm, cluster, _ = make_nm(Mode.BATCH, mttf_override=50 * HOUR)
+    nm.provision()
+    assert nm.cluster_mttf() == 50 * HOUR
+
+
+def test_cluster_mttf_empty_cluster_is_infinite():
+    nm, cluster, _ = make_nm(Mode.BATCH)
+    assert math.isinf(nm.cluster_mttf())
+
+
+def test_interactive_mttf_is_harmonic_aggregate():
+    nm, cluster, _ = make_nm(Mode.INTERACTIVE, n=8)
+    nm.provision()
+    aggregate = nm.cluster_mttf()
+    # Aggregate is below any single in-use market's MTTF.
+    for market_id in cluster.markets_in_use():
+        market = nm.provider.market(market_id)
+        single = market.estimate_mttf(market.on_demand_price, 0.0)
+        assert aggregate <= single + 1e-6
+
+
+def test_revocation_triggers_replacement():
+    provider = uniform_mttf_provider(seed=3, mttf_hours=2.0, num_markets=4)
+    nm, cluster, env = make_nm(Mode.BATCH, n=4, provider=provider)
+    nm.provision()
+    victim = cluster.live_workers()[0]
+    cluster.force_revoke([victim])
+    assert nm.stats.replacements_requested == 1
+    env.run_until(env.now + nm.provider.replacement_delay + 1.0)
+    assert cluster.size == 4
+    # Restoration excludes the revoked market.
+    new_worker = cluster.live_workers()[-1]
+    assert new_worker.instance.market_id != victim.instance.market_id or \
+        len(provider.spot_markets()) == 1
+
+
+def test_warning_triggers_proactive_replacement():
+    provider = uniform_mttf_provider(seed=3, mttf_hours=1.0, num_markets=4)
+    nm, cluster, env = make_nm(Mode.BATCH, n=3, provider=provider)
+    nm.provision()
+    first_kill = min(
+        w.instance.revocation_time for w in cluster.live_workers()
+        if w.instance.revocation_time is not None
+    )
+    env.run_until(first_kill + nm.provider.replacement_delay + 1.0)
+    assert nm.stats.warning_replacements >= 1
+    assert cluster.size == 3  # replacements arrived as the old servers died
+
+
+def test_no_double_replacement_for_same_worker():
+    provider = uniform_mttf_provider(seed=3, mttf_hours=1.0, num_markets=4)
+    nm, cluster, env = make_nm(Mode.BATCH, n=3, provider=provider)
+    nm.provision()
+    env.run_until(env.now + 3 * HOUR)
+    # Every replacement corresponds to one dead worker (no duplicates).
+    dead = [w for w in cluster.workers.values() if not w.instance.is_running]
+    assert nm.stats.replacements_requested <= len(dead) + nm.config.cluster_size
+
+
+def test_shutdown_stops_replacement():
+    provider = uniform_mttf_provider(seed=3, mttf_hours=1.0, num_markets=4)
+    nm, cluster, env = make_nm(Mode.BATCH, n=3, provider=provider)
+    nm.provision()
+    nm.shutdown()
+    before = nm.stats.replacements_requested
+    cluster.force_revoke(cluster.live_workers())
+    assert nm.stats.replacements_requested == before
+
+
+def test_workers_inherit_market_instance_type():
+    nm, cluster, _ = make_nm(Mode.INTERACTIVE, n=10)
+    nm.provision()
+    for worker in cluster.live_workers():
+        market = nm.provider.market(worker.instance.market_id)
+        expected = getattr(market, "instance_type", None)
+        if expected is not None:
+            assert worker.instance_type.name == expected.name
+
+
+def test_churn_guard_falls_back_to_on_demand():
+    """In an ultra-volatile universe where replacements die as fast as they
+    boot, the node manager must escape to on-demand capacity (the §3.1.2
+    worst case) instead of buying spot instances forever."""
+    provider = uniform_mttf_provider(seed=4, mttf_hours=0.1, num_markets=4)
+    nm, cluster, env = make_nm(Mode.BATCH, n=3, provider=provider, seed=4)
+    nm.provision()
+    env.run_until(env.now + 2 * HOUR)
+    assert nm.stats.on_demand_fallbacks > 0
+    # Bounded churn: the instance count stays far below one-per-warning.
+    assert len(nm.provider.instances) < 200
+    # The cluster ends up healthy on non-revocable capacity.
+    assert cluster.size >= 3

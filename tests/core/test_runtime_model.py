@@ -1,0 +1,135 @@
+"""Equations 1-4 and the variance model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime_model import (
+    expected_cost,
+    expected_runtime,
+    expected_runtime_multi,
+    harmonic_mttf,
+    runtime_std,
+    runtime_variance,
+)
+from repro.simulation.clock import HOUR
+
+
+def test_harmonic_mttf_equal_markets():
+    # m identical markets: aggregate = mttf / m.
+    assert harmonic_mttf([10.0, 10.0]) == pytest.approx(5.0)
+    assert harmonic_mttf([30.0, 30.0, 30.0]) == pytest.approx(10.0)
+
+
+def test_harmonic_mttf_infinite_contributes_nothing():
+    assert harmonic_mttf([float("inf")]) == float("inf")
+    assert harmonic_mttf([10.0, float("inf")]) == pytest.approx(10.0)
+
+
+def test_harmonic_mttf_validation():
+    with pytest.raises(ValueError):
+        harmonic_mttf([])
+    with pytest.raises(ValueError):
+        harmonic_mttf([0.0])
+
+
+@given(st.lists(st.floats(1.0, 1e7), min_size=1, max_size=8))
+@settings(max_examples=80, deadline=None)
+def test_harmonic_mttf_at_most_min(mttfs):
+    assert harmonic_mttf(mttfs) <= min(mttfs) + 1e-9
+
+
+def test_expected_runtime_eq1():
+    T, delta, mttf, rd = 3600.0, 60.0, 50 * HOUR, 120.0
+    tau = math.sqrt(2 * delta * mttf)
+    manual = T * (1 + delta / tau + (tau / 2 + rd) / mttf)
+    assert expected_runtime(T, delta, mttf) == pytest.approx(manual)
+
+
+def test_expected_runtime_on_demand_is_T():
+    assert expected_runtime(3600.0, 60.0, float("inf")) == 3600.0
+
+
+def test_expected_runtime_explicit_tau():
+    got = expected_runtime(3600.0, 60.0, 10 * HOUR, tau=600.0)
+    manual = 3600.0 * (1 + 60 / 600 + (300 + 120) / (10 * HOUR))
+    assert got == pytest.approx(manual)
+
+
+@given(st.floats(1.0, 1e5), st.floats(0.01, 1e3), st.floats(10.0, 1e7))
+@settings(max_examples=80, deadline=None)
+def test_expected_runtime_at_least_T(T, delta, mttf):
+    assert expected_runtime(T, delta, mttf) >= T
+
+
+def test_expected_cost_eq2():
+    cost = expected_cost(3600.0, 60.0, 50 * HOUR, price_per_hour=0.05)
+    runtime = expected_runtime(3600.0, 60.0, 50 * HOUR)
+    assert cost == pytest.approx(runtime / 3600.0 * 0.05)
+
+
+def test_expected_cost_scales_with_servers():
+    one = expected_cost(3600.0, 60.0, 50 * HOUR, 0.05, num_servers=1)
+    ten = expected_cost(3600.0, 60.0, 50 * HOUR, 0.05, num_servers=10)
+    assert ten == pytest.approx(10 * one)
+
+
+def test_expected_runtime_multi_eq4_single_market_matches_eq1():
+    single = expected_runtime(3600.0, 60.0, 20 * HOUR)
+    multi = expected_runtime_multi(3600.0, 60.0, [20 * HOUR])
+    assert multi == pytest.approx(single)
+
+
+def test_expected_runtime_multi_dampens_per_event_loss():
+    """Same aggregate MTTF, but losses split across m markets."""
+    T, delta = 3600.0, 60.0
+    tau = 600.0
+    one = expected_runtime(T, delta, 10 * HOUR, tau=tau)
+    # Two markets at 20h each: aggregate 10h, but each event loses half.
+    two = expected_runtime_multi(T, delta, [20 * HOUR, 20 * HOUR], tau=tau)
+    assert two < one
+
+
+def test_variance_decreases_with_diversification():
+    T, delta = 2 * HOUR, 60.0
+    base = 20 * HOUR
+    variances = [
+        runtime_variance(T, delta, [base / 1] * 1),
+        runtime_variance(T, delta, [base / 1] * 2),
+        runtime_variance(T, delta, [base / 1] * 4),
+        runtime_variance(T, delta, [base / 1] * 8),
+    ]
+    assert variances == sorted(variances, reverse=True)
+    assert all(v > 0 for v in variances)
+
+
+def test_variance_zero_on_demand():
+    assert runtime_variance(3600.0, 60.0, [float("inf")]) == 0.0
+    assert runtime_std(3600.0, 60.0, [float("inf")]) == 0.0
+
+
+def test_variance_validation():
+    with pytest.raises(ValueError):
+        runtime_variance(3600.0, 60.0, [])
+    with pytest.raises(ValueError):
+        runtime_variance(-1.0, 60.0, [HOUR])
+
+
+@given(
+    st.floats(60.0, 10 * HOUR),
+    st.floats(1.0, 600.0),
+    st.integers(1, 10),
+    st.floats(HOUR, 1000 * HOUR),
+)
+@settings(max_examples=80, deadline=None)
+def test_variance_positive_and_1_over_m(T, delta, m, mttf):
+    # Pin τ so the comparison isolates the diversification effect (the
+    # optimal τ itself shrinks with the aggregate MTTF).
+    tau = 600.0
+    v1 = runtime_variance(T, delta, [mttf], tau=tau)
+    vm = runtime_variance(T, delta, [mttf] * m, tau=tau)
+    assert vm >= 0
+    # m equal markets: event rate x m, per-event loss^2 / m^2 => var = v1/m.
+    assert vm == pytest.approx(v1 / m, rel=1e-6)

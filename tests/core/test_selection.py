@@ -1,0 +1,161 @@
+"""Server selection policies: batch, interactive, bidding, snapshots."""
+
+import pytest
+
+from repro.core.selection import (
+    BatchSelectionPolicy,
+    InteractiveSelectionPolicy,
+    MarketSnapshot,
+    OnDemandBiddingPolicy,
+    market_correlation_fn,
+    snapshot_markets,
+)
+from repro.factory import standard_provider
+from repro.simulation.clock import HOUR
+
+
+def snap(mid, mean, mttf_hours, current=None, od=0.175, on_demand=False):
+    return MarketSnapshot(
+        market_id=mid,
+        current_price=mean if current is None else current,
+        mean_price=mean,
+        mttf=mttf_hours * HOUR,
+        on_demand_price=od,
+        is_on_demand=on_demand,
+    )
+
+
+OD = snap("od", 0.175, float("inf") / HOUR if False else 1e12, on_demand=True)
+
+
+def test_bidding_policy_defaults_to_on_demand_price():
+    provider = standard_provider(seed=0)
+    market = provider.market("us-east-1a/r3.large")
+    assert OnDemandBiddingPolicy().bid_for(market) == market.on_demand_price
+    assert OnDemandBiddingPolicy(2.0).bid_for(market) == 2 * market.on_demand_price
+    with pytest.raises(ValueError):
+        OnDemandBiddingPolicy(0.0)
+
+
+def test_snapshot_markets_covers_all():
+    provider = standard_provider(seed=0)
+    snaps = snapshot_markets(provider, 0.0)
+    assert {s.market_id for s in snaps} == set(provider.markets)
+    od = [s for s in snaps if s.is_on_demand]
+    assert len(od) == 1 and od[0].mttf == float("inf")
+
+
+def test_spiking_flag():
+    quiet = snap("a", mean=0.05, mttf_hours=100, current=0.05)
+    spiking = snap("b", mean=0.05, mttf_hours=100, current=0.50)
+    assert not quiet.price_is_spiking
+    assert spiking.price_is_spiking
+
+
+def test_batch_picks_min_expected_cost():
+    cheap_stable = snap("cheap-stable", 0.04, 300)
+    cheap_volatile = snap("cheap-volatile", 0.04, 0.2)
+    pricey = snap("pricey", 0.15, 500)
+    policy = BatchSelectionPolicy(T_estimate=2 * HOUR, delta_estimate=60.0)
+    result = policy.select([cheap_stable, cheap_volatile, pricey, OD])
+    assert result.market_ids == ["cheap-stable"]
+    assert result.expected_runtime >= 2 * HOUR
+    assert result.num_markets == 1
+
+
+def test_batch_skips_spiking_markets():
+    spiking = snap("spiking", 0.02, 300, current=0.9)
+    ok = snap("ok", 0.05, 300)
+    policy = BatchSelectionPolicy()
+    assert policy.select([spiking, ok, OD]).market_ids == ["ok"]
+
+
+def test_batch_respects_exclusion():
+    a = snap("a", 0.04, 300)
+    b = snap("b", 0.05, 300)
+    policy = BatchSelectionPolicy()
+    assert policy.select([a, b, OD], exclude=("a",)).market_ids == ["b"]
+
+
+def test_batch_falls_back_to_on_demand_when_spot_expensive():
+    pricey = snap("pricey", 0.30, 100)  # mean above on-demand 0.175
+    policy = BatchSelectionPolicy()
+    assert policy.select([pricey, OD]).market_ids == ["od"]
+
+
+def test_batch_no_candidates_raises():
+    policy = BatchSelectionPolicy()
+    with pytest.raises(ValueError):
+        policy.select([snap("x", 0.02, 10, current=9.9)], exclude=("x",))
+
+
+def test_batch_estimate_validation():
+    with pytest.raises(ValueError):
+        BatchSelectionPolicy(T_estimate=0.0)
+    with pytest.raises(ValueError):
+        BatchSelectionPolicy(delta_estimate=-1.0)
+
+
+def test_update_estimates():
+    policy = BatchSelectionPolicy()
+    policy.update_estimates(T=1234.0, delta=9.0)
+    assert policy.T_estimate == 1234.0
+    assert policy.delta_estimate == 9.0
+
+
+def no_correlation(a, b):
+    return 0.0
+
+
+def test_interactive_diversifies_over_uncorrelated_markets():
+    snaps = [snap(f"m{i}", 0.04 + 0.001 * i, 100) for i in range(6)] + [OD]
+    policy = InteractiveSelectionPolicy(T_estimate=2 * HOUR)
+    result = policy.select(snaps, no_correlation)
+    assert result.num_markets > 1
+    assert result.expected_variance >= 0
+
+
+def test_interactive_respects_correlation_threshold():
+    snaps = [snap("a", 0.04, 100), snap("b", 0.041, 100), snap("c", 0.042, 100), OD]
+
+    def corr(x, y):
+        # a and b move together; c is independent.
+        return 0.9 if {x, y} == {"a", "b"} else 0.0
+
+    policy = InteractiveSelectionPolicy(correlation_threshold=0.3)
+    pool = policy.build_uncorrelated_set(snaps, corr)
+    ids = [s.market_id for s in pool]
+    assert "a" in ids and "c" in ids and "b" not in ids
+
+
+def test_interactive_max_markets_cap():
+    snaps = [snap(f"m{i}", 0.04, 100) for i in range(8)] + [OD]
+    policy = InteractiveSelectionPolicy(max_markets=3)
+    result = policy.select(snaps, no_correlation)
+    assert result.num_markets <= 3
+
+
+def test_interactive_variance_no_worse_than_single_market():
+    snaps = [snap(f"m{i}", 0.04, 50) for i in range(5)] + [OD]
+    policy = InteractiveSelectionPolicy()
+    single = BatchSelectionPolicy().select(snaps)
+    mixed = policy.select(snaps, no_correlation)
+    assert mixed.expected_variance <= single.expected_variance + 1e-9
+
+
+def test_interactive_all_spiking_falls_back_to_on_demand():
+    snaps = [snap("a", 0.04, 100, current=0.9), OD]
+    policy = InteractiveSelectionPolicy()
+    result = policy.select(snaps, no_correlation)
+    assert result.market_ids == ["od"]
+
+
+def test_market_correlation_fn_bounds():
+    provider = standard_provider(seed=2)
+    corr = market_correlation_fn(provider, t=0.0)
+    ids = [m.market_id for m in provider.spot_markets()]
+    assert corr(ids[0], ids[0]) == 1.0
+    for a in ids[:4]:
+        for b in ids[:4]:
+            assert -1.0 - 1e-9 <= corr(a, b) <= 1.0 + 1e-9
+    assert corr("unknown", ids[0]) == 0.0

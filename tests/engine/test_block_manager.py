@@ -1,0 +1,140 @@
+"""BlockManager: LRU eviction, spill, accounting."""
+
+import pytest
+
+from repro.cluster.worker import Worker
+from repro.engine.block_manager import BlockManager, block_id_for
+from repro.market.instance import Instance
+
+
+def make_bm(capacity=1000, disk_capacity=10_000):
+    worker = Worker("w-0", Instance("i-0", "m", "r3.large", 0.1, 0.0))
+    worker.local_disk.capacity_bytes = disk_capacity
+    bm = BlockManager(worker, capacity_bytes=capacity)
+    worker.block_manager = bm
+    return worker, bm
+
+
+def test_block_id_format():
+    assert block_id_for(3, 7) == "rdd_3_7"
+
+
+def test_put_get_memory():
+    _, bm = make_bm()
+    assert bm.put("a", [1], 100)
+    data, nbytes, tier = bm.get("a")
+    assert (data, nbytes, tier) == ([1], 100, "memory")
+    assert bm.used_bytes == 100
+    assert bm.stats.hits_memory == 1
+
+
+def test_get_missing_returns_none():
+    _, bm = make_bm()
+    assert bm.get("nope") is None
+    assert bm.stats.misses == 1
+
+
+def test_oversized_block_dropped():
+    _, bm = make_bm(capacity=100)
+    assert not bm.put("big", None, 200)
+    assert bm.stats.drops == 1
+    assert bm.used_bytes == 0
+
+
+def test_memory_only_eviction_drops():
+    """Spark's default MEMORY_ONLY: evicted blocks vanish (recompute later)."""
+    worker, bm = make_bm(capacity=250)
+    bm.put("a", "A", 100)
+    bm.put("b", "B", 100)
+    bm.put("c", "C", 100)  # evicts "a" -> dropped (no spill requested)
+    assert bm.get("a") is None
+    assert bm.stats.drops == 1
+    assert worker.local_disk.used_bytes == 0
+
+
+def test_lru_eviction_spills_to_disk():
+    worker, bm = make_bm(capacity=250)
+    bm.put("a", "A", 100, spill=True)
+    bm.put("b", "B", 100, spill=True)
+    bm.put("c", "C", 100, spill=True)  # evicts "a" (LRU)
+    assert bm.used_bytes == 200
+    data, _, tier = bm.get("a")
+    assert tier == "disk"
+    assert data == "A"
+    assert bm.stats.evictions_to_disk == 1
+
+
+def test_get_refreshes_lru_order():
+    worker, bm = make_bm(capacity=250)
+    bm.put("a", "A", 100, spill=True)
+    bm.put("b", "B", 100, spill=True)
+    bm.get("a")  # "a" becomes MRU; "b" is now LRU
+    bm.put("c", "C", 100, spill=True)
+    assert bm.get("b")[2] == "disk"
+    assert bm.get("a")[2] == "memory"
+
+
+def test_eviction_drops_when_disk_full():
+    worker, bm = make_bm(capacity=150, disk_capacity=50)
+    bm.put("a", "A", 100, spill=True)
+    bm.put("b", "B", 100, spill=True)  # evict "a": 100B > 50B disk => dropped
+    assert bm.get("a") is None
+    assert bm.stats.drops == 1
+
+
+def test_reinsert_updates_size_and_clears_spill():
+    worker, bm = make_bm(capacity=250)
+    bm.put("a", "A", 100, spill=True)
+    bm.put("b", "B", 100, spill=True)
+    bm.put("c", "C", 100, spill=True)  # spills "a"
+    assert worker.local_disk.used_bytes == 100
+    bm.put("a", "A2", 50, spill=True)  # back in memory; stale spill removed
+    assert worker.local_disk.used_bytes == 0
+    assert bm.get("a")[0] == "A2"
+
+
+def test_remove_block():
+    worker, bm = make_bm(capacity=250)
+    bm.put("a", "A", 100)
+    assert bm.remove("a")
+    assert not bm.remove("a")
+    assert bm.used_bytes == 0
+
+
+def test_remove_rdd_clears_memory_and_spill():
+    worker, bm = make_bm(capacity=250)
+    bm.put("rdd_1_0", None, 100, spill=True)
+    bm.put("rdd_1_1", None, 100, spill=True)
+    bm.put("rdd_2_0", None, 100, spill=True)  # spills rdd_1_0
+    removed = bm.remove_rdd(1)
+    assert removed == 2
+    assert bm.has("rdd_2_0")
+    assert not bm.has("rdd_1_0")
+    assert not bm.has("rdd_1_1")
+
+
+def test_clear_empties_memory():
+    _, bm = make_bm()
+    bm.put("a", None, 100)
+    bm.clear()
+    assert bm.used_bytes == 0
+    assert bm.memory_block_ids() == []
+
+
+def test_capacity_validation():
+    worker, _ = make_bm()
+    with pytest.raises(ValueError):
+        BlockManager(worker, capacity_bytes=0)
+    bm = BlockManager(worker, capacity_bytes=10)
+    with pytest.raises(ValueError):
+        bm.put("a", None, -1)
+
+
+def test_used_never_exceeds_capacity():
+    import random
+
+    rng = random.Random(7)
+    worker, bm = make_bm(capacity=500, disk_capacity=100_000)
+    for i in range(200):
+        bm.put(f"b{rng.randrange(30)}", None, rng.randrange(1, 180))
+        assert bm.used_bytes <= bm.capacity_bytes

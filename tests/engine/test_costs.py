@@ -1,0 +1,52 @@
+"""Cost model arithmetic and size estimation."""
+
+import pytest
+
+from repro.engine.costs import CostModel
+from repro.engine.sizeof import deep_sizeof, estimate_record_size
+
+
+def test_compute_time_scales_linearly():
+    cost = CostModel(compute_bandwidth=50e6)
+    assert cost.compute_time(50e6) == pytest.approx(1.0)
+    assert cost.compute_time(50e6, multiplier=2.0) == pytest.approx(2.0)
+    assert cost.compute_time(0) == 0.0
+
+
+def test_network_and_disk_times():
+    cost = CostModel(network_bandwidth=120e6, local_read_bandwidth=300e6)
+    assert cost.network_time(120e6) == pytest.approx(1.0)
+    assert cost.local_read_time(300e6) == pytest.approx(1.0)
+
+
+def test_shuffle_write_factor():
+    cost = CostModel(compute_bandwidth=50e6, shuffle_write_factor=0.5)
+    assert cost.shuffle_write_time(50e6) == pytest.approx(0.5)
+
+
+def test_driver_transfer():
+    cost = CostModel(driver_bandwidth=200e6)
+    assert cost.driver_transfer_time(200e6) == pytest.approx(1.0)
+
+
+def test_negative_bytes_rejected():
+    cost = CostModel()
+    for fn in (cost.compute_time, cost.network_time, cost.local_read_time,
+               cost.driver_transfer_time):
+        with pytest.raises(ValueError):
+            fn(-1)
+
+
+def test_deep_sizeof_grows_with_content():
+    assert deep_sizeof([1, 2, 3]) > deep_sizeof([])
+    assert deep_sizeof({"k": "v" * 100}) > deep_sizeof({})
+    assert deep_sizeof((1, (2, (3, (4,))))) > deep_sizeof(1)
+
+
+def test_estimate_record_size_positive():
+    assert estimate_record_size([]) == 1
+    assert estimate_record_size([(1, 2.0)] * 100) > 0
+    # Bigger records -> bigger estimate.
+    small = estimate_record_size([1] * 50)
+    big = estimate_record_size(["x" * 1000] * 50)
+    assert big > small

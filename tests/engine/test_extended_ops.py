@@ -1,0 +1,93 @@
+"""Extended RDD operators: aggregate_by_key, set ops, sorting, indices, stats."""
+
+import pytest
+
+from tests.conftest import build_on_demand_context
+
+
+@pytest.fixture
+def ctx():
+    return build_on_demand_context(2)
+
+
+def test_aggregate_by_key_mean(ctx):
+    data = [("a", 1.0), ("a", 3.0), ("b", 10.0)]
+    agg = ctx.parallelize(data, 2).aggregate_by_key(
+        (0.0, 0),
+        lambda acc, v: (acc[0] + v, acc[1] + 1),
+        lambda x, y: (x[0] + y[0], x[1] + y[1]),
+    )
+    means = {k: s / n for k, (s, n) in agg.collect()}
+    assert means == {"a": 2.0, "b": 10.0}
+
+
+def test_subtract_keeps_left_duplicates(ctx):
+    a = ctx.parallelize([1, 1, 2, 3], 2)
+    b = ctx.parallelize([2, 4], 2)
+    assert sorted(a.subtract(b).collect()) == [1, 1, 3]
+
+
+def test_subtract_disjoint(ctx):
+    a = ctx.parallelize([1, 2], 2)
+    b = ctx.parallelize([3], 1)
+    assert sorted(a.subtract(b).collect()) == [1, 2]
+
+
+def test_intersection_distinct(ctx):
+    a = ctx.parallelize([1, 1, 2, 3], 2)
+    b = ctx.parallelize([1, 3, 3, 5], 2)
+    assert sorted(a.intersection(b).collect()) == [1, 3]
+
+
+def test_sort_by(ctx):
+    data = [5, 3, 9, 1, 7]
+    rdd = ctx.parallelize(data, 3)
+    assert rdd.sort_by(lambda x: x).collect() == sorted(data)
+    assert rdd.sort_by(lambda x: x, ascending=False).collect() == sorted(data, reverse=True)
+
+
+def test_sort_by_key_function(ctx):
+    data = [("b", 2), ("a", 9), ("c", 1)]
+    got = ctx.parallelize(data, 2).sort_by(lambda kv: kv[1]).collect()
+    assert got == [("c", 1), ("b", 2), ("a", 9)]
+
+
+def test_zip_with_index(ctx):
+    data = list("abcdef")
+    got = ctx.parallelize(data, 3).zip_with_index().collect()
+    assert got == [(c, i) for i, c in enumerate(data)]
+
+
+def test_zip_with_index_survives_revocation(ctx):
+    rdd = ctx.parallelize(list(range(30)), 3, record_size=1000).zip_with_index()
+    before = rdd.collect()
+    ctx.cluster.force_revoke(ctx.cluster.live_workers()[:1])
+    assert rdd.collect() == before
+
+
+def test_top(ctx):
+    rdd = ctx.parallelize([5, 1, 9, 3, 7, 9], 3)
+    assert rdd.top(2) == [9, 9]
+    assert rdd.top(0) == []
+    assert rdd.top(100) == sorted([5, 1, 9, 3, 7, 9], reverse=True)
+
+
+def test_top_with_key(ctx):
+    rdd = ctx.parallelize([("a", 3), ("b", 9), ("c", 5)], 2)
+    assert rdd.top(1, key=lambda kv: kv[1]) == [("b", 9)]
+
+
+def test_max_min_mean_stdev(ctx):
+    rdd = ctx.parallelize([2.0, 4.0, 6.0, 8.0], 2)
+    assert rdd.max() == 8.0
+    assert rdd.min() == 2.0
+    assert rdd.mean() == pytest.approx(5.0)
+    assert rdd.stdev() == pytest.approx(5.0 ** 0.5)
+
+
+def test_stats_empty_raises(ctx):
+    empty = ctx.parallelize([], 2)
+    with pytest.raises(ValueError):
+        empty.mean()
+    with pytest.raises(ValueError):
+        empty.stdev()

@@ -1,0 +1,59 @@
+"""Partitioners and the stable hash."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.partitioner import HashPartitioner, stable_hash
+
+
+def test_stable_hash_deterministic_across_calls():
+    for key in ["abc", b"abc", 42, 3.14, (1, "x"), None, True, ["list"]]:
+        assert stable_hash(key) == stable_hash(key)
+
+
+def test_stable_hash_distinguishes_values():
+    assert stable_hash("a") != stable_hash("b")
+    assert stable_hash(1) != stable_hash(2)
+
+
+def test_partitioner_range():
+    p = HashPartitioner(7)
+    for key in range(1000):
+        assert 0 <= p.partition_for(key) < 7
+
+
+def test_partitioner_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+def test_partitioner_equality_and_hash():
+    assert HashPartitioner(4) == HashPartitioner(4)
+    assert HashPartitioner(4) != HashPartitioner(5)
+    assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+
+def test_partitioner_spreads_keys():
+    p = HashPartitioner(8)
+    buckets = [0] * 8
+    for key in range(10_000):
+        buckets[p.partition_for(key)] += 1
+    assert min(buckets) > 10_000 / 8 * 0.7
+
+
+keys = st.one_of(
+    st.integers(), st.text(max_size=20), st.floats(allow_nan=False),
+    st.booleans(), st.none(),
+    st.tuples(st.integers(), st.text(max_size=5)),
+)
+
+
+@given(keys, st.integers(1, 64))
+def test_partition_always_in_range(key, n):
+    assert 0 <= HashPartitioner(n).partition_for(key) < n
+
+
+@given(keys)
+def test_stable_hash_non_negative(key):
+    assert stable_hash(key) >= 0

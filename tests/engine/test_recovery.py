@@ -1,0 +1,131 @@
+"""Failure recovery: the engine's core fault-tolerance invariants.
+
+Every test revokes workers mid-application and asserts (a) results are
+byte-identical to a failure-free run and (b) the recovery path taken is the
+intended one (cache, checkpoint, or lineage recomputation).
+"""
+
+import pytest
+
+from repro.engine.scheduler import EngineError
+from tests.conftest import build_on_demand_context
+
+
+def reference_result():
+    data = [(i % 7, i) for i in range(200)]
+    expected = {}
+    for k, v in data:
+        expected[k] = expected.get(k, 0) + v
+    return data, expected
+
+
+def build_pipeline(ctx, data):
+    return (
+        ctx.parallelize(data, 8, record_size=1000)
+        .reduce_by_key(lambda a, b: a + b)
+        .persist()
+    )
+
+
+def test_results_identical_after_partial_revocation():
+    data, expected = reference_result()
+    ctx = build_on_demand_context(4)
+    agg = build_pipeline(ctx, data)
+    first = dict(agg.collect())
+    ctx.cluster.force_revoke(ctx.cluster.live_workers()[:2])
+    second = dict(agg.collect())
+    assert first == second == expected
+
+
+def test_recomputation_takes_longer_than_cache_hit():
+    data, _ = reference_result()
+    ctx = build_on_demand_context(4)
+    agg = build_pipeline(ctx, data)
+    agg.collect()
+    t0 = ctx.now
+    agg.collect()
+    cached_dt = ctx.now - t0
+    ctx.cluster.force_revoke(ctx.cluster.live_workers()[:3])
+    t1 = ctx.now
+    agg.collect()
+    recompute_dt = ctx.now - t1
+    assert recompute_dt > cached_dt
+
+
+def test_lost_shuffle_outputs_rerun_map_tasks():
+    data, expected = reference_result()
+    ctx = build_on_demand_context(4)
+    agg = build_pipeline(ctx, data)
+    agg.collect()
+    maps_before = ctx.scheduler.stats.map_tasks
+    ctx.cluster.force_revoke(ctx.cluster.live_workers()[:2])
+    assert dict(agg.collect()) == expected
+    assert ctx.scheduler.stats.map_tasks > maps_before
+
+
+def test_checkpoint_short_circuits_recomputation():
+    data, expected = reference_result()
+    ctx = build_on_demand_context(4)
+    agg = build_pipeline(ctx, data)
+    agg.checkpoint()
+    agg.collect()
+    ctx.env.run_until(ctx.now + 120)  # drain async checkpoint writes
+    assert ctx.checkpoints.is_fully_checkpointed(agg)
+    maps_before = ctx.scheduler.stats.map_tasks
+    ctx.cluster.force_revoke(ctx.cluster.live_workers()[:2])
+    assert dict(agg.collect()) == expected
+    # Served from the DFS checkpoint: no shuffle maps re-ran.
+    assert ctx.scheduler.stats.map_tasks == maps_before
+
+
+def test_tasks_in_flight_on_revoked_worker_are_replayed():
+    ctx = build_on_demand_context(4)
+    # Schedule a revocation to land mid-job.
+    ctx.env.schedule_at(
+        0.5, "chaos",
+        callback=lambda e: ctx.cluster.force_revoke(ctx.cluster.live_workers()[:1]),
+    )
+    # ~2s per task: the revocation at t=0.5 lands mid-flight.
+    rdd = ctx.parallelize(list(range(400)), 16, record_size=4_000_000)
+    assert rdd.map(lambda x: x * 2).sum() == 2 * sum(range(400))
+    assert ctx.scheduler.stats.tasks_lost > 0
+
+
+def test_full_cluster_loss_then_replacement_completes_job():
+    ctx = build_on_demand_context(2)
+    cluster = ctx.cluster
+
+    def chaos(event):
+        cluster.force_revoke(cluster.live_workers())
+        # A replacement fleet boots two minutes later.
+        cluster.launch("od/r3.large", 0.175, count=2, delay=120.0)
+
+    ctx.env.schedule_at(1.0, "chaos", callback=chaos)
+    rdd = ctx.parallelize(list(range(100)), 8, record_size=500_000)
+    assert rdd.count() == 100
+
+
+def test_job_with_no_workers_and_no_events_deadlocks_cleanly():
+    ctx = build_on_demand_context(1)
+    ctx.cluster.force_revoke(ctx.cluster.live_workers())
+    rdd = ctx.parallelize([1, 2, 3], 2)
+    with pytest.raises(EngineError):
+        rdd.count()
+
+
+def test_cache_eviction_forces_recompute_but_same_result():
+    """Working set larger than cluster memory: LRU thrash, identical data."""
+    ctx = build_on_demand_context(1)
+    worker = ctx.cluster.live_workers()[0]
+    # 6GB storage per r3.large at 40%; make each cached RDD ~4GB.
+    rdds = []
+    for i in range(3):
+        r = ctx.parallelize(list(range(1000)), 4, record_size=1_000_000).map(
+            lambda x, i=i: x + i
+        ).persist()
+        r.count()
+        rdds.append(r)
+    # Not all 3 x 4GB fit in 6GB: some partitions were evicted/spilled.
+    assert sum(ctx.cached_partition_count(r) for r in rdds) <= 12
+    for i, r in enumerate(rdds):
+        assert r.sum() == sum(range(1000)) + 1000 * i

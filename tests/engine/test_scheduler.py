@@ -1,0 +1,157 @@
+"""Scheduler internals: slot usage, timing, stats, checkpoint tasks."""
+
+import pytest
+
+from repro.engine.task import TaskKind, TaskSpec
+from tests.conftest import build_on_demand_context
+
+
+def test_parallelism_bounds_runtime():
+    """8 equal tasks on 8 slots take ~1 task-duration of simulated time."""
+    ctx = build_on_demand_context(4)  # 8 slots
+    t0 = ctx.now
+    ctx.parallelize(list(range(800)), 8, record_size=50_000).count()
+    dt_parallel = ctx.now - t0
+    # The same work in one partition is serialised.
+    t1 = ctx.now
+    ctx.parallelize(list(range(800)), 1, record_size=50_000).count()
+    dt_serial = ctx.now - t1
+    assert dt_serial > dt_parallel * 3
+
+
+def test_more_partitions_than_slots_queue():
+    ctx = build_on_demand_context(1)  # 2 slots
+    t0 = ctx.now
+    ctx.parallelize(list(range(80)), 8, record_size=500_000).count()
+    dt = ctx.now - t0
+    # 8 tasks on 2 slots: at least 4 sequential waves.
+    single_task = 10 * 500_000 / ctx.cost_model.compute_bandwidth
+    assert dt >= 4 * single_task
+
+
+def test_task_overhead_charged():
+    ctx = build_on_demand_context(4)
+    t0 = ctx.now
+    ctx.parallelize([1], 1, record_size=1).count()
+    assert ctx.now - t0 >= ctx.cost_model.task_overhead
+
+
+def test_stats_counters_accumulate():
+    ctx = build_on_demand_context(2)
+    ctx.parallelize([(1, 1), (2, 2)], 2).reduce_by_key(lambda a, b: a).collect()
+    stats = ctx.scheduler.stats
+    assert stats.result_tasks == 2
+    assert stats.map_tasks == 2
+    assert stats.tasks_completed == 4
+    assert stats.task_time_total > 0
+
+
+def test_concurrent_jobs_rejected():
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize([1], 1)
+
+    from repro.engine.scheduler import EngineError, _JobState
+
+    ctx.scheduler.job = _JobState(rdd, len)
+    with pytest.raises(EngineError):
+        rdd.count()
+    ctx.scheduler.job = None
+
+
+def test_enqueue_checkpoint_dedupes():
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize(list(range(4)), 2, record_size=100).persist()
+    rdd.count()
+    spec = TaskSpec(TaskKind.CHECKPOINT, rdd, 0, data=[0, 1], nbytes=200)
+    assert ctx.scheduler.enqueue_checkpoint(spec)
+    assert not ctx.scheduler.enqueue_checkpoint(spec)  # duplicate
+
+
+def test_enqueue_checkpoint_requires_checkpoint_kind():
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize([1], 1)
+    with pytest.raises(ValueError):
+        ctx.scheduler.enqueue_checkpoint(TaskSpec(TaskKind.RESULT, rdd, 0))
+
+
+def test_enqueue_checkpoints_for_cached_rdd_runs_async():
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize(list(range(8)), 4, record_size=1000).persist()
+    rdd.count()
+    ctx.checkpoints.mark(rdd)
+    queued = ctx.scheduler.enqueue_checkpoints_for(rdd)
+    assert queued == 4
+    ctx.env.run_until(ctx.now + 60)
+    assert ctx.checkpoints.is_fully_checkpointed(rdd)
+
+
+def test_enqueue_checkpoints_for_uncached_rdd_skips():
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize(list(range(8)), 4)  # never computed/cached
+    ctx.checkpoints.mark(rdd)
+    assert ctx.scheduler.enqueue_checkpoints_for(rdd) == 0
+
+
+def test_checkpoint_write_occupies_simulated_time():
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize(list(range(8)), 2, record_size=10_000_000).persist()
+    rdd.count()
+    ctx.checkpoints.mark(rdd)
+    ctx.scheduler.enqueue_checkpoints_for(rdd)
+    t0 = ctx.now
+    ctx.env.run_until(ctx.now + 600)
+    assert ctx.checkpoints.is_fully_checkpointed(rdd)
+    assert ctx.scheduler.stats.checkpoint_time_total > 0
+
+
+def test_remote_cache_hits_cost_network_time():
+    ctx = build_on_demand_context(2)
+    # Cache on whatever workers computed it, then read everything via a
+    # single-partition descendant that must fetch remotely.
+    rdd = ctx.parallelize(list(range(100)), 4, record_size=1_000_000).persist()
+    rdd.count()
+    t0 = ctx.now
+    rdd.repartition(1).count()
+    dt = ctx.now - t0
+    min_network = 100 * 1_000_000 / ctx.cost_model.network_bandwidth / 8
+    assert dt > min_network / 10  # some transfer time was charged
+
+
+def test_checkpoint_tasks_capped_per_worker():
+    """Checkpoint writes are I/O streams: at most one per worker, so they
+    degrade but never starve compute."""
+    from repro.engine.task import TaskKind, TaskSpec
+
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize(list(range(80)), 8, record_size=50_000_000).persist()
+    rdd.count()
+    ctx.checkpoints.mark(rdd)
+    ctx.scheduler.enqueue_checkpoints_for(rdd)
+    # Writes of 8 x 500MB at one stream per worker: at any instant at most
+    # 2 checkpoint tasks run on the 2-worker cluster.
+    max_seen = 0
+    while ctx.scheduler._checkpoint_queue or any(
+        rt.spec.kind == TaskKind.CHECKPOINT for rt in ctx.scheduler.running.values()
+    ):
+        concurrent = sum(
+            1 for rt in ctx.scheduler.running.values()
+            if rt.spec.kind == TaskKind.CHECKPOINT
+        )
+        max_seen = max(max_seen, concurrent)
+        if ctx.env.step() is None:
+            break
+    assert 1 <= max_seen <= 2
+
+
+def test_job_progresses_alongside_checkpoint_backlog():
+    from repro.engine.task import TaskKind, TaskSpec
+
+    ctx = build_on_demand_context(2)
+    big = ctx.parallelize(list(range(80)), 8, record_size=50_000_000).persist()
+    big.count()
+    ctx.checkpoints.mark(big)
+    ctx.scheduler.enqueue_checkpoints_for(big)
+    # A fresh job must complete while the checkpoint backlog drains.
+    t0 = ctx.now
+    assert ctx.parallelize(list(range(100)), 4).count() == 100
+    assert ctx.now - t0 < 60.0

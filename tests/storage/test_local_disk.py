@@ -1,0 +1,76 @@
+"""Worker-local SSD: capacity accounting and volatility."""
+
+import pytest
+
+from repro.storage.local_disk import DiskFullError, LocalDisk
+
+
+def test_put_get_and_sizes():
+    disk = LocalDisk(capacity_bytes=1000)
+    disk.put("a", [1], 400)
+    assert disk.get("a") == [1]
+    assert disk.size_of("a") == 400
+    assert disk.used_bytes == 400
+    assert disk.free_bytes == 600
+
+
+def test_capacity_enforced():
+    disk = LocalDisk(capacity_bytes=1000)
+    disk.put("a", None, 800)
+    with pytest.raises(DiskFullError):
+        disk.put("b", None, 300)
+    # The failed put must not corrupt accounting.
+    assert disk.used_bytes == 800
+
+
+def test_overwrite_charges_delta():
+    disk = LocalDisk(capacity_bytes=1000)
+    disk.put("a", None, 400)
+    disk.put("a", None, 600)
+    assert disk.used_bytes == 600
+    disk.put("a", None, 100)
+    assert disk.used_bytes == 100
+
+
+def test_overwrite_respects_capacity():
+    disk = LocalDisk(capacity_bytes=1000)
+    disk.put("a", None, 900)
+    with pytest.raises(DiskFullError):
+        disk.put("a", None, 1100)
+
+
+def test_delete_frees_space():
+    disk = LocalDisk(capacity_bytes=1000)
+    disk.put("a", None, 500)
+    assert disk.delete("a")
+    assert disk.used_bytes == 0
+    assert not disk.delete("a")
+
+
+def test_clear_models_revocation():
+    disk = LocalDisk(capacity_bytes=1000)
+    disk.put("a", None, 100)
+    disk.put("b", None, 100)
+    disk.clear()
+    assert disk.used_bytes == 0
+    assert disk.keys() == []
+    assert not disk.has("a")
+
+
+def test_durations():
+    disk = LocalDisk(capacity_bytes=10**9, read_bandwidth=300e6, write_bandwidth=200e6)
+    assert disk.read_duration(300_000_000) == pytest.approx(1.0)
+    assert disk.write_duration(200_000_000) == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LocalDisk(capacity_bytes=0)
+    disk = LocalDisk(capacity_bytes=10)
+    with pytest.raises(ValueError):
+        disk.put("a", None, -1)
+
+
+def test_get_missing_raises():
+    with pytest.raises(KeyError):
+        LocalDisk(1000).get("missing")

@@ -1,0 +1,64 @@
+"""The managed-service CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_markets_command(capsys):
+    assert main(["markets", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "spot universe" in out
+    assert "on-demand/r3.large" in out
+    assert "MTTF" in out
+
+
+def test_select_batch(capsys):
+    assert main(["select", "--mode", "batch", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "mode: batch" in out
+    assert "expected cost/server" in out
+
+
+def test_select_interactive(capsys):
+    assert main(["select", "--mode", "interactive", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "markets:" in out
+    # Interactive diversifies: more than one market listed.
+    markets_line = [l for l in out.splitlines() if l.startswith("markets:")][0]
+    assert "," in markets_line
+
+
+def test_canonical_command(capsys):
+    assert main(["canonical", "--selector", "on-demand", "--runs", "3",
+                 "--hours", "1", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "canonical job under on-demand" in out
+    assert "mean overhead" in out
+
+
+def test_run_tpch_small(capsys):
+    assert main(["run", "--workload", "tpch", "--nodes", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "runtime:" in out
+    assert "cost:" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--workload", "nope"])
+
+
+def test_advise_command(capsys):
+    from repro.cli import main
+
+    assert main(["advise", "--seed", "7", "--hours", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "market quotes" in out
+    assert "batch pick" in out
+    assert "savings" in out

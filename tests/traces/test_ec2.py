@@ -1,0 +1,67 @@
+"""EC2 catalog and market-trace construction."""
+
+import pytest
+
+from repro.simulation.clock import DAY, HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.ec2 import (
+    EC2_CATALOG,
+    INSTANCE_TYPES,
+    MarketSpec,
+    R3_LARGE,
+    build_market_traces,
+)
+from repro.traces.stats import estimate_mttf
+
+
+def test_catalog_ids_unique():
+    ids = [s.market_id for s in EC2_CATALOG]
+    assert len(ids) == len(set(ids))
+
+
+def test_catalog_covers_paper_mttf_range():
+    """Figure 2a: MTTFs from ~18.8h to ~701h."""
+    mttfs = [s.target_mttf_hours for s in EC2_CATALOG]
+    assert min(mttfs) < 20
+    assert max(mttfs) > 700 - 1
+
+
+def test_instance_types_match_paper_testbed():
+    r3 = INSTANCE_TYPES["r3.large"]
+    assert r3.vcpus == 2
+    assert r3.memory_gb == 15.0
+    assert r3.local_disk_gb == 32.0
+
+
+def test_build_market_traces_one_per_spec():
+    rng = SeededRNG(0, "cat")
+    traces = build_market_traces(rng, EC2_CATALOG[:4], horizon=20 * DAY)
+    assert set(traces) == {s.market_id for s in EC2_CATALOG[:4]}
+
+
+def test_traces_realise_target_mttf_roughly():
+    rng = SeededRNG(0, "cat")
+    spec = MarketSpec("t/r3.large", R3_LARGE, target_mttf_hours=30.0)
+    traces = build_market_traces(rng, [spec], horizon=90 * DAY)
+    measured = estimate_mttf(traces["t/r3.large"], R3_LARGE.on_demand_price) / HOUR
+    assert 10 < measured < 90
+
+
+def test_traces_deterministic_per_seed():
+    a = build_market_traces(SeededRNG(1, "x"), EC2_CATALOG[:2], horizon=10 * DAY)
+    b = build_market_traces(SeededRNG(1, "x"), EC2_CATALOG[:2], horizon=10 * DAY)
+    for mid in a:
+        assert (a[mid].prices == b[mid].prices).all()
+
+
+def test_churny_spec_produces_higher_mean_price():
+    rng = SeededRNG(2, "churn")
+    quiet = MarketSpec("q/r3.large", R3_LARGE, 45.0, steady_fraction=0.08)
+    churny = MarketSpec(
+        "c/r3.large", R3_LARGE, 45.0, steady_fraction=0.08, churn_rate_per_hour=1.5
+    )
+    traces = build_market_traces(rng, [quiet, churny], horizon=30 * DAY)
+    assert (
+        traces["c/r3.large"].mean_price(0, 30 * DAY)
+        > traces["q/r3.large"].mean_price(0, 30 * DAY)
+    )

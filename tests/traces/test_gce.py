@@ -1,0 +1,53 @@
+"""GCE preemptible lifetime model."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.clock import HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.gce import MAX_PREEMPTIBLE_LIFETIME, PreemptibleLifetimeModel
+
+
+def test_lifetimes_never_exceed_24h():
+    model = PreemptibleLifetimeModel(target_mttf=20 * HOUR)
+    rng = SeededRNG(1, "gce")
+    lifetimes = model.sample_lifetimes(rng, 2000)
+    assert np.all(lifetimes <= MAX_PREEMPTIBLE_LIFETIME)
+    assert np.all(lifetimes >= 0)
+
+
+def test_mean_matches_target():
+    for target_h in [18.0, 20.0, 22.0, 23.0]:
+        model = PreemptibleLifetimeModel(target_mttf=target_h * HOUR)
+        rng = SeededRNG(1, f"gce-{target_h}")
+        lifetimes = model.sample_lifetimes(rng, 8000)
+        assert lifetimes.mean() == pytest.approx(target_h * HOUR, rel=0.06)
+
+
+def test_mttf_property_equals_target():
+    model = PreemptibleLifetimeModel(target_mttf=21 * HOUR)
+    assert model.mttf == pytest.approx(21 * HOUR, rel=1e-3)
+
+
+def test_target_at_cap_means_deterministic_24h():
+    model = PreemptibleLifetimeModel(target_mttf=MAX_PREEMPTIBLE_LIFETIME)
+    rng = SeededRNG(1, "gce-cap")
+    assert model.sample_lifetime(rng) == MAX_PREEMPTIBLE_LIFETIME
+    assert model.mttf == MAX_PREEMPTIBLE_LIFETIME
+
+
+def test_invalid_target_rejected():
+    with pytest.raises(ValueError):
+        PreemptibleLifetimeModel(target_mttf=0.0)
+    with pytest.raises(ValueError):
+        PreemptibleLifetimeModel(target_mttf=25 * HOUR)
+
+
+def test_single_sample_deterministic_per_rng():
+    # Low target so draws rarely hit the 24h cap (capped draws coincide).
+    model = PreemptibleLifetimeModel(target_mttf=6 * HOUR)
+    a = model.sample_lifetime(SeededRNG(4, "i-1"))
+    b = model.sample_lifetime(SeededRNG(4, "i-1"))
+    samples = {model.sample_lifetime(SeededRNG(4, f"i-{k}")) for k in range(10)}
+    assert a == b
+    assert len(samples) > 1

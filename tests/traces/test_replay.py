@@ -1,0 +1,65 @@
+"""Trace CSV round-tripping."""
+
+import pytest
+
+from repro.simulation.clock import HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import peaky_trace
+from repro.traces.price_trace import PriceTrace
+from repro.traces.replay import merge_aligned, trace_from_csv, trace_to_csv
+
+
+def test_round_trip_preserves_prices(tmp_path):
+    original = peaky_trace(SeededRNG(1, "csv"), 0.175, horizon=24 * HOUR, step=600.0)
+    path = tmp_path / "trace.csv"
+    trace_to_csv(original, path)
+    loaded = trace_from_csv(path)
+    assert loaded.horizon == pytest.approx(original.horizon)
+    for t in [0.0, 3600.0, 12 * 3600.0, 23.9 * 3600.0]:
+        assert loaded.price_at(t) == pytest.approx(original.price_at(t), abs=1e-6)
+
+
+def test_parse_from_text():
+    text = "timestamp_seconds,price\n0,0.05\n100,0.5\n200,0.05\n300,\n"
+    trace = trace_from_csv(text)
+    assert trace.horizon == 300.0
+    assert trace.price_at(150.0) == 0.5
+
+
+def test_epoch_timestamps_normalised():
+    text = "1420070400,0.05\n1420074000,0.10\n"
+    trace = trace_from_csv(text, horizon=7200.0)
+    assert trace.price_at(0.0) == 0.05
+    assert trace.price_at(3600.0) == 0.10
+
+
+def test_missing_horizon_padded():
+    text = "0,0.05\n100,0.10\n"
+    trace = trace_from_csv(text)
+    assert trace.horizon == pytest.approx(200.0)
+    single = trace_from_csv("0,0.05\n")
+    assert single.horizon == pytest.approx(3600.0)
+
+
+def test_bad_input_rejected():
+    with pytest.raises(ValueError):
+        trace_from_csv("timestamp,price\n")  # no rows
+    with pytest.raises(ValueError):
+        trace_from_csv("0,0.05\n0,0.06\n")  # not increasing
+
+
+def test_loaded_trace_supports_revocation_queries():
+    text = "0,0.05\n600,0.90\n700,0.05\n86400,\n"
+    trace = trace_from_csv(text)
+    assert trace.next_exceedance(0.0, 0.175) == pytest.approx(600.0)
+
+
+def test_merge_aligned():
+    a = PriceTrace([0.0, 100.0], [1.0, 2.0], 200.0)
+    b = PriceTrace([0.0, 50.0], [5.0, 6.0], 200.0)
+    rows = merge_aligned([a, b])
+    assert rows[0] == (0.0, [1.0, 5.0])
+    times = [t for t, _ in rows]
+    assert 50.0 in times and 100.0 in times
+    with pytest.raises(ValueError):
+        merge_aligned([])

@@ -1,0 +1,100 @@
+"""Trace statistics: MTTF estimation, ECDFs, correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.clock import HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import constant_trace, peaky_trace
+from repro.traces.price_trace import PriceTrace
+from repro.traces.stats import (
+    availability_ecdf,
+    estimate_mttf,
+    pairwise_price_correlation,
+    revocation_event_times,
+    time_to_failure_samples,
+)
+
+
+def spiky():
+    # Price 1 except a spike to 5 on [100, 110), horizon 1000.
+    return PriceTrace([0.0, 100.0, 110.0], [1.0, 5.0, 1.0], 1000.0)
+
+
+def test_time_to_failure_samples_only_from_viable_instants():
+    t = spiky()
+    samples = time_to_failure_samples(t, bid=2.0, sample_interval=50.0)
+    # Launches at 0, 50 see the spike at 100; the one at 100 is not viable.
+    assert 100.0 in samples
+    assert 50.0 in samples
+
+
+def test_estimate_mttf_infinite_when_never_revoked():
+    assert estimate_mttf(constant_trace(0.3, 1000.0), bid=1.0) == float("inf")
+
+
+def test_estimate_mttf_positive_for_spiky_trace():
+    mttf = estimate_mttf(spiky(), bid=2.0, sample_interval=50.0)
+    assert 0 < mttf < float("inf")
+
+
+def test_estimate_mttf_decreases_with_spike_rate():
+    slow = peaky_trace(SeededRNG(1, "s"), 1.0, spike_rate_per_hour=1 / 100.0, horizon=60 * 24 * HOUR)
+    fast = peaky_trace(SeededRNG(1, "f"), 1.0, spike_rate_per_hour=1 / 5.0, horizon=60 * 24 * HOUR)
+    assert estimate_mttf(fast, 1.0) < estimate_mttf(slow, 1.0)
+
+
+def test_ecdf_monotone_and_normalised():
+    x, y = availability_ecdf([5.0, 1.0, 3.0, 3.0])
+    assert list(x) == [1.0, 3.0, 3.0, 5.0]
+    assert y[0] == pytest.approx(0.25)
+    assert y[-1] == pytest.approx(1.0)
+    assert np.all(np.diff(y) >= 0)
+
+
+def test_ecdf_empty_rejected():
+    with pytest.raises(ValueError):
+        availability_ecdf([])
+
+
+@given(st.lists(st.floats(0.0, 1e5), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_ecdf_properties(samples):
+    x, y = availability_ecdf(samples)
+    assert np.all(np.diff(x) >= 0)
+    assert np.all(np.diff(y) >= 0)
+    assert y[-1] == pytest.approx(1.0)
+    assert len(x) == len(samples)
+
+
+def test_pairwise_correlation_diagonal_is_one():
+    traces = [
+        peaky_trace(SeededRNG(i, "p"), 1.0, horizon=10 * 24 * HOUR) for i in range(3)
+    ]
+    corr = pairwise_price_correlation(traces, dt=HOUR)
+    assert np.allclose(np.diag(corr), 1.0)
+    assert np.allclose(corr, corr.T)
+    assert np.all(np.abs(corr) <= 1.0 + 1e-9)
+
+
+def test_pairwise_correlation_constant_trace_is_zero():
+    traces = [constant_trace(1.0, 1000.0), constant_trace(2.0, 1000.0)]
+    corr = pairwise_price_correlation(traces, dt=10.0)
+    assert corr[0, 1] == 0.0
+
+
+def test_pairwise_correlation_empty_rejected():
+    with pytest.raises(ValueError):
+        pairwise_price_correlation([])
+
+
+def test_revocation_event_times_finds_crossings():
+    events = revocation_event_times(spiky(), bid=2.0)
+    assert list(events) == [100.0]
+
+
+def test_revocation_event_times_none_when_below_bid():
+    events = revocation_event_times(spiky(), bid=10.0)
+    assert len(events) == 0

@@ -1,0 +1,59 @@
+"""ALS workload: factorisation output and shuffle intensity."""
+
+import pytest
+
+from repro.workloads.als import ALSWorkload, _solve_factor
+from tests.conftest import build_on_demand_context
+
+
+def small_als(ctx, iterations=2):
+    return ALSWorkload(
+        ctx, data_gb=0.2, num_ratings=1200, num_users=80, num_items=30,
+        rank=4, partitions=4, iterations=iterations, seed=13,
+    )
+
+
+def test_solve_factor_empty_is_zero():
+    assert _solve_factor([], rank=3) == (0.0, 0.0, 0.0)
+
+
+def test_solve_factor_weighted_average():
+    out = _solve_factor([((1.0, 0.0), 2.0)], rank=2)
+    assert out[0] > 0
+    assert out[1] == 0.0
+
+
+def test_load_caches_ratings():
+    ctx = build_on_demand_context(2)
+    als = small_als(ctx)
+    ratings = als.load()
+    assert ratings.persisted
+    assert ctx.cached_partition_count(ratings) == 4
+
+
+def test_run_returns_user_factors():
+    ctx = build_on_demand_context(2)
+    als = small_als(ctx)
+    factors = als.run()
+    assert len(factors) > 0
+    assert all(len(f) == 4 for f in factors.values())
+    # Users actually present in the ratings get non-trivial factors.
+    assert any(any(abs(x) > 0 for x in f) for f in factors.values())
+
+
+def test_deterministic():
+    a = small_als(build_on_demand_context(2)).run()
+    b = small_als(build_on_demand_context(2)).run()
+    assert a == b
+
+
+def test_als_is_shuffle_heavy():
+    """Each iteration performs 4 wide shuffles (2 cogroups + 2 group-bys)."""
+    ctx = build_on_demand_context(2)
+    als = small_als(ctx, iterations=1)
+    als.load()
+    maps_before = ctx.scheduler.stats.map_tasks
+    als.run(iterations=1)
+    maps = ctx.scheduler.stats.map_tasks - maps_before
+    # >= 4 shuffles x 4 map partitions + factor-source shuffles.
+    assert maps >= 16

@@ -1,0 +1,74 @@
+"""Workload data generators: determinism and distribution shape."""
+
+import numpy as np
+
+from repro.workloads.datagen import (
+    generate_clustered_points,
+    generate_graph_partition,
+    generate_ratings_partition,
+    initial_centroids,
+    initial_factors,
+)
+
+
+def test_graph_partition_deterministic():
+    a = generate_graph_partition(7, 0, 500, 1000)
+    b = generate_graph_partition(7, 0, 500, 1000)
+    c = generate_graph_partition(7, 1, 500, 1000)
+    assert a == b
+    assert a != c
+
+
+def test_graph_partition_shape_and_bounds():
+    edges = generate_graph_partition(7, 0, 500, 1000)
+    assert len(edges) == 500
+    for s, d in edges:
+        assert 0 <= s < 1000
+        assert 0 <= d < 1000
+        assert s != d  # no self loops
+
+
+def test_graph_in_degree_is_skewed():
+    edges = []
+    for p in range(4):
+        edges.extend(generate_graph_partition(7, p, 2000, 500))
+    in_deg = np.zeros(500)
+    for _s, d in edges:
+        in_deg[d] += 1
+    # Power-law-ish: the top decile has a large share of in-links.
+    top = np.sort(in_deg)[::-1][:50].sum()
+    assert top > 0.3 * in_deg.sum()
+
+
+def test_clustered_points_deterministic_and_clustered():
+    a = generate_clustered_points(3, 0, 400, num_clusters=4, dim=4)
+    b = generate_clustered_points(3, 0, 400, num_clusters=4, dim=4)
+    assert a == b
+    assert all(len(p) == 4 for p in a)
+    pts = np.array(a)
+    # Clustered data: spread within clusters is much smaller than overall.
+    assert pts.std() > 0.5
+
+
+def test_ratings_partition():
+    ratings = generate_ratings_partition(5, 0, 300, num_users=50, num_items=20)
+    assert len(ratings) == 300
+    for u, i, r in ratings:
+        assert 0 <= u < 50
+        assert 0 <= i < 20
+        assert 0.5 <= r <= 5.0
+
+
+def test_ratings_popularity_skew():
+    ratings = generate_ratings_partition(5, 0, 5000, num_users=100, num_items=100)
+    items = np.array([i for _u, i, _r in ratings])
+    # Skewed toward low item ids.
+    assert (items < 25).mean() > 0.4
+
+
+def test_initial_centroids_and_factors_deterministic():
+    assert initial_centroids(1, 5, 4) == initial_centroids(1, 5, 4)
+    assert initial_factors(1, "users", 10, 4) == initial_factors(1, "users", 10, 4)
+    assert initial_factors(1, "users", 10, 4) != initial_factors(1, "items", 10, 4)
+    assert len(initial_centroids(1, 5, 4)) == 5
+    assert all(len(f) == 4 for _i, f in initial_factors(1, "u", 3, 4))

@@ -1,0 +1,71 @@
+"""Streaming micro-batch workload (the §6 extension)."""
+
+import pytest
+
+from repro.workloads.streaming import StreamingWorkload
+from tests.conftest import build_on_demand_context
+
+
+def small_stream(ctx, **kwargs):
+    defaults = dict(batch_records=400, batch_gb=0.05, num_keys=20,
+                    partitions=4, batch_interval=30.0, seed=3)
+    defaults.update(kwargs)
+    return StreamingWorkload(ctx, **defaults)
+
+
+def test_state_matches_reference():
+    ctx = build_on_demand_context(2)
+    stream = small_stream(ctx)
+    got = stream.run(num_batches=4)
+    assert got == stream.expected_state(4)
+
+
+def test_batches_accumulate():
+    ctx = build_on_demand_context(2)
+    stream = small_stream(ctx)
+    stream.process_batch()
+    first_total = sum(dict(stream.state.collect()).values())
+    stream.process_batch()
+    second_total = sum(dict(stream.state.collect()).values())
+    assert second_total == 2 * first_total  # each batch has equal volume
+
+
+def test_lineage_grows_with_batches():
+    from repro.engine import lineage
+
+    ctx = build_on_demand_context(2)
+    stream = small_stream(ctx)
+    stream.process_batch()
+    depth_1 = lineage.lineage_depth(stream.state)
+    for _ in range(3):
+        stream.process_batch()
+    depth_4 = lineage.lineage_depth(stream.state)
+    assert depth_4 > depth_1
+
+
+def test_survives_revocation_mid_stream():
+    ctx = build_on_demand_context(3)
+    stream = small_stream(ctx)
+    for _ in range(3):
+        stream.process_batch()
+    ctx.cluster.force_revoke(ctx.cluster.live_workers()[:1])
+    for _ in range(2):
+        stream.process_batch()
+    assert dict(stream.state.collect()) == stream.expected_state(5)
+
+
+def test_flint_checkpoints_bound_streaming_lineage():
+    """With Flint attached, a long stream's state gets checkpointed and GC'd
+    so recovery never walks the whole history."""
+    from repro.core.ftmanager import FaultToleranceManager
+    from repro.simulation.clock import HOUR
+
+    ctx = build_on_demand_context(3)
+    ft = FaultToleranceManager(ctx, lambda: 2 * HOUR, initial_delta=5.0,
+                               min_tau=30.0, max_tau=120.0)
+    ft.start()
+    stream = small_stream(ctx, batch_interval=60.0)
+    result = stream.run(num_batches=8)
+    assert result == stream.expected_state(8)
+    assert ctx.checkpoints.partitions_written > 0
+    ft.stop()

@@ -1,0 +1,120 @@
+"""TPC-H session: query correctness against in-memory reference."""
+
+import pytest
+
+from repro.workloads.tpch import DATE_RANGE, TPCHSession, _gen_customer, _gen_lineitem, _gen_orders
+from tests.conftest import build_on_demand_context
+
+
+def small_session(ctx):
+    return TPCHSession(
+        ctx, data_gb=0.3, lineitem_rows=2000, orders_rows=400,
+        customer_rows=100, partitions=4, seed=19,
+    )
+
+
+def reference_tables(session):
+    n = session.partitions
+    lineitem, orders, customer = [], [], []
+    li_per = session.lineitem_rows // n
+    ord_per = session.orders_rows // n
+    cust_per = session.customer_rows // n
+    for p in range(n):
+        lineitem.extend(_gen_lineitem(session.seed, p, li_per, session.orders_rows))
+        orders.extend(_gen_orders(session.seed, p, ord_per, p * ord_per, session.customer_rows))
+        customer.extend(_gen_customer(session.seed, p, cust_per, p * cust_per))
+    return lineitem, orders, customer
+
+
+def test_load_caches_all_tables():
+    ctx = build_on_demand_context(2)
+    s = small_session(ctx)
+    s.load()
+    for table in (s.lineitem, s.orders, s.customer):
+        assert table.persisted
+        assert ctx.cached_partition_count(table) == 4
+
+
+def test_q1_matches_reference():
+    ctx = build_on_demand_context(2)
+    s = small_session(ctx)
+    got = dict(s.q1())
+    lineitem, _, _ = reference_tables(s)
+    cutoff = DATE_RANGE - 90
+    expected = {}
+    for r in lineitem:
+        if r["shipdate"] > cutoff:
+            continue
+        key = (r["returnflag"], r["linestatus"])
+        acc = expected.setdefault(
+            key, {"sum_qty": 0.0, "sum_base_price": 0.0, "sum_disc_price": 0.0,
+                  "sum_charge": 0.0, "count": 0},
+        )
+        disc = r["extendedprice"] * (1 - r["discount"])
+        acc["sum_qty"] += r["quantity"]
+        acc["sum_base_price"] += r["extendedprice"]
+        acc["sum_disc_price"] += disc
+        acc["sum_charge"] += disc * (1 + r["tax"])
+        acc["count"] += 1
+    assert got.keys() == expected.keys()
+    for key in got:
+        for field in expected[key]:
+            assert got[key][field] == pytest.approx(expected[key][field])
+
+
+def test_q6_matches_reference():
+    ctx = build_on_demand_context(2)
+    s = small_session(ctx)
+    got = s.q6()
+    lineitem, _, _ = reference_tables(s)
+    start = DATE_RANGE // 3
+    expected = sum(
+        r["extendedprice"] * r["discount"]
+        for r in lineitem
+        if start <= r["shipdate"] < start + 365
+        and 0.049 <= r["discount"] <= 0.071
+        and r["quantity"] < 24
+    )
+    assert got == pytest.approx(expected)
+
+
+def test_q3_matches_reference():
+    ctx = build_on_demand_context(2)
+    s = small_session(ctx)
+    got = s.q3()
+    lineitem, orders, customer = reference_tables(s)
+    date = DATE_RANGE // 2
+    building = {c["custkey"] for c in customer if c["mktsegment"] == "BUILDING"}
+    valid_orders = {
+        o["orderkey"] for o in orders
+        if o["orderdate"] < date and o["custkey"] in building
+    }
+    revenue = {}
+    for r in lineitem:
+        if r["shipdate"] > date and r["orderkey"] in valid_orders:
+            revenue[r["orderkey"]] = revenue.get(r["orderkey"], 0.0) + r[
+                "extendedprice"
+            ] * (1 - r["discount"])
+    expected = sorted(revenue.items(), key=lambda kv: -kv[1])[:10]
+    assert len(got) == len(expected)
+    for (gk, gv), (ek, ev) in zip(got, expected):
+        assert gk == ek
+        assert gv == pytest.approx(ev)
+
+
+def test_queries_after_cache_are_fast():
+    ctx = build_on_demand_context(2)
+    s = small_session(ctx)
+    s.load()
+    _result, cold = s.timed(s.q6)
+    _result, warm = s.timed(s.q6)
+    assert warm <= cold * 1.5  # tables stay cached
+
+
+def test_timed_reports_latency():
+    ctx = build_on_demand_context(2)
+    s = small_session(ctx)
+    s.load()
+    result, latency = s.timed(s.q1)
+    assert latency > 0
+    assert result
