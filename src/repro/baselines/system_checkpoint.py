@@ -154,7 +154,9 @@ class SystemCheckpointManager:
                 data, nbytes, _tier = hit
                 # Snapshots rewrite everything: drop the stale copy so the
                 # scheduler's has-partition dedupe doesn't skip the write.
-                self.env.dfs.delete(registry.path_for(rdd.rdd_id, partition))
+                # Deleting via the registry keeps its change listeners (and
+                # the scheduler's cached readiness state) in sync.
+                registry.discard_partition(rdd, partition)
                 inflated = int(nbytes * self.system_overhead_factor)
                 spec = TaskSpec(
                     TaskKind.CHECKPOINT,

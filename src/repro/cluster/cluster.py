@@ -34,6 +34,9 @@ class ClusterListener:
     def on_worker_revoked(self, worker: Worker, t: float) -> None:  # pragma: no cover
         """``worker`` was killed; its volatile state is already gone."""
 
+    def on_worker_terminated(self, worker: Worker, t: float) -> None:  # pragma: no cover
+        """``worker`` was shut down deliberately (teardown, scale-down)."""
+
 
 class Cluster:
     """A dynamic set of workers backed by transient instances."""
@@ -163,6 +166,7 @@ class Cluster:
         worker.kill()
         for event in self._pending_events.pop(worker.worker_id, []):
             self.env.events.cancel(event)
+        self._notify("on_worker_terminated", worker, end)
 
     def terminate_all(self) -> None:
         """Tear the cluster down and stop all billing."""

@@ -9,7 +9,7 @@ default.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.market.instance import Instance
 from repro.storage.local_disk import LocalDisk
@@ -45,6 +45,13 @@ class Worker:
         self.local_disk = LocalDisk(capacity_bytes=int(self.instance_type.local_disk_gb * GB))
         # The execution engine attaches a BlockManager when the worker joins.
         self.block_manager: Optional["BlockManager"] = None
+        #: Called (with this worker) after :meth:`kill` drops local state, so
+        #: driver-side trackers stay truthful on *any* death path — cluster
+        #: revocation, deliberate termination, or a direct kill in tests.
+        self._death_listeners: List[Callable[["Worker"], None]] = []
+
+    def add_death_listener(self, listener: Callable[["Worker"], None]) -> None:
+        self._death_listeners.append(listener)
 
     @property
     def slots(self) -> int:
@@ -67,6 +74,8 @@ class Worker:
         self.local_disk.clear()
         if self.block_manager is not None:
             self.block_manager.clear()
+        for listener in list(self._death_listeners):
+            listener(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "alive" if self.alive else "dead"

@@ -18,6 +18,7 @@ from repro.storage.local_disk import DiskFullError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.worker import Worker
+    from repro.engine.block_index import BlockLocationIndex
 
 
 def block_id_for(rdd_id: int, partition: int) -> str:
@@ -49,7 +50,12 @@ class BlockManager:
 
     _SPILL_PREFIX = "spill/"
 
-    def __init__(self, worker: "Worker", capacity_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        worker: "Worker",
+        capacity_bytes: Optional[int] = None,
+        index: Optional["BlockLocationIndex"] = None,
+    ):
         self.worker = worker
         self.capacity_bytes = (
             worker.storage_memory_bytes if capacity_bytes is None else int(capacity_bytes)
@@ -59,6 +65,9 @@ class BlockManager:
         self._memory: "OrderedDict[str, _Block]" = OrderedDict()
         self._used = 0
         self.stats = BlockStats()
+        #: Driver-side location index; every presence change is mirrored
+        #: there so cluster-wide lookups never scan workers.
+        self.index = index
 
     @property
     def used_bytes(self) -> int:
@@ -98,6 +107,8 @@ class BlockManager:
             self._evict_one()
         self._memory[block_id] = _Block(data, nbytes, spill)
         self._used += nbytes
+        if self.index is not None:
+            self.index.add(block_id, self.worker)
         return True
 
     def _evict_one(self) -> None:
@@ -105,12 +116,16 @@ class BlockManager:
         self._used -= victim.nbytes
         if not victim.spill:
             self.stats.drops += 1
+            if self.index is not None:
+                self.index.remove(victim_id, self.worker.worker_id)
             return
         try:
             self.worker.local_disk.put(self._SPILL_PREFIX + victim_id, victim.data, victim.nbytes)
             self.stats.evictions_to_disk += 1
         except DiskFullError:
             self.stats.drops += 1
+            if self.index is not None:
+                self.index.remove(victim_id, self.worker.worker_id)
 
     def get(self, block_id: str) -> Optional[Tuple[Any, int, str]]:
         """Fetch a block: returns ``(data, nbytes, 'memory'|'disk')`` or None."""
@@ -142,7 +157,18 @@ class BlockManager:
             removed = True
         if self.worker.local_disk.delete(self._SPILL_PREFIX + block_id):
             removed = True
+        if removed and self.index is not None:
+            self.index.remove(block_id, self.worker.worker_id)
         return removed
+
+    def note_spill_deleted(self, block_id: str) -> None:
+        """A spilled copy was deleted externally (shuffle-space eviction).
+
+        Memory and spill copies are mutually exclusive (``put`` drops the
+        stale spill), so losing the spill file means the block is gone.
+        """
+        if self.index is not None and block_id not in self._memory:
+            self.index.remove(block_id, self.worker.worker_id)
 
     def remove_rdd(self, rdd_id: int) -> int:
         """Drop every cached partition of one RDD; returns count removed."""
@@ -160,6 +186,14 @@ class BlockManager:
         return removed
 
     def clear(self) -> None:
-        """Wipe the in-memory store (revocation path; disk dies separately)."""
+        """Wipe the store on revocation.
+
+        The worker's local disk (and with it every spilled copy) dies in the
+        same instant — ``Worker.kill`` clears it before calling here — so the
+        location index forgets *all* of this worker's blocks, not just the
+        memory-resident ones.
+        """
         self._memory.clear()
         self._used = 0
+        if self.index is not None:
+            self.index.purge_worker(self.worker.worker_id)

@@ -9,7 +9,7 @@ when a descendant RDD is checkpointed (§4, "Checkpoint Garbage Collection").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.engine import lineage
 from repro.storage.dfs import DistributedFileSystem
@@ -29,6 +29,17 @@ class CheckpointRegistry:
         self.bytes_written = 0
         self.partitions_written = 0
         self.gc_deleted = 0
+        #: Callbacks ``(rdd_id, partition | None, available: bool)`` fired
+        #: when a checkpoint lands or is deleted (partition None = whole
+        #: RDD).  The incremental scheduler hooks readiness invalidation in.
+        self._listeners: List[Callable[[int, Optional[int], bool], None]] = []
+
+    def add_listener(self, listener: Callable[[int, Optional[int], bool], None]) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self, rdd_id: int, partition: Optional[int], available: bool) -> None:
+        for listener in self._listeners:
+            listener(rdd_id, partition, available)
 
     @staticmethod
     def path_for(rdd_id: int, partition: int) -> str:
@@ -67,6 +78,21 @@ class CheckpointRegistry:
         self._num_partitions.setdefault(rdd.rdd_id, rdd.num_partitions)
         self.bytes_written += nbytes
         self.partitions_written += 1
+        self._notify(rdd.rdd_id, partition, True)
+
+    def discard_partition(self, rdd: "RDD", partition: int) -> bool:
+        """Delete one partition's checkpoint (system-snapshot epoch resets).
+
+        Routing deletes through the registry keeps change listeners (and so
+        the scheduler's cached readiness decisions) consistent with the DFS.
+        """
+        deleted = self.dfs.delete(self.path_for(rdd.rdd_id, partition))
+        if deleted:
+            written = self._written.get(rdd.rdd_id)
+            if written is not None:
+                written.discard(partition)
+            self._notify(rdd.rdd_id, partition, False)
+        return deleted
 
     def read_partition(self, rdd: "RDD", partition: int):
         """Fetch a checkpointed partition's records."""
@@ -105,6 +131,7 @@ class CheckpointRegistry:
                 deleted += self.dfs.delete_prefix(self.rdd_prefix(ancestor.rdd_id))
                 self._written.pop(ancestor.rdd_id, None)
                 self._marked.discard(ancestor.rdd_id)
+                self._notify(ancestor.rdd_id, None, False)
         self.gc_deleted += deleted
         return deleted
 

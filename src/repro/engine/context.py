@@ -10,10 +10,12 @@ application — the fault-tolerance manager).
 from __future__ import annotations
 
 import itertools
+import os
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.environment import Environment
+from repro.engine.block_index import BlockLocationIndex
 from repro.engine.block_manager import block_id_for
 from repro.engine.checkpoint import CheckpointRegistry
 from repro.engine.costs import CostModel
@@ -32,10 +34,15 @@ class FlintContext:
         env: Environment,
         cluster: Cluster,
         cost_model: Optional[CostModel] = None,
+        scheduler_mode: Optional[str] = None,
     ):
         self.env = env
         self.cluster = cluster
         self.cost_model = cost_model or CostModel()
+        #: Driver-side block-location index (Spark's BlockManagerMaster):
+        #: block managers mirror every presence change here so cluster-wide
+        #: block lookups are dict reads, never worker scans.
+        self.block_index = BlockLocationIndex()
         self.shuffle_manager = ShuffleManager()
         self.checkpoints = CheckpointRegistry(env.dfs)
         #: Set by Flint's fault-tolerance manager when it attaches (optional).
@@ -45,7 +52,9 @@ class FlintContext:
         # Import here to break the rdd <-> scheduler <-> context cycle.
         from repro.engine.scheduler import TaskScheduler
 
-        self.scheduler = TaskScheduler(self)
+        if scheduler_mode is None:
+            scheduler_mode = os.environ.get("FLINT_SCHEDULER", "incremental")
+        self.scheduler = TaskScheduler(self, mode=scheduler_mode)
 
     # ------------------------------------------------------------------
     # RDD creation
@@ -109,24 +118,43 @@ class FlintContext:
         """Locate a cached partition on any live worker.
 
         Returns ``(data, nbytes, worker, tier)`` or None.  The preferred
-        worker (the would-be reader) is searched first so local hits win.
+        worker (the would-be reader) wins when it holds a copy; otherwise the
+        earliest-joined holder serves, matching the seed's worker-scan order.
+        Resolution is an index lookup — O(#holders), not O(#workers).
         """
         block_id = block_id_for(rdd.rdd_id, partition)
-        workers = self.cluster.live_workers()
+        holders = self.block_index.holders(block_id)
+        if not holders:
+            return None
+        target = None
         if prefer is not None and prefer.alive:
-            workers = [prefer] + [w for w in workers if w.worker_id != prefer.worker_id]
-        for worker in workers:
-            manager = worker.block_manager
-            if manager is None:
-                continue
-            hit = manager.get(block_id)
-            if hit is not None:
-                data, nbytes, tier = hit
-                return data, nbytes, worker, tier
-        return None
+            for worker in holders:
+                if worker.worker_id == prefer.worker_id:
+                    target = worker
+                    break
+        if target is None:
+            target = holders[0]
+        hit = target.block_manager.get(block_id)
+        if hit is None:  # pragma: no cover - index and store always agree
+            return None
+        data, nbytes, tier = hit
+        return data, nbytes, target, tier
 
     def block_exists(self, rdd: "RDD", partition: int) -> bool:
-        """True when a cached copy of the partition exists on a live worker."""
+        """True when a cached copy of the partition exists on a live worker.
+
+        One dict lookup against the block-location index (the seed scanned
+        every worker's block manager here, under the scheduler's hot loop).
+        """
+        return self.block_index.exists(block_id_for(rdd.rdd_id, partition))
+
+    def block_exists_scan(self, rdd: "RDD", partition: int) -> bool:
+        """Reference worker-scan implementation of :meth:`block_exists`.
+
+        This is the original O(workers) probe.  The legacy scheduler mode
+        resolves readiness through it, and the block-index property tests
+        hold :meth:`block_exists` to exactly its answers.
+        """
         block_id = block_id_for(rdd.rdd_id, partition)
         return any(
             w.block_manager is not None and w.block_manager.has(block_id)

@@ -12,6 +12,11 @@ from typing import Any
 
 def stable_hash(key: Any) -> int:
     """A deterministic, process-independent hash for common key types."""
+    # Exact-type fast path: int keys dominate the shuffle hot loop (vertex
+    # ids, cluster ids, user/item ids).  ``type is`` excludes bool, whose
+    # branch below returns the same value anyway (int(True) == 1 & mask).
+    if type(key) is int:
+        return key & 0x7FFFFFFF
     if isinstance(key, str):
         return zlib.crc32(key.encode("utf-8"))
     if isinstance(key, bytes):
@@ -42,6 +47,8 @@ class HashPartitioner:
 
     def partition_for(self, key: Any) -> int:
         """Bucket index for ``key`` in ``[0, num_partitions)``."""
+        if type(key) is int:  # inline the dominant stable_hash branch
+            return (key & 0x7FFFFFFF) % self.num_partitions
         return stable_hash(key) % self.num_partitions
 
     def __eq__(self, other: object) -> bool:

@@ -9,6 +9,16 @@ records are computed (for real) at dispatch, its duration is charged from the
 cost model, and its effects — cached blocks, shuffle outputs, results,
 checkpoint writes — land only when its completion event fires.  A worker
 killed mid-flight therefore loses exactly the work Spark would lose.
+
+Readiness is decided *incrementally*: resolve results are cached across
+scheduling rounds in a pending-task dependency graph and invalidated only
+when a block, shuffle output, or checkpoint actually appears or disappears
+(change listeners on the block-location index, the shuffle manager, and the
+checkpoint registry).  A round with no state change filters a cached ready
+list instead of re-walking the lineage DAG.  The seed's recompute-everything
+resolver is retained as ``mode="legacy"`` and must stay simulation-identical
+— ``tests/engine/test_scheduler_equivalence.py`` holds the two modes to
+bit-equal runtimes and task counts.
 """
 
 from __future__ import annotations
@@ -18,9 +28,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import ClusterListener
+from repro.engine.block_index import parse_block_id
 from repro.engine.block_manager import BlockManager, block_id_for
 from repro.engine.dependencies import NarrowDependency, ShuffleDependency
 from repro.engine.partitioner import stable_hash
+from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
 from repro.engine.task import (
     ComputedPartition,
     PendingPut,
@@ -40,6 +52,10 @@ class EngineError(RuntimeError):
     """Unrecoverable scheduler failure (deadlock, disk exhaustion, ...)."""
 
 
+def _combine_sort_key(kv):
+    return stable_hash(kv[0])
+
+
 @dataclass
 class SchedulerStats:
     """Aggregate counters over the scheduler's lifetime."""
@@ -51,6 +67,25 @@ class SchedulerStats:
     checkpoint_tasks: int = 0
     task_time_total: float = 0.0
     checkpoint_time_total: float = 0.0
+    # Incremental-readiness observability: rounds run, how often a cached
+    # resolve answered, how many cached decisions events invalidated, how
+    # often the ready list had to be rebuilt, and the deepest ready queue.
+    scheduling_rounds: int = 0
+    resolve_cache_hits: int = 0
+    resolve_cache_misses: int = 0
+    readiness_invalidations: int = 0
+    readiness_rebuilds: int = 0
+    ready_queue_peak: int = 0
+
+    def task_counts(self) -> Dict[str, int]:
+        """The counters that must agree across scheduler modes."""
+        return {
+            "tasks_completed": self.tasks_completed,
+            "tasks_lost": self.tasks_lost,
+            "result_tasks": self.result_tasks,
+            "map_tasks": self.map_tasks,
+            "checkpoint_tasks": self.checkpoint_tasks,
+        }
 
 
 class TaskRuntime:
@@ -144,6 +179,11 @@ class _JobState:
         self.func = func
         self.results: List[Any] = [self._UNSET] * rdd.num_partitions
         self.remaining = rdd.num_partitions
+        #: RESULT specs in partition order, built once — the ready-list
+        #: rebuild filters these instead of re-allocating specs each pass.
+        self.root_specs: List[TaskSpec] = [
+            TaskSpec(TaskKind.RESULT, rdd, p, func=func) for p in range(rdd.num_partitions)
+        ]
 
     def set_result(self, partition: int, value: Any) -> None:
         if self.results[partition] is self._UNSET:
@@ -161,10 +201,14 @@ class _JobState:
 class TaskScheduler(ClusterListener):
     """Dispatches tasks onto cluster slots and recovers from revocations."""
 
-    def __init__(self, context: "FlintContext"):
+    def __init__(self, context: "FlintContext", mode: str = "incremental"):
+        if mode not in ("incremental", "legacy"):
+            raise ValueError(f"unknown scheduler mode {mode!r}")
         self.context = context
         self.env = context.env
         self.cluster = context.cluster
+        self.mode = mode
+        self.incremental = mode == "incremental"
         self.busy: Dict[str, int] = {}
         #: Concurrent checkpoint writes per worker.  Checkpoint tasks are
         #: I/O-bound (one writer saturates a node's HDFS pipeline), so at
@@ -176,10 +220,28 @@ class TaskScheduler(ClusterListener):
         self._checkpoint_queue: "OrderedDict[Tuple, TaskSpec]" = OrderedDict()
         self.job: Optional[_JobState] = None
         self.stats = SchedulerStats()
+        self.timers = SectionTimers(enabled=profiling_enabled_by_env())
         self._seen_partitions: Dict[int, Set[int]] = {}
         self._generated: Set[int] = set()
         self._materialised: Set[int] = set()
         self._dispatch_rotation = 0
+        # Incremental readiness state: resolve results cached across rounds,
+        # reverse edges for targeted invalidation, and the memoised ordered
+        # ready list (None = must rebuild next round).
+        self._resolve_cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]] = {}
+        self._dependents: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+        self._shuffle_dependents: Dict[int, Set[Tuple[int, int]]] = {}
+        self._ready_list: Optional[List[TaskSpec]] = None
+        # Map specs are identified entirely by (shuffle, partition); reuse
+        # one object per identity so rebuilds don't churn allocations.
+        self._map_specs: Dict[Tuple[int, int], TaskSpec] = {}
+        # rdd_id -> RDD for every node the resolver has seen, so
+        # invalidation can re-resolve a popped node in place.
+        self._rdd_index: Dict[int, "RDD"] = {}
+        if self.incremental:
+            context.block_index.add_listener(self._on_block_event)
+            context.shuffle_manager.add_listener(self._on_shuffle_event)
+            context.checkpoints.add_listener(self._on_checkpoint_event)
         self.cluster.add_listener(self)
         for worker in self.cluster.live_workers():
             self._register_worker(worker)
@@ -200,11 +262,24 @@ class TaskScheduler(ClusterListener):
             self.stats.tasks_lost += 1
         self.busy.pop(worker.worker_id, None)
         self._ckpt_busy.pop(worker.worker_id, None)
+        # Lost in-flight tasks may not touch any tracked state (a result
+        # task holding no blocks), so the cached ready list cannot rely on
+        # change events alone after a revocation.
+        self._ready_list = None
         self._schedule_round()
+
+    def on_worker_terminated(self, worker: "Worker", t: float) -> None:
+        # Deliberate shutdown loses local state exactly like a revocation;
+        # dropping the outputs keeps the shuffle missing-sets truthful
+        # (queries against a dead worker already answered "missing").
+        self.context.shuffle_manager.remove_outputs_on(worker.worker_id)
+        self._ready_list = None
 
     def _register_worker(self, worker: "Worker") -> None:
         if worker.block_manager is None:
-            worker.block_manager = BlockManager(worker)
+            worker.block_manager = BlockManager(worker, index=self.context.block_index)
+        elif worker.block_manager.index is None:
+            worker.block_manager.index = self.context.block_index
         self.context.shuffle_manager.register_worker(worker)
         self.busy.setdefault(worker.worker_id, 0)
 
@@ -217,6 +292,9 @@ class TaskScheduler(ClusterListener):
             raise EngineError("concurrent jobs are not supported")
         job = _JobState(rdd, func)
         self.job = job
+        # RESULT roots belong to this job; a ready list cached for a
+        # previous job's frontier is meaningless now.
+        self._ready_list = None
         try:
             self._schedule_round()
             while not job.is_done:
@@ -229,6 +307,7 @@ class TaskScheduler(ClusterListener):
                 self._schedule_round()
         finally:
             self.job = None
+            self._ready_list = None
         return list(job.results)
 
     # ------------------------------------------------------------------
@@ -277,16 +356,21 @@ class TaskScheduler(ClusterListener):
     # Scheduling rounds
     # ------------------------------------------------------------------
     def _schedule_round(self) -> None:
-        specs = self._ready_specs()
-        for spec in specs:
-            worker = self._pick_worker(spec)
-            if worker is None:
-                if spec.kind == TaskKind.CHECKPOINT:
-                    # Only the per-worker checkpoint-stream cap is exhausted;
-                    # compute slots may still be free for job tasks.
-                    continue
-                break
-            self._dispatch(spec, worker)
+        self.stats.scheduling_rounds += 1
+        with self.timers.section("schedule_round"):
+            specs = self._ready_specs()
+            if len(specs) > self.stats.ready_queue_peak:
+                self.stats.ready_queue_peak = len(specs)
+            for spec in specs:
+                worker = self._pick_worker(spec)
+                if worker is None:
+                    if spec.kind == TaskKind.CHECKPOINT:
+                        # Only the per-worker checkpoint-stream cap is
+                        # exhausted; compute slots may still be free for
+                        # job tasks.
+                        continue
+                    break
+                self._dispatch(spec, worker)
 
     def _ready_specs(self) -> List[TaskSpec]:
         specs: List[TaskSpec] = []
@@ -298,6 +382,76 @@ class TaskScheduler(ClusterListener):
         job = self.job
         if job is None:
             return specs
+        if not self.incremental:
+            specs.extend(self._ready_job_specs_scan(job))
+            return specs
+        if self._ready_list is None:
+            with self.timers.section("ready_rebuild"):
+                self._ready_list = self._build_ready_list(job)
+            self.stats.readiness_rebuilds += 1
+        # Between rebuilds only three things change: specs get dispatched
+        # (now in ``running``; a fresh walk would skip them without
+        # expanding anything, since ready specs contribute no children),
+        # result tasks complete (their roots would not be pushed), and map
+        # outputs register (the legacy walk drops them from ``missing`` and
+        # never visits them).  Filtering the memoised order by those three
+        # O(1) checks is therefore exactly the walk.
+        sm = self.context.shuffle_manager
+        for spec in self._ready_list:
+            if spec.key in self.running:
+                continue
+            kind = spec.kind
+            if kind == TaskKind.RESULT and job.has_result(spec.partition):
+                continue
+            if kind == TaskKind.SHUFFLE_MAP and sm.map_output_available(
+                spec.dep.shuffle_id, spec.partition
+            ):
+                continue
+            specs.append(spec)
+        return specs
+
+    def _build_ready_list(self, job: _JobState) -> List[TaskSpec]:
+        """The seed's depth-first frontier walk over incremental resolves.
+
+        Enumeration order is kept bit-identical to the legacy walk: RESULT
+        roots pushed in partition order (popped descending), running specs
+        pruned without expansion, ``visited`` dedupe by task key.
+        """
+        ready: List[TaskSpec] = []
+        visited: Set[Tuple] = set()
+        running = self.running
+        sm = self.context.shuffle_manager
+        stack: List[TaskSpec] = [
+            s for s in job.root_specs if not job.has_result(s.partition)
+        ]
+        while stack:
+            spec = stack.pop()
+            key = spec.key
+            if key in visited:
+                continue
+            visited.add(key)
+            if key in running:
+                continue
+            if spec.kind == TaskKind.SHUFFLE_MAP:
+                # Cached needed lists may be stale supersets (benign shrink
+                # events leave them in place); an already-available map is
+                # one the legacy walk would never have pushed — skipping it
+                # here, without expanding it, restores the exact legacy walk.
+                if sm.map_output_available(spec.dep.shuffle_id, spec.partition):
+                    continue
+                target = spec.dep.rdd
+            else:
+                target = spec.rdd
+            is_ready, needed = self._resolve_inc(target, spec.partition)
+            if is_ready:
+                ready.append(spec)
+            else:
+                stack.extend(needed)
+        return ready
+
+    def _ready_job_specs_scan(self, job: _JobState) -> List[TaskSpec]:
+        """Legacy mode: recompute the frontier from scratch (seed behaviour)."""
+        specs: List[TaskSpec] = []
         cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]] = {}
         visited: Set[Tuple] = set()
         stack: List[TaskSpec] = [
@@ -326,16 +480,19 @@ class TaskScheduler(ClusterListener):
         partition: int,
         cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]],
     ) -> Tuple[bool, List[TaskSpec]]:
-        """Can ``(rdd, partition)`` be produced right now?
+        """Can ``(rdd, partition)`` be produced right now?  (Legacy resolver.)
 
         Returns ``(ready, needed_map_tasks)``: not-ready partitions name the
-        shuffle-map tasks (transitively) blocking them.
+        shuffle-map tasks (transitively) blocking them.  The cache lives for
+        one scheduling round, and readiness leaves are answered by the
+        original worker scans / per-map probes — this is the seed resolver,
+        kept as the reference the incremental engine is tested against.
         """
         key = (rdd.rdd_id, partition)
         cached = cache.get(key)
         if cached is not None:
             return cached
-        if self.context.block_exists(rdd, partition) or self.context.checkpoints.has_partition(
+        if self.context.block_exists_scan(rdd, partition) or self.context.checkpoints.has_partition(
             rdd, partition
         ):
             result = (True, [])
@@ -345,7 +502,7 @@ class TaskScheduler(ClusterListener):
         needed: List[TaskSpec] = []
         for dep in rdd.dependencies:
             if isinstance(dep, ShuffleDependency):
-                missing = self.context.shuffle_manager.missing_maps(dep)
+                missing = self.context.shuffle_manager.missing_maps_by_probe(dep)
                 if missing:
                     ready = False
                     needed.extend(
@@ -361,6 +518,150 @@ class TaskScheduler(ClusterListener):
         result = (ready, needed)
         cache[key] = result
         return result
+
+    def _map_spec(self, dep: ShuffleDependency, map_id: int) -> TaskSpec:
+        sk = (dep.shuffle_id, map_id)
+        spec = self._map_specs.get(sk)
+        if spec is None:
+            spec = TaskSpec(TaskKind.SHUFFLE_MAP, dep.rdd, map_id, dep=dep)
+            self._map_specs[sk] = spec
+        return spec
+
+    def _resolve_inc(self, rdd: "RDD", partition: int) -> Tuple[bool, List[TaskSpec]]:
+        """Persistent-cache twin of :meth:`_resolve`.
+
+        Identical decision logic, but answers live across scheduling rounds
+        in ``_resolve_cache``, leaves are O(1) lookups (block-location index,
+        shuffle missing-sets), and every consult is recorded as a reverse
+        edge so change events invalidate exactly the decisions they affect.
+        """
+        key = (rdd.rdd_id, partition)
+        cached = self._resolve_cache.get(key)
+        if cached is not None:
+            self.stats.resolve_cache_hits += 1
+            return cached
+        self.stats.resolve_cache_misses += 1
+        self._rdd_index[rdd.rdd_id] = rdd
+        if self.context.block_exists(rdd, partition) or self.context.checkpoints.has_partition(
+            rdd, partition
+        ):
+            result = (True, [])
+            self._resolve_cache[key] = result
+            return result
+        ready = True
+        needed: List[TaskSpec] = []
+        for dep in rdd.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                self._shuffle_dependents.setdefault(dep.shuffle_id, set()).add(key)
+                missing = self.context.shuffle_manager.missing_maps(dep)
+                if missing:
+                    ready = False
+                    needed.extend(self._map_spec(dep, m) for m in missing)
+            elif isinstance(dep, NarrowDependency):
+                for parent_partition in dep.parents_of(partition):
+                    self._dependents.setdefault((dep.rdd.rdd_id, parent_partition), set()).add(key)
+                    sub_ready, sub_needed = self._resolve_inc(dep.rdd, parent_partition)
+                    ready = ready and sub_ready
+                    needed.extend(sub_needed)
+            else:  # pragma: no cover - no other dependency kinds exist
+                raise EngineError(f"unknown dependency type {type(dep).__name__}")
+        result = (ready, needed)
+        self._resolve_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Incremental readiness: change events and targeted invalidation
+    # ------------------------------------------------------------------
+    def _on_block_event(self, block_id: str, added: bool) -> None:
+        parsed = parse_block_id(block_id)
+        if parsed is not None:
+            self._invalidate_node(parsed)
+
+    def _on_shuffle_event(self, shuffle_id: int, map_id: int, available: bool) -> None:
+        if available:
+            if self.context.shuffle_manager.has_missing(shuffle_id):
+                # A registration that leaves the shuffle incomplete cannot
+                # flip any dependant ready; it only shrinks their needed
+                # lists, and both the rebuild walk and the dispatch filter
+                # already skip available map specs.  The cached lists go
+                # stale-but-superset, which ``_needed_unchanged`` treats as
+                # benign.
+                return
+            for key in list(self._shuffle_dependents.get(shuffle_id, ())):
+                self._invalidate_node(key)
+            return
+        # Loss events: the ready list is not a pure function of the cached
+        # answers (the walk also consulted map availability), so an
+        # unchanged-answer repair cannot prove it valid.  Losses are rare
+        # (evictions, revocations) — drop the list unconditionally.
+        for key in list(self._shuffle_dependents.get(shuffle_id, ())):
+            self._invalidate_node(key)
+        self._ready_list = None
+
+    def _on_checkpoint_event(self, rdd_id: int, partition: Optional[int], available: bool) -> None:
+        if partition is not None:
+            self._invalidate_node((rdd_id, partition))
+            return
+        # Whole-RDD deletion (checkpoint GC): every cached decision about
+        # this RDD's partitions consulted the now-gone checkpoints.
+        for key in [k for k in self._resolve_cache if k[0] == rdd_id]:
+            self._invalidate_node(key)
+
+    def _invalidate_node(self, key: Tuple[int, int]) -> None:
+        """Drop one cached readiness decision and everything built on it.
+
+        The walk stops at uncached nodes: a cached entry always implies the
+        entries it consulted are cached (a resolve caches its inputs before
+        itself, and invalidation pops a node's cached dependants in the same
+        walk), so an uncached node has no cached dependants left to find.
+        Dependency edges are never removed — a stale edge costs at most one
+        spurious re-resolve, while a missing one would corrupt readiness.
+        """
+        if key not in self._resolve_cache:
+            return
+        stack = [key]
+        while stack:
+            k = stack.pop()
+            old = self._resolve_cache.pop(k, None)
+            if old is None:
+                continue
+            self.stats.readiness_invalidations += 1
+            # Repair-and-compare: re-resolve in place (listeners fire after
+            # the state change, so this sees fresh state; the node's own
+            # dependencies are untouched by this dependants-upward walk).
+            # If the answer is unchanged — same ready flag, same needed
+            # specs pairwise-identical (valid: needed lists hold only
+            # _map_specs-interned objects) — nothing built on it can have
+            # changed either, so the cascade and the ready list both stand.
+            rdd = self._rdd_index.get(k[0])
+            if rdd is not None:
+                new = self._resolve_inc(rdd, k[1])
+                if new[0] == old[0] and self._needed_unchanged(new[1], old[1]):
+                    continue
+            self._ready_list = None
+            stack.extend(self._dependents.get(k, ()))
+
+    def _needed_unchanged(self, new: List[TaskSpec], old: List[TaskSpec]) -> bool:
+        """Is ``new`` exactly ``old``, or ``old`` minus now-available maps?
+
+        Pairwise identity is valid because needed lists hold only
+        ``_map_specs``-interned objects.  The gap-tolerant direction is sound
+        because the rebuild walk skips available map specs without expanding
+        them — pushing the superset list produces the identical walk.  Any
+        other difference (growth, reorder, unavailable gap) returns False
+        and the caller nukes the ready list.
+        """
+        if len(new) == len(old):
+            return all(x is y for x, y in zip(new, old))
+        sm = self.context.shuffle_manager
+        i = 0
+        n = len(new)
+        for s in old:
+            if i < n and s is new[i]:
+                i += 1
+            elif not sm.map_output_available(s.dep.shuffle_id, s.partition):
+                return False
+        return i == n
 
     def _pick_worker(self, spec: TaskSpec) -> Optional["Worker"]:
         live = self.cluster.live_workers()
@@ -426,22 +727,24 @@ class TaskScheduler(ClusterListener):
         dep = spec.dep
         records = runtime.iterator(dep.rdd, spec.partition)
         n_buckets = dep.num_reduce_partitions
+        pf = dep.partitioner.partition_for
         if dep.map_side_combine:
             create, merge_value, _merge_combiners = dep.aggregator
             tables: List[Dict[Any, Any]] = [dict() for _ in range(n_buckets)]
             for key, value in records:
-                table = tables[dep.partitioner.partition_for(key)]
+                table = tables[pf(key)]
                 if key in table:
                     table[key] = merge_value(table[key], value)
                 else:
                     table[key] = create(value)
             buckets = [
-                sorted(table.items(), key=lambda kv: stable_hash(kv[0])) for table in tables
+                sorted(table.items(), key=_combine_sort_key) if table else []
+                for table in tables
             ]
         else:
             buckets = [[] for _ in range(n_buckets)]
             for record in records:
-                buckets[dep.partitioner.partition_for(record[0])].append(record)
+                buckets[pf(record[0])].append(record)
         out_records = sum(len(b) for b in buckets)
         runtime.charge(self.context.cost_model.shuffle_write_time(out_records * dep.rdd.record_size))
         return buckets
@@ -459,8 +762,11 @@ class TaskScheduler(ClusterListener):
                 )
         if worker is None or not worker.alive:
             # The completion event should have been cancelled at revocation;
-            # treat a straggler as lost work.
+            # treat a straggler as lost work.  Its spec left ``running``
+            # with no change event fired, so a ready list memoised while it
+            # ran is no longer faithful.
             self.stats.tasks_lost += 1
+            self._ready_list = None
             self._schedule_round()
             return
 

@@ -11,7 +11,7 @@ outputs exist and where.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.engine.dependencies import ShuffleDependency
 from repro.storage.local_disk import DiskFullError
@@ -49,12 +49,48 @@ class ShuffleManager:
         # shuffle_id -> map_partition -> MapStatus
         self._outputs: Dict[int, Dict[int, MapStatus]] = {}
         self._workers: Dict[str, "Worker"] = {}
+        # shuffle_id -> set of map partitions whose output is currently
+        # absent.  Maintained on register/evict/revoke so ``missing_maps``
+        # is O(|missing|) and ``is_complete`` is O(1) — the seed re-probed
+        # every map partition's worker on each call.
+        self._missing: Dict[int, Set[int]] = {}
+        self._num_maps: Dict[int, int] = {}
+        # worker_id -> {(shuffle_id, map_id)} it currently serves, so loss
+        # of a worker is handled in O(outputs it owned), not O(all outputs).
+        self._owned: Dict[str, Set[Tuple[int, int]]] = {}
         self.bytes_written = 0
         self.bytes_fetched_remote = 0
         self.bytes_fetched_local = 0
+        self.missing_queries = 0
+        #: Callbacks ``(shuffle_id, map_id, available: bool)`` fired whenever
+        #: a map output appears or is lost (the incremental scheduler's
+        #: readiness-invalidation hook).
+        self._listeners: List[Callable[[int, int, bool], None]] = []
+
+    def add_listener(self, listener: Callable[[int, int, bool], None]) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self, shuffle_id: int, map_id: int, available: bool) -> None:
+        for listener in self._listeners:
+            listener(shuffle_id, map_id, available)
+
+    def _ensure_tracked(self, dep: ShuffleDependency) -> Set[int]:
+        missing = self._missing.get(dep.shuffle_id)
+        if missing is None:
+            missing = set(range(dep.num_map_partitions))
+            self._missing[dep.shuffle_id] = missing
+            self._num_maps[dep.shuffle_id] = dep.num_map_partitions
+        return missing
 
     def register_worker(self, worker: "Worker") -> None:
+        if worker.worker_id not in self._workers:
+            # Any death path (revocation, termination, direct kill) must
+            # mark the worker's outputs lost or the missing-sets go stale.
+            worker.add_death_listener(self._on_worker_death)
         self._workers[worker.worker_id] = worker
+
+    def _on_worker_death(self, worker: "Worker") -> None:
+        self.remove_outputs_on(worker.worker_id)
 
     @staticmethod
     def _disk_key(shuffle_id: int, map_id: int) -> str:
@@ -77,6 +113,7 @@ class ShuffleManager:
         bucket_bytes = [len(b) * record_size for b in buckets]
         key = self._disk_key(dep.shuffle_id, map_id)
         total = sum(bucket_bytes)
+        missing = self._ensure_tracked(dep)
         try:
             worker.local_disk.put(key, buckets, total)
         except DiskFullError:
@@ -86,8 +123,17 @@ class ShuffleManager:
             self._evict_local_state(worker, needed=total, keep_key=key)
             worker.local_disk.put(key, buckets, total)
         status = MapStatus(worker.worker_id, key, bucket_bytes)
-        self._outputs.setdefault(dep.shuffle_id, {})[map_id] = status
+        statuses = self._outputs.setdefault(dep.shuffle_id, {})
+        old = statuses.get(map_id)
+        if old is not None and old.worker_id != worker.worker_id:
+            owned = self._owned.get(old.worker_id)
+            if owned is not None:
+                owned.discard((dep.shuffle_id, map_id))
+        statuses[map_id] = status
+        self._owned.setdefault(worker.worker_id, set()).add((dep.shuffle_id, map_id))
+        missing.discard(map_id)
         self.bytes_written += status.total_bytes
+        self._notify(dep.shuffle_id, map_id, True)
         return status
 
     def has_map_output(self, shuffle_id: int, map_id: int) -> bool:
@@ -98,13 +144,47 @@ class ShuffleManager:
         return worker is not None and worker.alive and worker.local_disk.has(status.disk_key)
 
     def missing_maps(self, dep: ShuffleDependency) -> List[int]:
-        """Map partitions whose output is absent or lost."""
+        """Map partitions whose output is absent or lost.
+
+        O(|missing|·log) from the maintained missing set — no per-map worker
+        probes (``has_map_output`` remains available for point queries).
+        """
+        self.missing_queries += 1
+        missing = self._missing.get(dep.shuffle_id)
+        if missing is None:
+            missing = self._ensure_tracked(dep)
+        if not missing:
+            return []
+        return sorted(missing)
+
+    def missing_maps_by_probe(self, dep: ShuffleDependency) -> List[int]:
+        """Reference per-map probe implementation of :meth:`missing_maps`.
+
+        The original O(maps) worker-probe loop.  The legacy scheduler mode
+        uses it, and the equivalence tests hold the maintained missing set
+        to exactly its answers.
+        """
+        self.missing_queries += 1
         return [
             m for m in range(dep.num_map_partitions) if not self.has_map_output(dep.shuffle_id, m)
         ]
 
     def is_complete(self, dep: ShuffleDependency) -> bool:
-        return not self.missing_maps(dep)
+        return not self._ensure_tracked(dep)
+
+    def map_output_available(self, shuffle_id: int, map_id: int) -> bool:
+        """O(1) point query against the maintained missing set."""
+        missing = self._missing.get(shuffle_id)
+        return missing is not None and map_id not in missing
+
+    def has_missing(self, shuffle_id: int) -> bool:
+        """O(1): does the shuffle still lack any map output?
+
+        An untracked shuffle counts as missing everything (nothing has been
+        registered for it yet).
+        """
+        missing = self._missing.get(shuffle_id)
+        return missing is None or bool(missing)
 
     def fetch(
         self, dep: ShuffleDependency, reduce_id: int, to_worker: "Worker"
@@ -155,16 +235,43 @@ class ShuffleManager:
             worker.local_disk.delete(key)
             if key.startswith("shuffle/"):
                 _prefix, shuffle_id, map_part = key.split("/")
+                sid = int(shuffle_id)
                 map_id = int(map_part.split("_")[1])
-                self._outputs.get(int(shuffle_id), {}).pop(map_id, None)
+                popped = self._outputs.get(sid, {}).pop(map_id, None)
+                if popped is not None:
+                    owned = self._owned.get(popped.worker_id)
+                    if owned is not None:
+                        owned.discard((sid, map_id))
+                    self._mark_lost(sid, map_id)
+            elif worker.block_manager is not None:
+                # Cache spill evicted behind the block manager's back: keep
+                # the driver-side block-location index truthful.
+                worker.block_manager.note_spill_deleted(key[len("spill/"):])
+
+    def _mark_lost(self, shuffle_id: int, map_id: int) -> None:
+        missing = self._missing.get(shuffle_id)
+        if missing is not None and map_id not in missing:
+            missing.add(map_id)
+            self._notify(shuffle_id, map_id, False)
 
     def remove_outputs_on(self, worker_id: str) -> int:
-        """Forget map outputs located on a dead worker; returns count lost."""
+        """Forget map outputs located on a dead worker; returns count lost.
+
+        O(outputs the worker owned) via the ownership sets — the seed
+        scanned every shuffle's full status table.
+        """
         lost = 0
-        for statuses in self._outputs.values():
-            doomed = [m for m, s in statuses.items() if s.worker_id == worker_id]
-            for m in doomed:
-                del statuses[m]
+        owned = self._owned.pop(worker_id, None)
+        if not owned:
+            return 0
+        for shuffle_id, map_id in sorted(owned):
+            statuses = self._outputs.get(shuffle_id)
+            if statuses is None:
+                continue
+            status = statuses.get(map_id)
+            if status is not None and status.worker_id == worker_id:
+                del statuses[map_id]
+                self._mark_lost(shuffle_id, map_id)
                 lost += 1
         return lost
 

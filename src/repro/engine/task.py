@@ -38,12 +38,22 @@ class TaskSpec:
     data: Any = None
     nbytes: int = 0
     preferred_worker_id: Optional[str] = None
+    # key is consulted on every scheduler dict/set operation; memoise the
+    # tuple (identifying fields never change after construction) and use the
+    # kind's value string — its hash is cached on the interned str object,
+    # unlike Enum's per-call name hashing.
+    _key: Optional[Tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def key(self) -> Tuple:
-        if self.kind == TaskKind.SHUFFLE_MAP:
-            return (self.kind, self.dep.shuffle_id, self.partition)
-        return (self.kind, self.rdd.rdd_id, self.partition)
+        k = self._key
+        if k is None:
+            if self.kind == TaskKind.SHUFFLE_MAP:
+                k = (self.kind.value, self.dep.shuffle_id, self.partition)
+            else:
+                k = (self.kind.value, self.rdd.rdd_id, self.partition)
+            self._key = k
+        return k
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskSpec({self.kind.value}, rdd={self.rdd.rdd_id}, p={self.partition})"

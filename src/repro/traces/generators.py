@@ -10,7 +10,7 @@ spike rate directly so experiments can dial in a target MTTF.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -80,10 +80,18 @@ def peaky_trace(
     prices = on_demand_price * steady_fraction * noise
 
     def overlay(spike_times, height_range, duration_mean):
+        # Heights and durations are drawn as whole batches up front, so the
+        # stream order is a function of the spike count alone — per-spike
+        # interleaved draws made the stream sensitive to how the loop body
+        # was arranged.  (This fixes the draw order relative to earlier
+        # per-spike versions of this generator: same seed, new trace.)
+        n = len(spike_times)
+        if n == 0:
+            return
         lo, hi = height_range
-        for t_spike in spike_times:
-            height = on_demand_price * rng.uniform(lo, hi)
-            duration = max(step, float(rng.exponential(duration_mean)))
+        heights = on_demand_price * rng.uniform(lo, hi, size=n)
+        durations = np.maximum(step, rng.exponential(duration_mean, size=n))
+        for t_spike, height, duration in zip(spike_times, heights, durations):
             start_idx = int(t_spike // step)
             end_idx = min(n_steps, start_idx + max(1, int(round(duration / step))))
             prices[start_idx:end_idx] = np.maximum(prices[start_idx:end_idx], height)
@@ -144,13 +152,18 @@ def correlated_peaky_traces(
             step=step,
         )
         prices = base.prices.copy()
-        lo, hi = spike_height_range
-        for t_spike in common_spikes:
-            height = od_price * market_rng.uniform(lo, hi)
-            duration = max(step, float(market_rng.exponential(spike_duration_mean)))
-            start_idx = int(t_spike // step)
-            end_idx = min(len(prices), start_idx + max(1, int(round(duration / step))))
-            prices[start_idx:end_idx] = np.maximum(prices[start_idx:end_idx], height)
+        if len(common_spikes):
+            lo, hi = spike_height_range
+            # Batched draws, as in ``peaky_trace``'s overlay: the stream
+            # order depends only on the spike count.
+            heights = od_price * market_rng.uniform(lo, hi, size=len(common_spikes))
+            durations = np.maximum(
+                step, market_rng.exponential(spike_duration_mean, size=len(common_spikes))
+            )
+            for t_spike, height, duration in zip(common_spikes, heights, durations):
+                start_idx = int(t_spike // step)
+                end_idx = min(len(prices), start_idx + max(1, int(round(duration / step))))
+                prices[start_idx:end_idx] = np.maximum(prices[start_idx:end_idx], height)
         traces.append(PriceTrace(base.times, prices, horizon))
     return traces
 
@@ -175,24 +188,61 @@ def mean_reverting_trace(
     times = np.arange(n_steps) * step
     mu = on_demand_price * mean_fraction
     dt_hours = step / HOUR
-    prices = np.empty(n_steps)
-    x = mu
     shocks = rng.normal(0.0, 1.0, size=n_steps)
-    for i in range(n_steps):
-        x = x + reversion_rate * (mu - x) * dt_hours + volatility * mu * np.sqrt(dt_hours) * shocks[i]
-        prices[i] = max(0.01 * on_demand_price, x)
+    # The OU recurrence x_i = x_{i-1} + r*(mu - x_{i-1})*dt + c*s_i is the
+    # linear filter x_i = (1 - r*dt)*x_{i-1} + (r*mu*dt + c*s_i), evaluated
+    # here in one lfilter call instead of a Python loop.  The algebraic
+    # regrouping changes rounding in the last ulp relative to the original
+    # scalar loop; the trace is statistically unchanged and every consumer
+    # (bidding experiments) is qualitative.
+    decay = 1.0 - reversion_rate * dt_hours
+    drive = reversion_rate * mu * dt_hours + volatility * mu * np.sqrt(dt_hours) * shocks
+    try:
+        from scipy.signal import lfilter
+
+        x, _ = lfilter([1.0], [1.0, -decay], drive, zi=np.array([decay * mu]))
+    except ImportError:  # pragma: no cover - scipy is a baked-in dependency
+        x = np.empty(n_steps)
+        acc = mu
+        for i in range(n_steps):
+            acc = decay * acc + drive[i]
+            x[i] = acc
+    prices = np.maximum(0.01 * on_demand_price, x)
     return PriceTrace(times, prices, horizon)
 
 
 def _poisson_arrivals(rng: SeededRNG, rate_per_second: float, horizon: float) -> np.ndarray:
-    """Arrival times of a homogeneous Poisson process on [0, horizon)."""
+    """Arrival times of a homogeneous Poisson process on [0, horizon).
+
+    Batched draws with cumulative sums replace the one-draw-per-iteration
+    Python loop.  The per-draw stream order is preserved exactly: numpy's
+    ``Generator`` fills batched draws with the same scalar routine used for
+    single draws, ``np.cumsum`` accumulates left-to-right like the scalar
+    loop did, and the final chunk is rewound (bit-generator state restore)
+    and re-drawn at the exact count the loop would have consumed — so
+    callers sharing this stream see identical subsequent draws.
+    """
     if rate_per_second <= 0:
         return np.empty(0)
-    arrivals = []
+    scale = 1.0 / rate_per_second
+    gen = rng.generator
+    chunks: List[np.ndarray] = []
     t = 0.0
+    # ~2x the expected draw count per chunk, so one chunk usually suffices.
+    chunk = max(64, int(2 * rate_per_second * horizon) + 1)
     while True:
-        t += float(rng.exponential(1.0 / rate_per_second))
-        if t >= horizon:
+        state = gen.bit_generator.state
+        cum = t + np.cumsum(gen.exponential(scale, size=chunk))
+        over = np.nonzero(cum >= horizon)[0]
+        if len(over):
+            stop = int(over[0])
+            # The scalar loop would have consumed exactly stop + 1 draws
+            # from this chunk before breaking; rewind and re-consume that
+            # many to leave the stream in the identical state.
+            gen.bit_generator.state = state
+            gen.exponential(scale, size=stop + 1)
+            chunks.append(cum[:stop])
             break
-        arrivals.append(t)
-    return np.asarray(arrivals)
+        chunks.append(cum)
+        t = float(cum[-1])
+    return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]

@@ -150,12 +150,21 @@ class PriceTrace:
         return base + self.horizon + float(self._times[first])
 
     def sample_grid(self, dt: float, start: float = 0.0, end: Optional[float] = None) -> np.ndarray:
-        """Prices sampled on a uniform grid (used for correlation analysis)."""
+        """Prices sampled on a uniform grid (used for correlation analysis).
+
+        One vectorised ``searchsorted`` over the wrapped grid — the Fig 4
+        analysis samples 16-20 markets at 5-minute resolution over months,
+        where a per-point ``price_at`` loop dominated its runtime.
+        """
         if dt <= 0:
             raise ValueError("dt must be positive")
+        if start < 0:
+            raise ValueError(f"negative time {start}")
         end_time = self.horizon if end is None else end
         grid = np.arange(start, end_time, dt)
-        return np.array([self.price_at(float(g)) for g in grid])
+        wrapped = np.mod(grid, self.horizon)
+        idx = np.searchsorted(self._times, wrapped, side="right") - 1
+        return self._prices[idx]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -31,8 +31,9 @@ def _solve_factor(
     acc = [0.0] * rank
     weight = 0.0
     for factor, rating in contributions:
-        for i in range(rank):
-            acc[i] += factor[i] * rating
+        # zip-listcomp over indexed updates: same accumulation order,
+        # markedly less index arithmetic on the factor-solve hot path.
+        acc = [a + f * rating for a, f in zip(acc, factor)]
         weight += abs(rating) + reg
     return tuple(a / weight for a in acc)
 

@@ -1,0 +1,130 @@
+"""Property tests for the driver-side block-location index.
+
+The index answers ``block_exists`` / ``find_block`` in O(1)/O(#holders);
+the reference answer is the seed's full worker scan
+(``FlintContext.block_exists_scan``).  These tests drive the cluster
+through randomized interleavings of puts, evictions, unpersists,
+revocations, replacements, and recomputations and require the two to
+agree after every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.block_index import BlockLocationIndex, parse_block_id
+from repro.engine.block_manager import block_id_for
+from tests.conftest import build_on_demand_context
+
+_MARKET = "od/r3.large"
+
+
+def test_parse_block_id():
+    assert parse_block_id("rdd_3_7") == (3, 7)
+    assert parse_block_id("rdd_0_0") == (0, 0)
+    assert parse_block_id("not_a_block") is None
+    assert parse_block_id("rdd_x_1") is None
+    assert parse_block_id("broadcast_1") is None
+
+
+def _assert_index_matches_scan(ctx, rdds):
+    for rdd in rdds:
+        for p in range(rdd.num_partitions):
+            scan = ctx.block_exists_scan(rdd, p)
+            assert ctx.block_exists(rdd, p) == scan, (rdd.rdd_id, p)
+            found = ctx.find_block(rdd, p)
+            if scan:
+                assert found is not None, (rdd.rdd_id, p)
+                _data, _nbytes, holder, _tier = found
+                assert holder.alive
+                assert holder.block_manager.has(block_id_for(rdd.rdd_id, p))
+            else:
+                assert found is None, (rdd.rdd_id, p)
+
+
+def _build_cached_rdds(ctx, count=3, partitions=6):
+    rdds = []
+    for i in range(count):
+        rdd = ctx.generate(
+            lambda p, i=i: [(i, p, j) for j in range(40)],
+            partitions,
+            record_size=2_000,
+            name=f"cached-{i}",
+        ).persist()
+        rdd.count()
+        rdds.append(rdd)
+    return rdds
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_index_matches_scan_under_churn(seed):
+    rng = random.Random(seed)
+    ctx = build_on_demand_context(num_workers=4, seed=seed)
+    rdds = _build_cached_rdds(ctx)
+    _assert_index_matches_scan(ctx, rdds)
+
+    for _step in range(40):
+        op = rng.choice(["evict", "revoke", "recompute", "unpersist_one"])
+        workers = ctx.cluster.live_workers()
+        if op == "evict" and workers:
+            worker = rng.choice(workers)
+            resident = worker.block_manager.memory_block_ids()
+            if resident:
+                worker.block_manager.remove(rng.choice(resident))
+        elif op == "revoke" and len(workers) > 1:
+            victim = rng.choice(workers)
+            ctx.cluster.force_revoke([victim])
+            ctx.cluster.launch(_MARKET, 0.175, count=1)
+        elif op == "recompute":
+            # Re-running the job repopulates any lost partitions through
+            # the scheduler, exercising the put path end to end.
+            rng.choice(rdds).count()
+        elif op == "unpersist_one":
+            rdd = rng.choice(rdds)
+            for worker in ctx.cluster.live_workers():
+                worker.block_manager.remove_rdd(rdd.rdd_id)
+        _assert_index_matches_scan(ctx, rdds)
+
+
+def test_index_survives_capacity_evictions():
+    """Memory pressure (LRU drops and disk spills) keeps the index truthful."""
+    ctx = build_on_demand_context(num_workers=2, seed=5)
+    # Big records force LRU evictions inside each worker's block store.
+    big = ctx.generate(
+        lambda p: [(p, j) for j in range(200)],
+        8,
+        record_size=10_000_000,
+        name="pressure",
+    ).persist()
+    big.count()
+    small = ctx.generate(
+        lambda p: [p], 4, record_size=1_000, name="small"
+    ).persist()
+    small.count()
+    _assert_index_matches_scan(ctx, [big, small])
+
+
+def test_holders_are_join_ordered():
+    index = BlockLocationIndex()
+
+    class _FakeWorker:
+        def __init__(self, worker_id):
+            self.worker_id = worker_id
+            self.alive = True
+
+    w2, w1 = _FakeWorker("w-0002"), _FakeWorker("w-0001")
+    index.add("rdd_1_0", w2)
+    index.add("rdd_1_0", w1)
+    assert [w.worker_id for w in index.holders("rdd_1_0")] == ["w-0001", "w-0002"]
+    # Dead holders are filtered; exists() follows liveness too.
+    w1.alive = False
+    assert [w.worker_id for w in index.holders("rdd_1_0")] == ["w-0002"]
+    assert index.exists("rdd_1_0")
+    w2.alive = False
+    assert not index.exists("rdd_1_0")
+    # Purge removes per-worker attribution entirely.
+    assert index.purge_worker("w-0002") == 1
+    assert index.blocks_on("w-0002") == []
+    assert index.purge_worker("missing") == 0
