@@ -17,6 +17,16 @@ PARTITIONS = 20  # 10 r3.large x 2 VCPUs
 SEED = 1234
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is tier-2: slow, figure-producing runs.
+
+    Tier-1 (``pytest`` with the default testpaths) never collects these;
+    ``pytest -m tier2 benchmarks/`` is the explicit slow path.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.tier2)
+
+
 def pagerank_factory(ctx):
     return PageRankWorkload(
         ctx, data_gb=2.0, num_edges=12_000, num_vertices=2_400,

@@ -1,0 +1,120 @@
+"""Perf regression gate: fresh ``perf_smoke`` run vs the committed baseline.
+
+Runs the engine perf smoke and compares it against the checked-in
+``BENCH_engine.json``:
+
+- **Wall-clock gate** — any workload more than ``--threshold`` (default
+  30%) slower than the committed baseline fails the gate.  Workloads whose
+  baseline wall time is under ``--min-wall`` seconds are reported but not
+  gated (sub-second timings are noise-dominated on shared CI runners).
+- **Determinism gate** — the *simulated* runtimes must match the baseline
+  exactly: they are pure outputs of the discrete-event engine and may not
+  drift with the host.  Any mismatch means an unintended behaviour change.
+
+Usage:
+    PYTHONPATH=src python benchmarks/perf_gate.py \
+        [--baseline BENCH_engine.json] [--threshold 0.30] [--out path.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for path in (_ROOT, os.path.join(_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from benchmarks.perf_smoke import run_smoke  # noqa: E402
+
+#: Relative tolerance for "exact" simulated-time comparison: simulated
+#: runtimes are deterministic floats, but give repr/round-tripping through
+#: JSON a hair of slack.
+_SIM_RTOL = 1e-9
+
+
+def _sim_runtimes(entry: dict) -> dict:
+    out = {"fig7_baseline": entry["fig7"]["baseline_runtime"],
+           "fig7_revoked": entry["fig7"]["revoked_runtime"]}
+    for k, v in entry["fig8"]["simulated_runtime_seconds"].items():
+        out[f"fig8_{k}"] = v
+    return out
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _SIM_RTOL * max(abs(a), abs(b), 1.0)
+
+
+def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
+    """Returns (failures, notes): gate violations and informational lines."""
+    failures = []
+    notes = []
+    base_workloads = baseline.get("workloads", {})
+    for name, fresh_entry in fresh["workloads"].items():
+        base_entry = base_workloads.get(name)
+        if base_entry is None:
+            notes.append(f"{name}: no committed baseline entry; skipping")
+            continue
+        base_wall = base_entry["wall_seconds"]
+        fresh_wall = fresh_entry["wall_seconds"]
+        ratio = fresh_wall / base_wall if base_wall else float("inf")
+        line = (
+            f"{name}: wall {fresh_wall:.3f}s vs baseline {base_wall:.3f}s "
+            f"({(ratio - 1.0) * 100.0:+.1f}%)"
+        )
+        if base_wall < min_wall:
+            notes.append(line + f" [not gated: baseline < {min_wall}s]")
+        elif ratio > 1.0 + threshold:
+            failures.append(
+                line + f" exceeds the {threshold * 100.0:.0f}% regression gate"
+            )
+        else:
+            notes.append(line)
+        base_sim = _sim_runtimes(base_entry)
+        fresh_sim = _sim_runtimes(fresh_entry)
+        for key in sorted(base_sim.keys() & fresh_sim.keys()):
+            if not _close(base_sim[key], fresh_sim[key]):
+                failures.append(
+                    f"{name}: simulated runtime {key} changed "
+                    f"{base_sim[key]!r} -> {fresh_sim[key]!r} "
+                    "(the engine is no longer behaviour-identical)"
+                )
+    for name in base_workloads.keys() - fresh["workloads"].keys():
+        failures.append(f"{name}: present in baseline but missing from fresh run")
+    return failures, notes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default=os.path.join(_ROOT, "BENCH_engine.json")
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(_ROOT, "BENCH_engine.fresh.json"),
+        help="where to write the fresh perf_smoke report",
+    )
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="relative wall-clock regression allowed per workload")
+    parser.add_argument("--min-wall", type=float, default=0.2,
+                        help="baseline walls below this are reported, not gated")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    fresh = run_smoke(args.out, mode=baseline.get("scheduler_mode", "incremental"))
+    failures, notes = compare(baseline, fresh, args.threshold, args.min_wall)
+    for note in notes:
+        print(f"ok: {note}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    total = fresh["totals"]["wall_seconds"]
+    print(f"perf gate: {len(failures)} failure(s), fresh total wall {total}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,6 @@
 import numpy as np
 
 from benchmarks.conftest import SEED, pagerank_factory
-from repro.analysis.experiments import run_batch_workload
 from repro.analysis.tables import format_table
 from repro.core.bidding import StratifiedBidding, simultaneous_revocation_fraction
 from repro.core.runtime_model import runtime_variance

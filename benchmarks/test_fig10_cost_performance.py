@@ -7,7 +7,6 @@
       paper reports <1% vs >5% (current) and <5% vs ~12% (volatile).
 """
 
-import dataclasses
 
 import numpy as np
 

@@ -8,7 +8,6 @@ Paper results reproduced here:
        checkpoint writes are bandwidth- not latency-bound.
 """
 
-import pytest
 
 from benchmarks.conftest import BATCH_WORKLOADS, als_factory, kmeans_factory
 from repro.analysis.experiments import checkpointing_tax

@@ -9,7 +9,6 @@ Flint-batch restores from HDFS checkpoints (~4x better); Flint-interactive
 loses only one server's slice (another ~3x, i.e. 10-20x overall).
 """
 
-import pytest
 
 from benchmarks.conftest import SEED, tpch_factory
 from repro.analysis.experiments import build_engine_context

@@ -10,9 +10,8 @@ any experiment with their own parameters.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.environment import Environment

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.core.config import FlintConfig, Mode
+from repro.core.config import FlintConfig
 from repro.core.flint import Flint
 from repro.core.node_manager import NodeManager
 from repro.market.provider import CloudProvider

@@ -9,11 +9,10 @@ cluster only provides launch/revoke mechanics and keeps the books.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.cluster.environment import Environment
 from repro.cluster.worker import Worker
-from repro.market.instance import Instance
 from repro.market.provider import REVOCATION_WARNING
 from repro.simulation.events import Event
 from repro.traces.ec2 import INSTANCE_TYPES, InstanceType
@@ -181,6 +180,18 @@ class Cluster:
             for event in self._pending_events.pop(worker.worker_id, []):
                 self.env.events.cancel(event)
             self._revoke(worker, end)
+
+    def announce_warning(self, worker: Worker, t: Optional[float] = None) -> None:
+        """Deliver a revocation warning outside the market machinery.
+
+        The fault-injection harness uses this to model delayed, early, or
+        false-alarm warnings: the warning and the (possible) kill are
+        scheduled independently, instead of both deriving from a market
+        trace's predetermined revocation instant.
+        """
+        when = self.env.now if t is None else t
+        if worker.instance.is_running:
+            self._notify("on_revocation_warning", worker, when)
 
     def _notify(self, hook: str, worker: Worker, t: float) -> None:
         for listener in list(self.listeners):

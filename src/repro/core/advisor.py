@@ -10,7 +10,7 @@ comparison — the same numbers the node manager acts on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
@@ -19,12 +19,10 @@ from repro.core.runtime_model import (
     expected_cost,
     expected_runtime,
     expected_runtime_multi,
-    harmonic_mttf,
     runtime_std,
 )
 from repro.core.selection import (
     InteractiveSelectionPolicy,
-    MarketSnapshot,
     OnDemandBiddingPolicy,
     market_correlation_fn,
     snapshot_markets,

@@ -10,12 +10,12 @@ all happen behind this facade — the user just writes Spark-style code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.environment import Environment
-from repro.core.config import FlintConfig, Mode
+from repro.core.config import FlintConfig
 from repro.core.ftmanager import FaultToleranceManager
 from repro.core.node_manager import NodeManager
 from repro.engine.context import FlintContext

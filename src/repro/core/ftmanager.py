@@ -172,7 +172,6 @@ class FaultToleranceManager:
             for rdd in self.context._rdds
             if rdd.persisted and self.context.cached_partition_count(rdd) > 0
         ]
-        candidate_ids = {rdd.rdd_id for rdd in candidates}
         frontier = []
         for rdd in candidates:
             ancestor_of_other = any(

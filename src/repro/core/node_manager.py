@@ -11,9 +11,8 @@ manager so the checkpoint interval tracks the fleet actually in use.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from repro.cluster.cluster import Cluster, ClusterListener
 from repro.cluster.worker import Worker
@@ -22,7 +21,6 @@ from repro.core.runtime_model import harmonic_mttf
 from repro.core.selection import (
     BatchSelectionPolicy,
     InteractiveSelectionPolicy,
-    MarketSnapshot,
     OnDemandBiddingPolicy,
     SelectionResult,
     market_correlation_fn,

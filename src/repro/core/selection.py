@@ -17,22 +17,19 @@ cost flat across a wide bid range: bid the on-demand price.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.runtime_model import (
     DEFAULT_REPLACEMENT_DELAY,
     expected_cost,
     expected_runtime,
     expected_runtime_multi,
-    harmonic_mttf,
     runtime_variance,
 )
 from repro.market.market import Market, OnDemandMarket
 from repro.market.provider import CloudProvider
 from repro.simulation.clock import DAY, HOUR
-from repro.traces.stats import pairwise_price_correlation
 
 
 @dataclass(frozen=True)

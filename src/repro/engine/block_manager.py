@@ -11,7 +11,7 @@ recomputation storm of Figure 3.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from repro.storage.local_disk import DiskFullError

@@ -18,6 +18,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.rdd import RDD
 
 
+class CheckpointWriteError(RuntimeError):
+    """A durable checkpoint write failed (injected DFS I/O fault)."""
+
+    def __init__(self, rdd_id: int, partition: int):
+        super().__init__(f"checkpoint write failed for rdd {rdd_id} partition {partition}")
+        self.rdd_id = rdd_id
+        self.partition = partition
+
+
 class CheckpointRegistry:
     """Driver-side record of checkpointed RDD partitions."""
 
@@ -33,6 +42,10 @@ class CheckpointRegistry:
         #: when a checkpoint lands or is deleted (partition None = whole
         #: RDD).  The incremental scheduler hooks readiness invalidation in.
         self._listeners: List[Callable[[int, Optional[int], bool], None]] = []
+        #: Fault-injection point: consulted at the top of ``record_write``;
+        #: returning True makes the write raise :class:`CheckpointWriteError`
+        #: before any state mutates (the scheduler re-queues the task).
+        self.write_failure_hook: Optional[Callable[[int, int], bool]] = None
 
     def add_listener(self, listener: Callable[[int, Optional[int], bool], None]) -> None:
         self._listeners.append(listener)
@@ -72,7 +85,16 @@ class CheckpointRegistry:
         )
 
     def record_write(self, rdd: "RDD", partition: int, data, nbytes: int, t: float) -> None:
-        """Store one partition durably (called when the write task finishes)."""
+        """Store one partition durably (called when the write task finishes).
+
+        Raises:
+            CheckpointWriteError: when the installed fault hook fails the
+                write; nothing is mutated in that case.
+        """
+        if self.write_failure_hook is not None and self.write_failure_hook(
+            rdd.rdd_id, partition
+        ):
+            raise CheckpointWriteError(rdd.rdd_id, partition)
         self.dfs.put(self.path_for(rdd.rdd_id, partition), data, nbytes, t)
         self._written.setdefault(rdd.rdd_id, set()).add(partition)
         self._num_partitions.setdefault(rdd.rdd_id, rdd.num_partitions)
@@ -100,6 +122,19 @@ class CheckpointRegistry:
 
     def partition_nbytes(self, rdd: "RDD", partition: int) -> int:
         return self.dfs.size_of(self.path_for(rdd.rdd_id, partition))
+
+    def written_partitions(self) -> Dict[int, Set[int]]:
+        """Snapshot of the registry's record: ``rdd_id -> written partitions``.
+
+        The invariant checker compares this against what the DFS actually
+        holds, so the copy is deliberate — callers must not see (or mutate)
+        live internals.
+        """
+        return {rid: set(parts) for rid, parts in self._written.items() if parts}
+
+    def expected_partitions(self, rdd_id: int) -> Optional[int]:
+        """Partition count recorded for an RDD, or None if never seen."""
+        return self._num_partitions.get(rdd_id)
 
     # ------------------------------------------------------------------
     def checkpointed_rdd_ids(self) -> List[int]:

@@ -47,6 +47,9 @@ class FlintContext:
         self.checkpoints = CheckpointRegistry(env.dfs)
         #: Set by Flint's fault-tolerance manager when it attaches (optional).
         self.ft_manager = None
+        #: Installed by :class:`repro.faults.injector.FaultInjector`; None
+        #: keeps every injection point a no-op branch on the hot path.
+        self.fault_injector = None
         self._rdd_counter = itertools.count()
         self._rdds: List["RDD"] = []
         # Import here to break the rdd <-> scheduler <-> context cycle.
@@ -55,6 +58,12 @@ class FlintContext:
         if scheduler_mode is None:
             scheduler_mode = os.environ.get("FLINT_SCHEDULER", "incremental")
         self.scheduler = TaskScheduler(self, mode=scheduler_mode)
+        fault_spec = os.environ.get("FLINT_FAULT_PLAN")
+        if fault_spec:
+            # Deferred import: repro.faults builds on the engine modules.
+            from repro.faults import install_plan
+
+            install_plan(self, fault_spec)
 
     # ------------------------------------------------------------------
     # RDD creation

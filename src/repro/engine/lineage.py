@@ -7,7 +7,7 @@ checkpoint garbage collection), shuffle discovery, and depth metrics.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Set
+from typing import TYPE_CHECKING, List, Set
 
 from repro.engine.dependencies import ShuffleDependency
 

@@ -17,9 +17,6 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.dependencies import (
     Dependency,
-    NarrowDependency,
-    OneToOneDependency,
-    ShuffleDependency,
 )
 from repro.engine.partitioner import HashPartitioner
 

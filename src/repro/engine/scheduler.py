@@ -24,15 +24,17 @@ bit-equal runtimes and task counts.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import ClusterListener
 from repro.engine.block_index import parse_block_id
 from repro.engine.block_manager import BlockManager, block_id_for
+from repro.engine.checkpoint import CheckpointWriteError
 from repro.engine.dependencies import NarrowDependency, ShuffleDependency
 from repro.engine.partitioner import stable_hash
 from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
+from repro.engine.shuffle import ShuffleFetchFailure
 from repro.engine.task import (
     ComputedPartition,
     PendingPut,
@@ -67,6 +69,11 @@ class SchedulerStats:
     checkpoint_tasks: int = 0
     task_time_total: float = 0.0
     checkpoint_time_total: float = 0.0
+    # Fault-injection observability: dispatches abandoned because a map
+    # output vanished mid-fetch, and durable checkpoint writes that failed
+    # (both only occur under injected faults or real mid-dispatch loss).
+    fetch_failures: int = 0
+    checkpoint_write_failures: int = 0
     # Incremental-readiness observability: rounds run, how often a cached
     # resolve answered, how many cached decisions events invalidated, how
     # often the ready list had to be rebuilt, and the deepest ready queue.
@@ -225,6 +232,13 @@ class TaskScheduler(ClusterListener):
         self._generated: Set[int] = set()
         self._materialised: Set[int] = set()
         self._dispatch_rotation = 0
+        # Re-entrancy guard: a fault injector may revoke workers
+        # synchronously from inside a dispatch hook, and the revocation
+        # listener calls back into _schedule_round while the outer round is
+        # still iterating its spec list.  The inner call only sets a flag;
+        # the outer round loops until no round is pending.
+        self._in_round = False
+        self._round_pending = False
         # Incremental readiness state: resolve results cached across rounds,
         # reverse edges for targeted invalidation, and the memoised ordered
         # ready list (None = must rebuild next round).
@@ -356,12 +370,29 @@ class TaskScheduler(ClusterListener):
     # Scheduling rounds
     # ------------------------------------------------------------------
     def _schedule_round(self) -> None:
+        if self._in_round:
+            self._round_pending = True
+            return
+        self._in_round = True
+        try:
+            while True:
+                self._round_pending = False
+                self._run_one_round()
+                if not self._round_pending:
+                    break
+        finally:
+            self._in_round = False
+
+    def _run_one_round(self) -> None:
         self.stats.scheduling_rounds += 1
         with self.timers.section("schedule_round"):
             specs = self._ready_specs()
             if len(specs) > self.stats.ready_queue_peak:
                 self.stats.ready_queue_peak = len(specs)
             for spec in specs:
+                if spec.key in self.running:
+                    # Dispatched by a nested round (fault-injection path).
+                    continue
                 worker = self._pick_worker(spec)
                 if worker is None:
                     if spec.kind == TaskKind.CHECKPOINT:
@@ -696,18 +727,32 @@ class TaskScheduler(ClusterListener):
         runtime = TaskRuntime(self.context, worker, target_id)
         result = None
         buckets = None
-        if spec.kind == TaskKind.RESULT:
-            data = runtime.iterator(spec.rdd, spec.partition)
-            result = spec.func(data)
-            if isinstance(result, list):
-                runtime.charge(
-                    self.context.cost_model.driver_transfer_time(len(result) * spec.rdd.record_size)
-                )
-        elif spec.kind == TaskKind.SHUFFLE_MAP:
-            buckets = self._execute_map(spec, runtime)
-        elif spec.kind == TaskKind.CHECKPOINT:
-            runtime.charge(self.env.dfs.write_duration(spec.nbytes))
+        try:
+            if spec.kind == TaskKind.RESULT:
+                data = runtime.iterator(spec.rdd, spec.partition)
+                result = spec.func(data)
+                if isinstance(result, list):
+                    runtime.charge(
+                        self.context.cost_model.driver_transfer_time(
+                            len(result) * spec.rdd.record_size
+                        )
+                    )
+            elif spec.kind == TaskKind.SHUFFLE_MAP:
+                buckets = self._execute_map(spec, runtime)
+            elif spec.kind == TaskKind.CHECKPOINT:
+                runtime.charge(self.env.dfs.write_duration(spec.nbytes))
+        except ShuffleFetchFailure:
+            # A map output this task depends on vanished between the
+            # readiness decision and the fetch (an injected revocation of
+            # the serving worker, exactly Spark's FetchFailed path).  Abandon
+            # the dispatch; the lost maps are already back in the missing
+            # sets, so the next round reruns them before retrying this task.
+            self._abandon_dispatch(spec, worker)
+            return
         duration = self.context.cost_model.task_overhead + runtime.time_charged
+        inj = self.context.fault_injector
+        if inj is not None:
+            duration = inj.scale_task_duration(spec, worker, duration)
         running = RunningTask(
             spec=spec,
             worker_id=worker.worker_id,
@@ -722,6 +767,20 @@ class TaskScheduler(ClusterListener):
             duration, "task_done", running, callback=self._on_task_done
         )
         self.running[spec.key] = running
+        if inj is not None:
+            # Mid-stage / mid-checkpoint-write injection point: the task is
+            # in flight, so a revocation fired here loses exactly this work.
+            inj.on_task_dispatched(spec, worker)
+
+    def _abandon_dispatch(self, spec: TaskSpec, worker: "Worker") -> None:
+        """Roll back a dispatch whose data plane failed before completion."""
+        self.stats.fetch_failures += 1
+        if worker.worker_id in self.busy:
+            self.busy[worker.worker_id] = max(0, self.busy[worker.worker_id] - 1)
+        if spec.kind == TaskKind.CHECKPOINT and worker.worker_id in self._ckpt_busy:
+            self._ckpt_busy[worker.worker_id] = max(0, self._ckpt_busy[worker.worker_id] - 1)
+        self._ready_list = None
+        self._schedule_round()
 
     def _execute_map(self, spec: TaskSpec, runtime: TaskRuntime) -> List[List[Any]]:
         dep = spec.dep
@@ -795,14 +854,27 @@ class TaskScheduler(ClusterListener):
             self.stats.checkpoint_tasks += 1
             self.stats.checkpoint_time_total += running.duration
             registry = self.context.checkpoints
-            registry.record_write(spec.rdd, spec.partition, spec.data, spec.nbytes, now)
-            ft = self.context.ft_manager
-            if registry.is_fully_checkpointed(spec.rdd):
-                registry.gc_after_checkpoint(spec.rdd)
-                if ft is not None:
-                    ft.on_rdd_checkpointed(spec.rdd, now)
+            try:
+                registry.record_write(spec.rdd, spec.partition, spec.data, spec.nbytes, now)
+            except CheckpointWriteError:
+                # Durable write failed (injected DFS fault).  The partition
+                # is still only volatile; re-queue the write so the frontier
+                # eventually advances once the fault clears.
+                self.stats.checkpoint_write_failures += 1
+                self.enqueue_checkpoint(spec)
+            else:
+                ft = self.context.ft_manager
+                if registry.is_fully_checkpointed(spec.rdd):
+                    registry.gc_after_checkpoint(spec.rdd)
+                    if ft is not None:
+                        ft.on_rdd_checkpointed(spec.rdd, now)
 
         self._process_computed(running, worker, now)
+        inj = self.context.fault_injector
+        if inj is not None:
+            # Task-boundary injection point: the task's effects (blocks,
+            # shuffle outputs, results, checkpoints) have just landed.
+            inj.on_task_completed(spec, worker)
         self._schedule_round()
 
     def _process_computed(self, running: RunningTask, worker: "Worker", now: float) -> None:

@@ -11,7 +11,7 @@ outputs exist and where.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Set, Tuple
 
 from repro.engine.dependencies import ShuffleDependency
 from repro.storage.local_disk import DiskFullError
@@ -66,6 +66,11 @@ class ShuffleManager:
         #: a map output appears or is lost (the incremental scheduler's
         #: readiness-invalidation hook).
         self._listeners: List[Callable[[int, int, bool], None]] = []
+        #: Fault-injection point: when set, ``on_shuffle_fetch`` fires at the
+        #: top of every :meth:`fetch`, before the missing-map check — so an
+        #: injected revocation of a serving worker surfaces as the genuine
+        #: :class:`ShuffleFetchFailure` recovery path.
+        self.fault_injector = None
 
     def add_listener(self, listener: Callable[[int, int, bool], None]) -> None:
         self._listeners.append(listener)
@@ -197,6 +202,8 @@ class ShuffleManager:
         Raises:
             ShuffleFetchFailure: when any map output has been lost.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.on_shuffle_fetch(dep, reduce_id, to_worker)
         missing = self.missing_maps(dep)
         if missing:
             raise ShuffleFetchFailure(dep.shuffle_id, missing)
@@ -278,3 +285,23 @@ class ShuffleManager:
     def output_bytes(self, dep: ShuffleDependency) -> int:
         """Total bytes currently registered for a shuffle."""
         return sum(s.total_bytes for s in self._outputs.get(dep.shuffle_id, {}).values())
+
+    # ------------------------------------------------------------------
+    # Truth accessors for the fault-injection invariant checker
+    # ------------------------------------------------------------------
+    def tracked_shuffles(self) -> List[Tuple[int, int]]:
+        """``(shuffle_id, num_map_partitions)`` for every tracked shuffle."""
+        return sorted((sid, self._num_maps[sid]) for sid in self._missing)
+
+    def missing_set(self, shuffle_id: int) -> Set[int]:
+        """Copy of the maintained missing-map set for one shuffle."""
+        return set(self._missing.get(shuffle_id, ()))
+
+    def serving_workers(self, shuffle_id: int) -> List[str]:
+        """Ids of live workers currently holding this shuffle's map outputs."""
+        out = set()
+        for status in self._outputs.get(shuffle_id, {}).values():
+            worker = self._workers.get(status.worker_id)
+            if worker is not None and worker.alive:
+                out.add(status.worker_id)
+        return sorted(out)

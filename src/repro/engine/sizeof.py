@@ -10,7 +10,7 @@ matches the evaluation's input sizes.
 from __future__ import annotations
 
 import sys
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 _SAMPLE_LIMIT = 20
 _DEPTH_LIMIT = 4

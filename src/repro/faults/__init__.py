@@ -1,0 +1,57 @@
+"""Deterministic fault injection, invariant checking, and chaos sweeps.
+
+The subsystem has four layers:
+
+- :mod:`repro.faults.plan` — the ``FaultPlan`` spec DSL (one replayable line
+  per failure scenario);
+- :mod:`repro.faults.injector` — executes a plan through the engine's
+  injection points;
+- :mod:`repro.faults.invariants` — the post-fault consistency checker;
+- :mod:`repro.faults.harness` / :mod:`repro.faults.chaos` — reference-vs-
+  faulted run orchestration and the seeded chaos driver CI runs.
+
+Set ``FLINT_FAULT_PLAN=<spec>`` to inject a plan into any
+:class:`~repro.engine.context.FlintContext` at construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.harness import (
+    FaultRunReport,
+    build_fault_context,
+    run_reference,
+    run_with_plan,
+)
+from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import FaultClause, FaultPlan, FaultPlanError, Trigger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import FlintContext
+
+__all__ = [
+    "FaultClause",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRunReport",
+    "FiredFault",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Trigger",
+    "build_fault_context",
+    "install_plan",
+    "run_reference",
+    "run_with_plan",
+]
+
+
+def install_plan(context: "FlintContext", spec: str) -> FaultInjector:
+    """Parse ``spec`` and install its injector on ``context``.
+
+    This is the ``FLINT_FAULT_PLAN`` entry point the context constructor
+    calls; tests and tools can use it directly.
+    """
+    return FaultInjector(FaultPlan.parse(spec)).install(context)

@@ -1,0 +1,289 @@
+"""Randomized-but-seeded chaos driver over the fault-plan space.
+
+Generates hundreds of seeded :class:`FaultPlan` specs across two families —
+``revocation`` (single kills, correlated bursts, delayed/lost warnings,
+false alarms) and ``io`` (checkpoint write failures, mid-fetch map-output
+loss, stragglers) — and runs each against PageRank/ALS/KMeans under both
+scheduler modes via :func:`repro.faults.harness.run_with_plan`.
+
+Every plan derives deterministically from ``(master_seed, seed)``, so any
+failure replays from one line::
+
+    python -m repro.faults.chaos --replay-seed 57 --workload PageRank \\
+        --mode legacy --family io
+
+Usage::
+
+    python -m repro.faults.chaos --seeds 10 --workload PageRank --mode incremental
+    python -m repro.faults.chaos --seeds 5            # full matrix, 5 seeds/cell
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.context import FlintContext
+from repro.faults.harness import run_reference, run_with_plan
+from repro.workloads import ALSWorkload, KMeansWorkload, PageRankWorkload
+
+NUM_WORKERS = 6
+PARTITIONS = 8
+WORKLOAD_SEED = 7
+#: Fixed MTTF fed to the checkpointing policy so τ lands inside these jobs.
+MTTF = 1800.0
+
+FAMILIES = ("revocation", "io")
+MODES = ("incremental", "legacy")
+
+
+def _pagerank(ctx: FlintContext):
+    return PageRankWorkload(
+        ctx, data_gb=0.5, num_edges=1600, num_vertices=400,
+        partitions=PARTITIONS, iterations=4, seed=WORKLOAD_SEED,
+    )
+
+
+def _kmeans(ctx: FlintContext):
+    return KMeansWorkload(
+        ctx, data_gb=1.0, num_points=800, k=4, dim=4,
+        partitions=PARTITIONS, iterations=4, distance_cost=6.0, seed=WORKLOAD_SEED,
+    )
+
+
+def _als(ctx: FlintContext):
+    return ALSWorkload(
+        ctx, data_gb=1.0, num_ratings=900, num_users=120, num_items=60,
+        partitions=PARTITIONS, iterations=3, solve_cost=4.0, seed=WORKLOAD_SEED,
+    )
+
+
+CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
+    "PageRank": _pagerank,
+    "KMeans": _kmeans,
+    "ALS": _als,
+}
+
+
+# ----------------------------------------------------------------------
+# Seeded plan generation
+# ----------------------------------------------------------------------
+def generate_spec(seed: int, family: str, master_seed: int = 0) -> str:
+    """One deterministic plan spec for ``(master_seed, seed, family)``."""
+    if family not in FAMILIES:
+        raise ValueError(f"unknown fault family {family!r} (expected {FAMILIES})")
+    rng = random.Random(f"{master_seed}/{seed}/{family}")
+    if family == "revocation":
+        return _revocation_spec(rng)
+    return _io_spec(rng)
+
+
+def _revocation_spec(rng: random.Random) -> str:
+    """Kills: task-boundary, mid-stage, bursts, warning variants."""
+    clauses: List[str] = []
+    # Never kill below a 2-worker floor so the job can always finish.
+    budget = NUM_WORKERS - 2
+    for _ in range(rng.randint(1, 3)):
+        if budget <= 0:
+            break
+        trigger = rng.choice(
+            [
+                f"task:{rng.randint(2, 120)}",
+                f"dispatch:{rng.randint(2, 120)}",
+                f"time:{rng.randint(10, 600)}",
+                f"ckpt:{rng.randint(1, 3)}",
+            ]
+        )
+        count = rng.randint(1, min(2, budget))
+        budget -= count
+        parts = [f"revoke at={trigger}"]
+        if count > 1:
+            parts.append(f"count={count}")
+        warn = rng.choice([None, None, 15, 60, 120])
+        if warn is not None:
+            parts.append(f"warn={warn}")
+        replace = rng.choice([None, 60, 120])
+        if replace is not None:
+            parts.append(f"replace={replace}")
+        clauses.append(" ".join(parts))
+    if rng.random() < 0.3:
+        clauses.append(f"warn at=task:{rng.randint(2, 60)}")
+    return "; ".join(clauses)
+
+
+def _io_spec(rng: random.Random) -> str:
+    """I/O faults: checkpoint write failures, fetch-time loss, stragglers."""
+    clauses: List[str] = []
+    picks = rng.sample(["ckpt-fail", "fetch-kill", "slow"], k=rng.randint(1, 3))
+    for kind in picks:
+        if kind == "ckpt-fail":
+            clauses.append(
+                f"ckpt-fail at=ckpt:{rng.randint(1, 4)} count={rng.randint(1, 2)}"
+            )
+        elif kind == "fetch-kill":
+            clauses.append(f"fetch-kill at=fetch:{rng.randint(1, 30)}")
+        else:
+            clauses.append(
+                f"slow at=dispatch:{rng.randint(1, 80)} "
+                f"factor={round(rng.uniform(2.0, 6.0), 1)} "
+                f"worker={rng.randint(0, NUM_WORKERS - 1)}"
+            )
+    if rng.random() < 0.4:
+        clauses.append(f"revoke at=task:{rng.randint(5, 100)} replace=120")
+    return "; ".join(clauses)
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosFailure:
+    """One plan that broke an invariant, with its full replay recipe."""
+
+    seed: int
+    master_seed: int
+    workload: str
+    mode: str
+    family: str
+    spec: str
+    violations: List[str]
+
+    def replay_command(self) -> str:
+        return (
+            "python -m repro.faults.chaos"
+            f" --replay-seed {self.seed} --master-seed {self.master_seed}"
+            f" --workload {self.workload} --mode {self.mode} --family {self.family}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos sweep."""
+
+    plans_run: int = 0
+    faults_fired: int = 0
+    checks_run: int = 0
+    failures: List[ChaosFailure] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def run_chaos(
+    seeds: Sequence[int],
+    workloads: Optional[Sequence[str]] = None,
+    modes: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
+    master_seed: int = 0,
+    verbose: bool = False,
+) -> ChaosReport:
+    """Sweep ``seeds`` x workloads x modes x families; never raises.
+
+    The failure-free reference run is computed once per (workload, mode)
+    cell and shared across every plan in that cell.
+    """
+    workloads = list(workloads or CHAOS_WORKLOADS)
+    modes = list(modes or MODES)
+    families = list(families or FAMILIES)
+    report = ChaosReport()
+    references: Dict[Tuple[str, str], tuple] = {}
+    started = time.perf_counter()
+    for workload_name in workloads:
+        factory = CHAOS_WORKLOADS[workload_name]
+        for mode in modes:
+            cell = (workload_name, mode)
+            if cell not in references:
+                references[cell] = run_reference(
+                    factory, mode, NUM_WORKERS, checkpointing=True, mttf=MTTF
+                )
+            for family in families:
+                for seed in seeds:
+                    spec = generate_spec(seed, family, master_seed)
+                    try:
+                        run = run_with_plan(
+                            factory,
+                            spec,
+                            mode=mode,
+                            num_workers=NUM_WORKERS,
+                            checkpointing=True,
+                            mttf=MTTF,
+                            reference=references[cell],
+                            raise_on_violation=False,
+                        )
+                        violations = run.violations
+                        report.faults_fired += len(run.faults_fired)
+                        report.checks_run += run.checks_run
+                    except Exception as exc:  # engine crash = chaos failure
+                        violations = [f"unhandled {type(exc).__name__}: {exc}"]
+                    report.plans_run += 1
+                    if violations:
+                        failure = ChaosFailure(
+                            seed, master_seed, workload_name, mode, family, spec,
+                            violations,
+                        )
+                        report.failures.append(failure)
+                        _print_failure(failure)
+                    elif verbose:
+                        print(
+                            f"ok seed={seed} {workload_name}/{mode}/{family}: {spec!r}"
+                        )
+    report.wall_seconds = round(time.perf_counter() - started, 2)
+    return report
+
+
+def _print_failure(failure: ChaosFailure) -> None:
+    print(
+        f"CHAOS FAILURE seed={failure.seed} master_seed={failure.master_seed} "
+        f"workload={failure.workload} mode={failure.mode} family={failure.family}"
+    )
+    print(f"  plan: {failure.spec}")
+    for violation in failure.violations:
+        print(f"  violation: {violation}")
+    print(f"  replay: {failure.replay_command()}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Seeded chaos sweep over the fault-plan space."
+    )
+    parser.add_argument("--seeds", type=int, default=10, help="seeds per matrix cell")
+    parser.add_argument("--seed-base", type=int, default=0, help="first seed value")
+    parser.add_argument("--master-seed", type=int, default=0)
+    parser.add_argument("--workload", choices=sorted(CHAOS_WORKLOADS), default=None)
+    parser.add_argument("--mode", choices=MODES, default=None)
+    parser.add_argument("--family", choices=FAMILIES, default=None)
+    parser.add_argument(
+        "--replay-seed", type=int, default=None,
+        help="re-run exactly one seed (use with --workload/--mode/--family)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.replay_seed is not None:
+        seeds: Sequence[int] = [args.replay_seed]
+    else:
+        seeds = range(args.seed_base, args.seed_base + args.seeds)
+    report = run_chaos(
+        seeds,
+        workloads=[args.workload] if args.workload else None,
+        modes=[args.mode] if args.mode else None,
+        families=[args.family] if args.family else None,
+        master_seed=args.master_seed,
+        verbose=args.verbose or args.replay_seed is not None,
+    )
+    print(
+        f"chaos: {report.plans_run} plans, {report.faults_fired} faults fired, "
+        f"{report.checks_run} invariant checks, {len(report.failures)} failures "
+        f"({report.wall_seconds}s)"
+    )
+    return 1 if report.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""Deterministic fault injector driven by a :class:`FaultPlan`.
+
+The injector attaches to one :class:`~repro.engine.context.FlintContext`
+through the engine's dedicated injection points (no monkeypatching):
+
+- ``TaskScheduler`` calls :meth:`on_task_dispatched` when a task enters
+  flight and :meth:`on_task_completed` at every task boundary, and routes
+  every task duration through :meth:`scale_task_duration`;
+- ``ShuffleManager.fetch`` calls :meth:`on_shuffle_fetch` before it touches
+  any map output;
+- ``CheckpointRegistry.record_write`` consults the installed
+  ``write_failure_hook``;
+- time triggers are plain simulator events.
+
+Every firing is logged as a :class:`FiredFault`, and — when an
+:class:`~repro.faults.invariants.InvariantChecker` is attached — a check is
+scheduled immediately after the fault (same simulated instant, after the
+current dispatch unwinds, so the checker never observes a half-applied
+transition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.engine.task import TaskKind, TaskSpec
+from repro.faults.plan import FaultClause, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.worker import Worker
+    from repro.engine.context import FlintContext
+    from repro.engine.dependencies import ShuffleDependency
+    from repro.faults.invariants import InvariantChecker
+
+
+@dataclass
+class FiredFault:
+    """One fault that actually happened, for reports and replay debugging."""
+
+    time: float
+    clause: FaultClause
+    description: str
+    victims: List[str] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Executes a fault plan against one engine context."""
+
+    def __init__(self, plan: FaultPlan, checker: Optional["InvariantChecker"] = None):
+        self.plan = plan
+        self.checker = checker
+        self.fired: List[FiredFault] = []
+        self.context: Optional["FlintContext"] = None
+        self._task_completions = 0
+        self._dispatches = 0
+        self._ckpt_dispatches = 0
+        self._ckpt_attempts = 0
+        self._fetches = 0
+        #: Clause indices that have already fired (one-shot clauses).
+        self._done = set()
+        #: Activated slow clauses as ``(clause, worker_id | None)``.
+        self._slow_active: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, context: "FlintContext") -> "FaultInjector":
+        """Wire this injector into a context's injection points."""
+        if self.context is not None:
+            raise RuntimeError("injector is already installed")
+        self.context = context
+        context.fault_injector = self
+        context.shuffle_manager.fault_injector = self
+        if any(c.kind == "ckpt-fail" for c in self.plan.clauses):
+            context.checkpoints.write_failure_hook = self._should_fail_checkpoint_write
+        for idx, clause in enumerate(self.plan.clauses):
+            if clause.trigger.kind == "time":
+                context.env.schedule_at(
+                    clause.trigger.value,
+                    "fault",
+                    clause,
+                    callback=lambda ev, i=idx, c=clause: self._fire(i, c),
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def on_task_dispatched(self, spec: TaskSpec, worker: "Worker") -> None:
+        """A task just entered flight on ``worker``."""
+        self._dispatches += 1
+        self._fire_matching("dispatch", self._dispatches, worker=worker)
+        if spec.kind == TaskKind.CHECKPOINT:
+            self._ckpt_dispatches += 1
+            self._fire_matching("ckpt", self._ckpt_dispatches, worker=worker)
+
+    def on_task_completed(self, spec: TaskSpec, worker: "Worker") -> None:
+        """A task's effects just landed (a task boundary)."""
+        self._task_completions += 1
+        self._fire_matching("task", self._task_completions, worker=worker)
+
+    def on_shuffle_fetch(
+        self, dep: "ShuffleDependency", reduce_id: int, to_worker: "Worker"
+    ) -> None:
+        """A reduce task is about to gather one bucket from all map outputs."""
+        self._fetches += 1
+        self._fire_matching("fetch", self._fetches, worker=to_worker, dep=dep)
+
+    def scale_task_duration(self, spec: TaskSpec, worker: "Worker", duration: float) -> float:
+        """Apply active straggler slowdowns to one task's duration."""
+        for clause, worker_id in self._slow_active:
+            if worker_id is None or worker_id == worker.worker_id:
+                duration *= clause.factor
+        return duration
+
+    def _should_fail_checkpoint_write(self, rdd_id: int, partition: int) -> bool:
+        self._ckpt_attempts += 1
+        for idx, clause in enumerate(self.plan.clauses):
+            if clause.kind != "ckpt-fail":
+                continue
+            start = int(clause.trigger.value)
+            if start <= self._ckpt_attempts < start + clause.count:
+                self._record(
+                    clause,
+                    f"failed checkpoint write #{self._ckpt_attempts} "
+                    f"(rdd {rdd_id} partition {partition})",
+                )
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _fire_matching(
+        self,
+        trigger_kind: str,
+        counter: int,
+        worker: Optional["Worker"] = None,
+        dep: Optional["ShuffleDependency"] = None,
+    ) -> None:
+        for idx, clause in enumerate(self.plan.clauses):
+            if idx in self._done or clause.kind == "ckpt-fail":
+                continue
+            trig = clause.trigger
+            if trig.kind == trigger_kind and int(trig.value) == counter:
+                self._fire(idx, clause, worker=worker, dep=dep)
+
+    def _fire(
+        self,
+        idx: int,
+        clause: FaultClause,
+        worker: Optional["Worker"] = None,
+        dep: Optional["ShuffleDependency"] = None,
+    ) -> None:
+        if idx in self._done:
+            return
+        self._done.add(idx)
+        if clause.kind == "revoke":
+            self._fire_revoke(clause, context_worker=worker)
+        elif clause.kind == "warn":
+            self._fire_warn(clause, context_worker=worker)
+        elif clause.kind == "fetch-kill":
+            self._fire_fetch_kill(clause, dep, to_worker=worker)
+        elif clause.kind == "slow":
+            self._fire_slow(clause, context_worker=worker)
+
+    def _fire_revoke(self, clause: FaultClause, context_worker: Optional["Worker"]) -> None:
+        victims = self._pick_victims(clause, context_worker)
+        if not victims:
+            return
+        cluster = self.context.cluster
+        ids = [w.worker_id for w in victims]
+        if clause.warn is None:
+            cluster.force_revoke(victims)
+            self._record(clause, f"revoked {ids} with no warning", ids)
+            self._replace(clause, victims)
+            self._schedule_check(clause)
+            return
+        # Warned revocation: the warning fires now, the kill ``warn``
+        # seconds later (< 120 models a delayed warning).
+        for victim in victims:
+            cluster.announce_warning(victim)
+        self._record(clause, f"warned {ids}, kill in {clause.warn}s", ids)
+        self._schedule_check(clause)
+
+        def kill(event, victims=victims, clause=clause):
+            alive = [w for w in victims if w.alive]
+            if alive:
+                cluster.force_revoke(alive)
+                self._record(clause, f"revoked {[w.worker_id for w in alive]} after warning")
+                self._replace(clause, alive)
+                self._schedule_check(clause)
+
+        self.context.env.schedule_in(clause.warn, "fault_kill", clause, callback=kill)
+
+    def _fire_warn(self, clause: FaultClause, context_worker: Optional["Worker"]) -> None:
+        victims = self._pick_victims(clause, context_worker)
+        for victim in victims:
+            self.context.cluster.announce_warning(victim)
+        self._record(
+            clause, f"false-alarm warning for {[w.worker_id for w in victims]}",
+            [w.worker_id for w in victims],
+        )
+        self._schedule_check(clause)
+
+    def _fire_fetch_kill(
+        self, clause: FaultClause, dep: Optional["ShuffleDependency"], to_worker: Optional["Worker"]
+    ) -> None:
+        if dep is None:
+            return
+        sm = self.context.shuffle_manager
+        exclude = to_worker.worker_id if to_worker is not None else None
+        serving = [wid for wid in sm.serving_workers(dep.shuffle_id) if wid != exclude]
+        victims = [
+            self.context.cluster.workers[wid]
+            for wid in serving[: clause.count]
+            if self.context.cluster.workers[wid].alive
+        ]
+        if not victims:
+            return
+        ids = [w.worker_id for w in victims]
+        self.context.cluster.force_revoke(victims)
+        self._record(
+            clause, f"killed map-output holders {ids} of shuffle {dep.shuffle_id} mid-fetch", ids
+        )
+        self._schedule_check(clause)
+
+    def _fire_slow(self, clause: FaultClause, context_worker: Optional["Worker"]) -> None:
+        worker_id: Optional[str] = None
+        if clause.worker is not None:
+            live = self.context.cluster.live_workers()
+            if not live:
+                return
+            worker_id = live[clause.worker % len(live)].worker_id
+        elif context_worker is not None and clause.trigger.kind in ("dispatch", "ckpt"):
+            worker_id = context_worker.worker_id
+        self._slow_active.append((clause, worker_id))
+        target = worker_id if worker_id is not None else "all workers"
+        self._record(clause, f"straggler x{clause.factor} on {target}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _pick_victims(
+        self, clause: FaultClause, context_worker: Optional["Worker"]
+    ) -> List["Worker"]:
+        """Deterministic victim selection.
+
+        ``worker=`` pins the first victim to a live-worker index.  A clause
+        fired from a checkpoint-dispatch trigger defaults to the worker
+        running that checkpoint (the mid-write kill).  Otherwise victims are
+        the busiest workers — maximal in-flight loss — with worker-id order
+        breaking ties.
+        """
+        live = self.context.cluster.live_workers()
+        if not live:
+            return []
+        count = min(clause.count, len(live))
+        if clause.worker is not None:
+            start = clause.worker % len(live)
+            return [live[(start + i) % len(live)] for i in range(count)]
+        busy = self.context.scheduler.busy
+        ranked = sorted(live, key=lambda w: (-busy.get(w.worker_id, 0), w.worker_id))
+        if (
+            context_worker is not None
+            and clause.trigger.kind == "ckpt"
+            and context_worker.alive
+        ):
+            rest = [w for w in ranked if w.worker_id != context_worker.worker_id]
+            ranked = [context_worker] + rest
+        return ranked[:count]
+
+    def _replace(self, clause: FaultClause, victims: List["Worker"]) -> None:
+        if clause.replace is None or not victims:
+            return
+        instance = victims[0].instance
+        self.context.cluster.launch(
+            instance.market_id,
+            instance.bid,
+            count=len(victims),
+            delay=clause.replace,
+            instance_type=victims[0].instance_type,
+        )
+
+    def _record(self, clause: FaultClause, description: str, victims=None) -> None:
+        self.fired.append(
+            FiredFault(self.context.env.now, clause, description, victims or [])
+        )
+
+    def _schedule_check(self, clause: FaultClause) -> None:
+        """Run the invariant checker right after this fault settles.
+
+        The check runs as a same-instant simulator event so it observes the
+        post-fault state after the current dispatch loop unwinds — never a
+        task halfway through ``_dispatch``.
+        """
+        if self.checker is None:
+            return
+        label = f"after[{clause}]@t={self.context.env.now:.1f}"
+        self.context.env.schedule_at(
+            self.context.env.now,
+            "invariant_check",
+            callback=lambda ev: self.checker.check(label),
+        )

@@ -1,0 +1,213 @@
+"""The ``FaultPlan`` DSL: seeded, replayable failure scenarios as one line.
+
+A plan is a semicolon-separated list of fault clauses.  Each clause names a
+fault kind, a deterministic trigger, and keyword parameters::
+
+    revoke at=task:40 count=2 warn=60 replace=120; ckpt-fail at=ckpt:1 count=2
+
+Grammar::
+
+    spec    := clause ( ';' clause )*
+    clause  := kind ( WS key '=' value )*
+    kind    := 'revoke' | 'warn' | 'ckpt-fail' | 'fetch-kill' | 'slow'
+    trigger := 'task:N' | 'dispatch:N' | 'ckpt:N' | 'fetch:N' | 'time:T'
+
+Triggers index deterministic engine events (all 1-based):
+
+- ``task:N`` — the Nth task *completion* (a task boundary);
+- ``dispatch:N`` — the Nth task dispatch (fires with the task in flight,
+  i.e. mid-stage);
+- ``ckpt:N`` — the Nth checkpoint activity: write-task dispatch for
+  ``revoke``/``warn``/``slow`` (mid-checkpoint-write), write attempt for
+  ``ckpt-fail``;
+- ``fetch:N`` — the Nth shuffle fetch, fired before the fetch reads any map
+  output;
+- ``time:T`` — absolute simulated seconds.
+
+Fault kinds and their parameters:
+
+- ``revoke`` — kill workers.  ``count`` workers die together (a correlated
+  burst); ``worker`` pins the first victim to a live-worker index (default:
+  the busiest workers); ``warn`` delivers a revocation warning that many
+  seconds *before* the kill (omit it for a lost warning; values below 120
+  model delayed warnings); ``replace`` launches replacements that boot that
+  many seconds after the kill.
+- ``warn`` — deliver a warning with no kill (a false alarm).
+- ``ckpt-fail`` — fail ``count`` consecutive durable checkpoint writes
+  starting at the triggering write attempt.
+- ``fetch-kill`` — at the triggering fetch, revoke up to ``count`` workers
+  serving that shuffle's map outputs (never the fetching worker), forcing
+  the ``ShuffleFetchFailure`` recovery path.
+- ``slow`` — from the trigger onward, multiply task durations by ``factor``
+  on one worker (``worker=`` index) or on every worker (straggler model).
+
+Everything is deterministic: the same spec against the same seeded
+environment replays the same failure scenario event-for-event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+TRIGGER_KINDS = ("task", "dispatch", "ckpt", "fetch", "time")
+FAULT_KINDS = ("revoke", "warn", "ckpt-fail", "fetch-kill", "slow")
+
+#: Keys each kind accepts beyond the mandatory ``at=``.
+_ALLOWED_KEYS: Dict[str, Tuple[str, ...]] = {
+    "revoke": ("count", "worker", "warn", "replace"),
+    "warn": ("count", "worker"),
+    "ckpt-fail": ("count",),
+    "fetch-kill": ("count",),
+    "slow": ("factor", "worker"),
+}
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan spec failed to parse or validate."""
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A deterministic firing point: ``(kind, value)``."""
+
+    kind: str
+    value: float
+
+    def __str__(self) -> str:
+        value = int(self.value) if float(self.value).is_integer() else self.value
+        return f"{self.kind}:{value}"
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One fault: what happens, when, and to whom."""
+
+    kind: str
+    trigger: Trigger
+    count: int = 1
+    worker: Optional[int] = None
+    warn: Optional[float] = None
+    replace: Optional[float] = None
+    factor: float = 2.0
+
+    def __str__(self) -> str:
+        parts = [self.kind, f"at={self.trigger}"]
+        if self.kind != "slow" and self.count != 1:
+            parts.append(f"count={self.count}")
+        if self.worker is not None:
+            parts.append(f"worker={self.worker}")
+        if self.warn is not None:
+            parts.append(f"warn={_fmt(self.warn)}")
+        if self.replace is not None:
+            parts.append(f"replace={_fmt(self.replace)}")
+        if self.kind == "slow":
+            parts.append(f"factor={_fmt(self.factor)}")
+        return " ".join(parts)
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else str(value)
+
+
+def _parse_trigger(raw: str, clause_kind: str) -> Trigger:
+    kind, sep, value = raw.partition(":")
+    if not sep or kind not in TRIGGER_KINDS:
+        raise FaultPlanError(
+            f"bad trigger {raw!r} (expected one of "
+            + ", ".join(f"{k}:N" for k in TRIGGER_KINDS)
+            + ")"
+        )
+    try:
+        num = float(value)
+    except ValueError:
+        raise FaultPlanError(f"bad trigger value in {raw!r}") from None
+    if kind != "time":
+        if num < 1 or not num.is_integer():
+            raise FaultPlanError(f"trigger {raw!r} must use a 1-based integer index")
+    elif num < 0:
+        raise FaultPlanError(f"trigger {raw!r} must not be negative")
+    if clause_kind == "ckpt-fail" and kind != "ckpt":
+        raise FaultPlanError("ckpt-fail requires an at=ckpt:N trigger")
+    if clause_kind == "fetch-kill" and kind != "fetch":
+        raise FaultPlanError("fetch-kill requires an at=fetch:N trigger")
+    return Trigger(kind, num)
+
+
+def _parse_clause(raw: str) -> FaultClause:
+    tokens = raw.split()
+    kind = tokens[0]
+    if kind not in FAULT_KINDS:
+        raise FaultPlanError(
+            f"unknown fault kind {kind!r} (expected one of {', '.join(FAULT_KINDS)})"
+        )
+    kv: Dict[str, str] = {}
+    for token in tokens[1:]:
+        key, sep, value = token.partition("=")
+        if not sep:
+            raise FaultPlanError(f"expected key=value, got {token!r} in clause {raw!r}")
+        if key in kv:
+            raise FaultPlanError(f"duplicate key {key!r} in clause {raw!r}")
+        kv[key] = value
+    if "at" not in kv:
+        raise FaultPlanError(f"clause {raw!r} is missing its at= trigger")
+    trigger = _parse_trigger(kv.pop("at"), kind)
+    allowed = _ALLOWED_KEYS[kind]
+    for key in kv:
+        if key not in allowed:
+            raise FaultPlanError(
+                f"{kind!r} does not accept {key}= (allowed: at, {', '.join(allowed)})"
+            )
+    try:
+        count = int(kv.get("count", "1"))
+        worker = int(kv["worker"]) if "worker" in kv else None
+        warn = float(kv["warn"]) if "warn" in kv else None
+        replace = float(kv["replace"]) if "replace" in kv else None
+        factor = float(kv.get("factor", "2.0"))
+    except ValueError as exc:
+        raise FaultPlanError(f"bad numeric value in clause {raw!r}: {exc}") from None
+    if count < 1:
+        raise FaultPlanError(f"count must be >= 1 in clause {raw!r}")
+    if worker is not None and worker < 0:
+        raise FaultPlanError(f"worker index must be >= 0 in clause {raw!r}")
+    if warn is not None and warn < 0:
+        raise FaultPlanError(f"warn lead must be >= 0 in clause {raw!r}")
+    if replace is not None and replace < 0:
+        raise FaultPlanError(f"replace delay must be >= 0 in clause {raw!r}")
+    if factor <= 0:
+        raise FaultPlanError(f"factor must be positive in clause {raw!r}")
+    return FaultClause(
+        kind=kind,
+        trigger=trigger,
+        count=count,
+        worker=worker,
+        warn=warn,
+        replace=replace,
+        factor=factor,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, validated sequence of fault clauses."""
+
+    clauses: Tuple[FaultClause, ...]
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a one-line spec; raises :class:`FaultPlanError` on nonsense."""
+        clauses = []
+        for raw in spec.split(";"):
+            raw = raw.strip()
+            if raw:
+                clauses.append(_parse_clause(raw))
+        if not clauses:
+            raise FaultPlanError("empty fault plan")
+        return cls(tuple(clauses))
+
+    def __str__(self) -> str:
+        """Canonical spec string; ``parse(str(plan))`` round-trips."""
+        return "; ".join(str(clause) for clause in self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)

@@ -9,7 +9,7 @@ upstream map-stage re-execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 
 class DiskFullError(RuntimeError):

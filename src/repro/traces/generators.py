@@ -133,7 +133,6 @@ def correlated_peaky_traces(
     """
     if not 0.0 <= correlation <= 1.0:
         raise ValueError("correlation must be in [0, 1]")
-    m = len(on_demand_prices)
     common_rate = correlation * spike_rate_per_hour
     idio_rate = (1.0 - correlation) * spike_rate_per_hour
     common_spikes = _poisson_arrivals(rng.child("common"), common_rate / HOUR, horizon)

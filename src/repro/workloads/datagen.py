@@ -13,7 +13,6 @@ user-item matrix with popularity skew for ALS.
 
 from __future__ import annotations
 
-import math
 from typing import List, Tuple
 
 import numpy as np

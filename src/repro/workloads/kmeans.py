@@ -9,7 +9,6 @@ batch workloads and the lowest checkpointing tax (Figure 6a).
 
 from __future__ import annotations
 
-import math
 import operator
 from typing import List, Optional, Tuple
 

@@ -9,7 +9,7 @@ checkpointing helps PageRank most (Figure 8a).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.engine.context import FlintContext
 from repro.engine.rdd import RDD

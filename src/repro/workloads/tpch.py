@@ -14,7 +14,7 @@ tables with TPC-H-like column distributions.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.engine.context import FlintContext
 from repro.engine.rdd import RDD

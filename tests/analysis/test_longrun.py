@@ -1,7 +1,5 @@
 """Canonical long-run simulator (the Figures 10-11 harness)."""
 
-import dataclasses
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Eq. 1/2 expectations track trace-simulated reality."""
 
-import pytest
 
 from repro.analysis.model_validation import validate_catalog, validate_market
 from repro.factory import uniform_mttf_provider
@@ -38,7 +37,6 @@ def test_model_matches_simulation_on_volatile_market():
 
 def test_model_ranks_markets_like_simulation():
     """What selection actually needs: the *ordering* of markets by cost."""
-    calm = uniform_mttf_provider(seed=9, mttf_hours=40.0, num_markets=1)
     # Merge a volatile market into the same provider universe.
     from repro.factory import standard_provider
     from repro.traces.ec2 import MarketSpec, R3_LARGE

@@ -7,7 +7,7 @@ from repro.baselines.spot_fleet import (
 )
 from repro.cluster.cluster import Cluster
 from repro.cluster.environment import Environment
-from repro.core.config import FlintConfig, Mode
+from repro.core.config import FlintConfig
 from repro.factory import standard_provider
 from repro.simulation.clock import HOUR
 

@@ -2,7 +2,7 @@
 
 from repro.baselines.spot_fleet import SpotFleetNodeManager
 from repro.baselines.unmodified import on_demand_flint, unmodified_spark_flint
-from repro.core.config import FlintConfig, Mode
+from repro.core.config import FlintConfig
 from repro.factory import standard_provider
 from repro.simulation.clock import HOUR
 

@@ -1,6 +1,5 @@
 """Environment: event pumping and time control."""
 
-import pytest
 
 from repro.cluster.environment import Environment
 from repro.market.market import OnDemandMarket

@@ -60,6 +60,20 @@ def ctx():
 
 
 @pytest.fixture
+def fault_harness():
+    """Run a workload under a fault plan with full invariant checking.
+
+    Yields :func:`repro.faults.run_with_plan`: call it with a workload
+    factory and a plan spec; it raises :class:`InvariantViolation` if the
+    faulted run diverges from the failure-free reference or breaks any
+    engine invariant.
+    """
+    from repro.faults import run_with_plan
+
+    return run_with_plan
+
+
+@pytest.fixture
 def big_ctx():
     """10-worker on-demand context (paper's cluster size)."""
     return build_on_demand_context(num_workers=10)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.advisor import Advice, JobProfile, advise
+from repro.core.advisor import JobProfile, advise
 from repro.factory import standard_provider
 from repro.simulation.clock import HOUR
 

@@ -102,7 +102,7 @@ def test_due_flag_marks_next_generated_rdd():
 
 def test_without_due_no_marking():
     ctx = build_on_demand_context(2)
-    ft = attach_ft(ctx, mttf_hours=1000.0, initial_delta=10.0)
+    attach_ft(ctx, mttf_hours=1000.0, initial_delta=10.0)
     rdd = ctx.parallelize(list(range(8)), 2).map(lambda x: x).persist()
     rdd.count()
     assert not ctx.checkpoints.is_marked(rdd)

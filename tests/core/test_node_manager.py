@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.config import FlintConfig, Mode
 from repro.core.node_manager import NodeManager

@@ -1,6 +1,5 @@
 """Checkpoint registry: marking, durable writes, lineage GC."""
 
-import pytest
 
 from tests.conftest import build_on_demand_context
 

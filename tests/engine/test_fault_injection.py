@@ -1,0 +1,117 @@
+"""Recovery edge cases exercised through the fault-injection points.
+
+The three scenarios the harness unlocks (ISSUE satellite): revocation
+during an in-flight checkpoint write, loss of the last replica of a
+shuffle map output mid-fetch, and back-to-back revocations inside one
+2-minute warning window.
+"""
+
+import pytest
+
+from repro.faults import install_plan
+from tests.conftest import build_on_demand_context
+
+
+def reference_result():
+    data = [(i % 7, i) for i in range(200)]
+    expected = {}
+    for k, v in data:
+        expected[k] = expected.get(k, 0) + v
+    return data, expected
+
+
+def build_pipeline(ctx, data):
+    return (
+        ctx.parallelize(data, 8, record_size=1000)
+        .reduce_by_key(lambda a, b: a + b)
+        .persist()
+    )
+
+
+def test_revocation_during_inflight_checkpoint_write():
+    """Kill the worker running the first checkpoint write, mid-write.
+
+    The write is lost with the worker; the registry must not record the
+    partition, and a later checkpoint sweep must complete the RDD from the
+    surviving cache copies.
+    """
+    data, expected = reference_result()
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "revoke at=ckpt:1")
+    agg = build_pipeline(ctx, data)
+    agg.checkpoint()
+    assert dict(agg.collect()) == expected
+    ctx.env.run_until(ctx.now + 300)  # drain surviving async writes
+    assert injector.fired and "revoked" in injector.fired[0].description
+    # The mid-write kill fired while a checkpoint task was in flight.
+    assert injector.fired[0].clause.trigger.kind == "ckpt"
+    # No half-written partition leaked into the registry: everything the
+    # registry claims is durable really is in the DFS.
+    registry = ctx.checkpoints
+    for rdd_id, parts in registry.written_partitions().items():
+        for partition in parts:
+            assert ctx.env.dfs.exists(registry.path_for(rdd_id, partition))
+    # The killed worker took both its in-flight write and its cached copy
+    # of that partition.  A re-run recomputes the partition, which
+    # re-enqueues the outstanding write and completes the RDD.
+    assert dict(agg.collect()) == expected
+    ctx.env.run_until(ctx.now + 300)
+    assert ctx.checkpoints.is_fully_checkpointed(agg)
+
+
+def test_loss_of_last_replica_of_shuffle_map_output():
+    """Revoke every holder of a shuffle's map outputs during a fetch.
+
+    Map outputs are unreplicated, so this loses the last (only) replica
+    while a reduce task is gathering it — Spark's FetchFailed path.  The
+    dispatch must be abandoned, the lost maps rerun, and the result stay
+    identical.
+    """
+    data, expected = reference_result()
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "fetch-kill at=fetch:2 count=3")
+    agg = build_pipeline(ctx, data)
+    maps_before = ctx.scheduler.stats.map_tasks
+    assert dict(agg.collect()) == expected
+    assert injector.fired and "mid-fetch" in injector.fired[0].description
+    # The in-flight reduce hit ShuffleFetchFailure and was rolled back...
+    assert ctx.scheduler.stats.fetch_failures >= 1
+    # ...and the lost map outputs were recomputed, not conjured.
+    assert ctx.scheduler.stats.map_tasks > maps_before + 8
+    # The missing-set bookkeeping ended truthful: the shuffle is complete.
+    for shuffle_id, _num_maps in ctx.shuffle_manager.tracked_shuffles():
+        assert not ctx.shuffle_manager.has_missing(shuffle_id)
+
+
+def test_back_to_back_revocations_inside_one_warning_window():
+    """A second revocation lands while the first 120 s warning is open.
+
+    Both 2-minute windows overlap: the second warning arrives before the
+    first kill executes.  Distinct pinned victims keep the kills disjoint;
+    lineage recomputation must still deliver identical results.
+    """
+    data, expected = reference_result()
+    ctx = build_on_demand_context(6)
+    injector = install_plan(
+        ctx,
+        "revoke at=task:5 warn=120 replace=60 worker=0; "
+        "revoke at=task:8 warn=120 replace=60 worker=1",
+    )
+    agg = build_pipeline(ctx, data)
+    assert dict(agg.collect()) == expected
+    # Let both delayed kills and the replacement boots play out.
+    ctx.env.run_until(ctx.now + 600)
+    events = [(f.time, f.description) for f in injector.fired]
+    warns = [(t, d) for t, d in events if "kill in 120" in d]
+    kills = [(t, d) for t, d in events if "after warning" in d]
+    assert len(warns) == 2
+    assert len(kills) == 2
+    # Overlapping windows: the second warning fired before the first kill.
+    assert max(t for t, _ in warns) < min(t for t, _ in kills)
+    # Each kill landed exactly 120 s after its warning.
+    for (warn_t, _), (kill_t, _) in zip(warns, kills):
+        assert kill_t == pytest.approx(warn_t + 120.0)
+    # Replacements restored the fleet, and lineage recomputation of the
+    # partitions lost with both victims reproduces identical results.
+    assert len(ctx.cluster.live_workers()) == 6
+    assert dict(agg.collect()) == expected

@@ -116,7 +116,6 @@ def test_job_with_no_workers_and_no_events_deadlocks_cleanly():
 def test_cache_eviction_forces_recompute_but_same_result():
     """Working set larger than cluster memory: LRU thrash, identical data."""
     ctx = build_on_demand_context(1)
-    worker = ctx.cluster.live_workers()[0]
     # 6GB storage per r3.large at 40%; make each cached RDD ~4GB.
     rdds = []
     for i in range(3):

@@ -98,7 +98,6 @@ def test_checkpoint_write_occupies_simulated_time():
     rdd.count()
     ctx.checkpoints.mark(rdd)
     ctx.scheduler.enqueue_checkpoints_for(rdd)
-    t0 = ctx.now
     ctx.env.run_until(ctx.now + 600)
     assert ctx.checkpoints.is_fully_checkpointed(rdd)
     assert ctx.scheduler.stats.checkpoint_time_total > 0

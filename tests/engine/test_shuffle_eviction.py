@@ -1,6 +1,5 @@
 """Shuffle-file eviction under local-disk pressure."""
 
-import pytest
 
 from repro.cluster.worker import Worker
 from repro.engine.dependencies import ShuffleDependency

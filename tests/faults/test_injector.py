@@ -1,0 +1,159 @@
+"""FaultInjector wiring: env-var install, hooks, stragglers, write failures."""
+
+import pytest
+
+from repro.faults import FaultPlan, install_plan
+from repro.faults.injector import FaultInjector
+from tests.conftest import build_on_demand_context
+
+
+def small_pipeline(ctx):
+    data = [(i % 5, i) for i in range(100)]
+    return (
+        ctx.parallelize(data, 8, record_size=1000)
+        .reduce_by_key(lambda a, b: a + b)
+        .persist()
+    )
+
+
+def expected_result():
+    data = [(i % 5, i) for i in range(100)]
+    out = {}
+    for k, v in data:
+        out[k] = out.get(k, 0) + v
+    return out
+
+
+def test_env_var_installs_injector(monkeypatch):
+    monkeypatch.setenv("FLINT_FAULT_PLAN", "revoke at=task:5")
+    ctx = build_on_demand_context(4)
+    assert ctx.fault_injector is not None
+    assert str(ctx.fault_injector.plan) == "revoke at=task:5"
+    assert ctx.shuffle_manager.fault_injector is ctx.fault_injector
+
+
+def test_env_var_absent_leaves_engine_clean(monkeypatch):
+    monkeypatch.delenv("FLINT_FAULT_PLAN", raising=False)
+    ctx = build_on_demand_context(4)
+    assert ctx.fault_injector is None
+    assert ctx.shuffle_manager.fault_injector is None
+    assert ctx.checkpoints.write_failure_hook is None
+
+
+def test_env_var_bad_spec_raises(monkeypatch):
+    monkeypatch.setenv("FLINT_FAULT_PLAN", "explode at=task:1")
+    with pytest.raises(Exception):
+        build_on_demand_context(4)
+
+
+def test_injector_installs_once_only():
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "revoke at=task:5")
+    with pytest.raises(RuntimeError):
+        injector.install(ctx)
+
+
+def test_revocation_fires_at_task_boundary():
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "revoke at=task:3")
+    agg = small_pipeline(ctx)
+    assert dict(agg.collect()) == expected_result()
+    assert len(injector.fired) == 1
+    assert "revoked" in injector.fired[0].description
+    assert len(ctx.cluster.live_workers()) == 3
+    assert ctx.scheduler.stats.tasks_lost >= 0
+
+
+def test_correlated_burst_kills_count_workers():
+    ctx = build_on_demand_context(6)
+    injector = install_plan(ctx, "revoke at=task:2 count=3")
+    agg = small_pipeline(ctx)
+    assert dict(agg.collect()) == expected_result()
+    assert len(injector.fired[0].victims) == 3
+    assert len(ctx.cluster.live_workers()) == 3
+
+
+def test_replacement_workers_boot_after_delay():
+    ctx = build_on_demand_context(4)
+    install_plan(ctx, "revoke at=task:2 count=2 replace=60")
+    agg = small_pipeline(ctx)
+    agg.collect()
+    ctx.env.run_until(ctx.now + 120)
+    assert len(ctx.cluster.live_workers()) == 4
+
+
+def test_straggler_slows_one_worker_and_run():
+    base_ctx = build_on_demand_context(4)
+    base = small_pipeline(base_ctx)
+    base.collect()
+    base_runtime = base_ctx.now
+
+    slow_ctx = build_on_demand_context(4)
+    injector = install_plan(slow_ctx, "slow at=dispatch:1 factor=10 worker=0")
+    agg = small_pipeline(slow_ctx)
+    assert dict(agg.collect()) == expected_result()
+    assert injector.fired and "straggler" in injector.fired[0].description
+    assert slow_ctx.now > base_runtime
+
+
+def test_scale_task_duration_targets_only_named_worker():
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "slow at=time:0 factor=3 worker=1")
+    ctx.env.run_until(1.0)  # let the time trigger activate the clause
+    live = ctx.cluster.live_workers()
+    target = live[1]
+    other = live[0]
+    assert injector.scale_task_duration(None, target, 10.0) == 30.0
+    assert injector.scale_task_duration(None, other, 10.0) == 10.0
+
+
+def test_checkpoint_write_failure_retries_until_durable():
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "ckpt-fail at=ckpt:1 count=2")
+    agg = small_pipeline(ctx)
+    agg.checkpoint()
+    assert dict(agg.collect()) == expected_result()
+    ctx.env.run_until(ctx.now + 300)
+    # Two write attempts failed, were re-enqueued, and eventually landed.
+    assert ctx.scheduler.stats.checkpoint_write_failures == 2
+    assert len(injector.fired) == 2
+    assert ctx.checkpoints.is_fully_checkpointed(agg)
+
+
+def test_false_alarm_warning_kills_nobody():
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "warn at=task:2")
+    agg = small_pipeline(ctx)
+    assert dict(agg.collect()) == expected_result()
+    assert injector.fired and "false-alarm" in injector.fired[0].description
+    assert len(ctx.cluster.live_workers()) == 4
+
+
+def test_fired_faults_record_simulated_time():
+    ctx = build_on_demand_context(4)
+    injector = install_plan(ctx, "revoke at=time:15")
+    agg = small_pipeline(ctx)
+    agg.collect()
+    ctx.env.run_until(30.0)  # the job may finish before the trigger
+    assert injector.fired
+    assert injector.fired[0].time == pytest.approx(15.0)
+
+
+def test_clauses_fire_at_most_once():
+    ctx = build_on_demand_context(6)
+    injector = install_plan(ctx, "revoke at=task:2")
+    agg = small_pipeline(ctx)
+    agg.collect()
+    agg.collect()  # plenty more task completions pass counter 2
+    revokes = [f for f in injector.fired if "revoked" in f.description]
+    assert len(revokes) == 1
+
+
+def test_injector_without_checker_runs_no_checks():
+    plan = FaultPlan.parse("revoke at=task:2")
+    injector = FaultInjector(plan)
+    ctx = build_on_demand_context(4)
+    injector.install(ctx)
+    agg = small_pipeline(ctx)
+    agg.collect()
+    assert injector.checker is None

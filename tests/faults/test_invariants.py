@@ -1,0 +1,139 @@
+"""InvariantChecker: clean runs pass, planted corruption is caught."""
+
+from repro.faults import InvariantChecker, InvariantViolation, install_plan
+from tests.conftest import build_on_demand_context
+
+import pytest
+
+
+def run_pipeline(ctx):
+    data = [(i % 5, i) for i in range(100)]
+    agg = (
+        ctx.parallelize(data, 8, record_size=1000)
+        .reduce_by_key(lambda a, b: a + b)
+        .persist()
+    )
+    agg.collect()
+    return agg
+
+
+def test_clean_run_has_no_violations():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    run_pipeline(ctx)
+    assert checker.check("clean") == []
+    assert checker.checks_run == 1
+    assert checker.violations == []
+
+
+def test_clean_faulted_run_has_no_violations():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    install_plan(ctx, "revoke at=task:3")
+    run_pipeline(ctx)
+    assert checker.check("post-fault") == []
+
+
+def test_planted_ghost_index_entry_is_caught():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    run_pipeline(ctx)
+    worker = ctx.cluster.live_workers()[0]
+    ctx.block_index.add("rdd_999_0", worker)  # indexed, never stored
+    found = checker.check()
+    assert any("ghost block 'rdd_999_0'" in v for v in found)
+
+
+def test_planted_index_leak_is_caught():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    run_pipeline(ctx)
+    leaked = None
+    for worker in ctx.cluster.live_workers():
+        blocks = ctx.block_index.blocks_on(worker.worker_id)
+        if blocks:
+            leaked = (blocks[0], worker.worker_id)
+            break
+    assert leaked is not None
+    ctx.block_index.remove(*leaked)  # cached block silently de-indexed
+    found = checker.check()
+    assert any("leaked block" in v and leaked[0] in v for v in found)
+
+
+def test_corrupted_shuffle_missing_set_is_caught():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    run_pipeline(ctx)
+    shuffles = ctx.shuffle_manager.tracked_shuffles()
+    assert shuffles
+    shuffle_id, _num_maps = shuffles[0]
+    # Claim map 0 is missing even though its output is still on disk.
+    ctx.shuffle_manager._missing[shuffle_id].add(0)
+    found = checker.check()
+    assert any(
+        f"shuffle {shuffle_id} missing-set untruthful" in v for v in found
+    )
+
+
+def checkpointed_pipeline(ctx):
+    data = [(i % 5, i) for i in range(100)]
+    agg = (
+        ctx.parallelize(data, 8, record_size=1000)
+        .reduce_by_key(lambda a, b: a + b)
+        .persist()
+    )
+    agg.checkpoint()  # mark before first compute so writes enqueue
+    agg.collect()
+    ctx.env.run_until(ctx.now + 300)  # drain the async writes
+    return agg
+
+
+def test_silent_checkpoint_loss_is_caught():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    agg = checkpointed_pipeline(ctx)
+    assert ctx.checkpoints.is_fully_checkpointed(agg)
+    assert checker.check() == []
+    # Delete one checkpoint file behind the registry's back.
+    path = ctx.checkpoints.path_for(agg.rdd_id, 0)
+    assert ctx.env.dfs.delete(path)
+    found = checker.check()
+    assert any("vanished from the DFS" in v for v in found)
+
+
+def test_notified_checkpoint_gc_is_legal():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    agg = checkpointed_pipeline(ctx)
+    assert ctx.checkpoints.is_fully_checkpointed(agg)
+    # A registry-driven removal announces itself; no violation — even
+    # though the checkpoint frontier regresses.
+    assert ctx.checkpoints.discard_partition(agg, 0)
+    assert checker.check() == []
+
+
+def test_dead_worker_index_entries_are_caught():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    run_pipeline(ctx)
+    victim = None
+    for worker in ctx.cluster.live_workers():
+        if ctx.block_index.blocks_on(worker.worker_id):
+            victim = worker
+            break
+    assert victim is not None
+    # Kill the worker with the death->index purge path severed, so the
+    # index still lists its blocks after death.
+    victim.block_manager.index = None
+    victim.kill()
+    found = checker.check()
+    assert any("indexed on dead worker" in v for v in found)
+
+
+def test_raise_if_violated():
+    ctx = build_on_demand_context(4)
+    checker = InvariantChecker(ctx)
+    checker.violations.append("synthetic violation")
+    with pytest.raises(InvariantViolation) as excinfo:
+        checker.raise_if_violated()
+    assert "synthetic violation" in str(excinfo.value)

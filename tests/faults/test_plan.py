@@ -1,0 +1,99 @@
+"""The FaultPlan DSL: parsing, canonical form, validation."""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultPlanError
+
+
+def test_parse_single_revoke():
+    plan = FaultPlan.parse("revoke at=task:40")
+    assert len(plan) == 1
+    clause = plan.clauses[0]
+    assert clause.kind == "revoke"
+    assert clause.trigger.kind == "task"
+    assert clause.trigger.value == 40
+    assert clause.count == 1
+    assert clause.warn is None
+    assert clause.replace is None
+
+
+def test_parse_full_revoke_clause():
+    plan = FaultPlan.parse("revoke at=dispatch:7 count=2 warn=60 replace=120 worker=3")
+    clause = plan.clauses[0]
+    assert clause.count == 2
+    assert clause.warn == 60.0
+    assert clause.replace == 120.0
+    assert clause.worker == 3
+
+
+def test_parse_multi_clause_plan():
+    plan = FaultPlan.parse(
+        "revoke at=task:10; ckpt-fail at=ckpt:1 count=2; "
+        "fetch-kill at=fetch:5; slow at=dispatch:3 factor=4.5 worker=0; "
+        "warn at=time:90"
+    )
+    assert [c.kind for c in plan.clauses] == [
+        "revoke", "ckpt-fail", "fetch-kill", "slow", "warn",
+    ]
+    assert plan.clauses[1].count == 2
+    assert plan.clauses[3].factor == 4.5
+    assert plan.clauses[4].trigger.kind == "time"
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "revoke at=task:40",
+        "revoke at=task:40 count=2 warn=60 replace=120",
+        "revoke at=ckpt:1 worker=2",
+        "warn at=time:30",
+        "ckpt-fail at=ckpt:2 count=3",
+        "fetch-kill at=fetch:12 count=2",
+        "slow at=dispatch:5 worker=1 factor=3.5",
+        "revoke at=task:10; warn at=task:20; slow at=time:0 factor=2",
+    ],
+)
+def test_canonical_string_round_trips(spec):
+    plan = FaultPlan.parse(spec)
+    canonical = str(plan)
+    again = FaultPlan.parse(canonical)
+    assert again == plan
+    assert str(again) == canonical
+
+
+def test_whitespace_and_empty_clauses_tolerated():
+    plan = FaultPlan.parse("  revoke at=task:3 ; ;  warn at=task:5  ")
+    assert len(plan) == 2
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        " ; ; ",
+        "explode at=task:1",             # unknown kind
+        "revoke",                        # missing trigger
+        "revoke at=banana:3",            # unknown trigger kind
+        "revoke at=task:0",              # indices are 1-based
+        "revoke at=task:1.5",            # non-integer index
+        "revoke at=time:-5",             # negative time
+        "revoke at=task:3 count=0",      # count < 1
+        "revoke at=task:3 factor=2",     # factor not allowed on revoke
+        "slow at=task:3 warn=60",        # warn not allowed on slow
+        "slow at=task:3 factor=0",       # non-positive factor
+        "ckpt-fail at=task:3",           # ckpt-fail needs at=ckpt:N
+        "fetch-kill at=task:3",          # fetch-kill needs at=fetch:N
+        "revoke at=task:3 count=x",      # non-numeric value
+        "revoke at=task:3 at=task:4",    # duplicate key
+        "revoke at=task:3 bogus",        # token without '='
+    ],
+)
+def test_invalid_specs_raise(spec):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.parse(spec)
+
+
+def test_time_trigger_preserves_fractional_seconds():
+    plan = FaultPlan.parse("revoke at=time:90.5")
+    assert plan.clauses[0].trigger.value == 90.5
+    assert "time:90.5" in str(plan)

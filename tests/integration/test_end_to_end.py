@@ -1,6 +1,5 @@
 """End-to-end: Flint running the paper's workloads on spot markets."""
 
-import pytest
 
 from repro import Flint, FlintConfig, Mode, standard_provider
 from repro.factory import uniform_mttf_provider

@@ -1,6 +1,5 @@
 """End-to-end on a GCE-style preemptible pool (no bidding, 24h cap)."""
 
-import pytest
 
 from repro import Flint, FlintConfig, Mode, standard_provider
 from repro.simulation.clock import HOUR

@@ -1,6 +1,5 @@
 """Interactive BIDI session under Flint: latency, diversification, recovery."""
 
-import pytest
 
 from repro import Flint, FlintConfig, Mode, standard_provider
 from repro.simulation.clock import HOUR

@@ -1,6 +1,5 @@
 """EC2 catalog and market-trace construction."""
 
-import pytest
 
 from repro.simulation.clock import DAY, HOUR
 from repro.simulation.rng import SeededRNG

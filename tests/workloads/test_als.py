@@ -1,6 +1,5 @@
 """ALS workload: factorisation output and shuffle intensity."""
 
-import pytest
 
 from repro.workloads.als import ALSWorkload, _solve_factor
 from tests.conftest import build_on_demand_context

@@ -1,6 +1,5 @@
 """KMeans workload: clustering quality and caching behaviour."""
 
-import pytest
 
 from repro.workloads.kmeans import KMeansWorkload, _add_vectors, _closest
 from tests.conftest import build_on_demand_context

@@ -1,6 +1,5 @@
 """Streaming micro-batch workload (the §6 extension)."""
 
-import pytest
 
 from repro.workloads.streaming import StreamingWorkload
 from tests.conftest import build_on_demand_context
