@@ -37,11 +37,26 @@ from benchmarks.perf_smoke import run_smoke  # noqa: E402
 _SIM_RTOL = 1e-9
 
 
+#: The command that rebuilds the committed baseline from scratch.
+_REBASELINE = "PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_engine.json"
+
+
 def _sim_runtimes(entry: dict) -> dict:
-    out = {"fig7_baseline": entry["fig7"]["baseline_runtime"],
-           "fig7_revoked": entry["fig7"]["revoked_runtime"]}
-    for k, v in entry["fig8"]["simulated_runtime_seconds"].items():
+    """Every deterministic simulated-seconds metric an entry carries.
+
+    Tolerant of schema drift: a metric absent from one side is simply not
+    emitted here — ``compare`` reports the asymmetry instead of crashing.
+    """
+    out = {}
+    fig7 = entry.get("fig7", {})
+    if "baseline_runtime" in fig7:
+        out["fig7_baseline"] = fig7["baseline_runtime"]
+    if "revoked_runtime" in fig7:
+        out["fig7_revoked"] = fig7["revoked_runtime"]
+    for k, v in entry.get("fig8", {}).get("simulated_runtime_seconds", {}).items():
         out[f"fig8_{k}"] = v
+    for k, v in entry.get("multitenant", {}).get("simulated_seconds", {}).items():
+        out[f"multitenant_{k}"] = v
     return out
 
 
@@ -57,10 +72,19 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
     for name, fresh_entry in fresh["workloads"].items():
         base_entry = base_workloads.get(name)
         if base_entry is None:
-            notes.append(f"{name}: no committed baseline entry; skipping")
+            notes.append(
+                f"{name}: no committed baseline entry; not gated "
+                f"(re-baseline with: {_REBASELINE})"
+            )
             continue
-        base_wall = base_entry["wall_seconds"]
+        base_wall = base_entry.get("wall_seconds")
         fresh_wall = fresh_entry["wall_seconds"]
+        if base_wall is None:
+            failures.append(
+                f"{name}: baseline entry has no wall_seconds — the committed "
+                f"BENCH_engine.json is stale; re-baseline with: {_REBASELINE}"
+            )
+            continue
         ratio = fresh_wall / base_wall if base_wall else float("inf")
         line = (
             f"{name}: wall {fresh_wall:.3f}s vs baseline {base_wall:.3f}s "
@@ -83,8 +107,17 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
                     f"{base_sim[key]!r} -> {fresh_sim[key]!r} "
                     "(the engine is no longer behaviour-identical)"
                 )
+        for key in sorted(base_sim.keys() - fresh_sim.keys()):
+            failures.append(
+                f"{name}: baseline metric {key} is no longer reported by "
+                f"perf_smoke — intentional schema changes need a fresh "
+                f"baseline ({_REBASELINE})"
+            )
     for name in base_workloads.keys() - fresh["workloads"].keys():
-        failures.append(f"{name}: present in baseline but missing from fresh run")
+        failures.append(
+            f"{name}: present in baseline but missing from fresh run — if the "
+            f"workload was removed on purpose, re-baseline with: {_REBASELINE}"
+        )
     return failures, notes
 
 
@@ -103,8 +136,18 @@ def main() -> int:
                         help="baseline walls below this are reported, not gated")
     args = parser.parse_args()
 
-    with open(args.baseline, encoding="utf-8") as fh:
-        baseline = json.load(fh)
+    if not os.path.exists(args.baseline):
+        print(f"perf gate: no baseline at {args.baseline}")
+        print("Nothing to gate against. Generate and commit one with:")
+        print(f"    {_REBASELINE}")
+        return 2
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except json.JSONDecodeError as exc:
+        print(f"perf gate: baseline {args.baseline} is not valid JSON ({exc})")
+        print(f"Regenerate it with:\n    {_REBASELINE}")
+        return 2
     fresh = run_smoke(args.out, mode=baseline.get("scheduler_mode", "incremental"))
     failures, notes = compare(baseline, fresh, args.threshold, args.min_wall)
     for note in notes:

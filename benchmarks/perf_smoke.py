@@ -2,7 +2,8 @@
 
 Times lightweight versions of the Figure 7 (single revocation, no
 checkpointing) and Figure 8 (checkpointed failure sweep) engine runs for
-each batch workload under the incremental scheduler, and emits
+each batch workload under the incremental scheduler, plus a scaled-down
+multi-tenant serving scenario (job server, fifo vs fair), and emits
 ``BENCH_engine.json`` with wall-clock per workload, task throughput, and
 the ``SchedulerStats`` counters that evidence the O(1)/O(Δ) readiness
 machinery (resolve-cache hit rate, rebuild fraction, invalidation counts).
@@ -138,6 +139,45 @@ def _smoke_one_workload(factory):
     return entry, agg
 
 
+def _smoke_multitenant():
+    """Scaled-down multi-tenant serving scenario under both policies.
+
+    Wall time and simulated interactive/batch latencies go through the same
+    gates as the batch workloads, so server-layer regressions (or behaviour
+    drift in the multiplexing scheduler) fail CI like engine ones do.
+    """
+    from repro.server.scenario import run_multitenant
+
+    entry = {}
+    agg: dict = {}
+    sims = {}
+    wall_start = time.perf_counter()
+    for policy in ("fifo", "fair"):
+        report = run_multitenant(
+            policy=policy, num_workers=4, seed=1234, queries=4,
+        )
+        pool = report["pools"]["interactive"]
+        sims[f"{policy}_interactive_p50"] = pool["p50_response"]
+        sims[f"{policy}_interactive_p95"] = pool["p95_response"]
+        sims[f"{policy}_batch_response"] = report["pools"]["batch"]["p50_response"]
+        stats = report["scheduler_stats"]
+        for field in _COUNTER_FIELDS:
+            agg[field] = agg.get(field, 0) + stats[field]
+        agg["tasks_completed"] = (
+            agg.get("tasks_completed", 0) + stats["tasks_completed"]
+        )
+        agg["ready_queue_peak"] = max(
+            agg.get("ready_queue_peak", 0), stats["ready_queue_peak"]
+        )
+    wall = round(time.perf_counter() - wall_start, 3)
+    entry["wall_seconds"] = wall
+    entry["multitenant"] = {"simulated_seconds": sims}
+    entry["tasks_completed"] = agg["tasks_completed"]
+    entry["tasks_per_second"] = round(agg["tasks_completed"] / wall, 1) if wall else None
+    entry["scheduler_counters"] = _counters_payload(agg)
+    return entry, agg
+
+
 def run_smoke(out_path: str, mode: str = "incremental") -> dict:
     os.environ["FLINT_SCHEDULER"] = mode
     report = {
@@ -151,8 +191,11 @@ def run_smoke(out_path: str, mode: str = "incremental") -> dict:
     total_wall = 0.0
     total_tasks = 0
     totals: dict = {}
-    for name, factory in BATCH_WORKLOADS.items():
-        entry, agg = _smoke_one_workload(factory)
+    smokes = [(name, lambda f=factory: _smoke_one_workload(f))
+              for name, factory in BATCH_WORKLOADS.items()]
+    smokes.append(("MultiTenant", _smoke_multitenant))
+    for name, smoke in smokes:
+        entry, agg = smoke()
         report["workloads"][name] = entry
         total_wall += entry["wall_seconds"]
         total_tasks += entry["tasks_completed"]
@@ -184,11 +227,21 @@ def main() -> int:
     report = run_smoke(args.out, args.mode)
     for name, entry in report["workloads"].items():
         counters = entry["scheduler_counters"]
+        if "fig7" in entry:
+            breakdown = (
+                f"(fig7 {entry['fig7']['wall_seconds']}s, "
+                f"fig8 {entry['fig8']['wall_seconds']}s), "
+            )
+        else:
+            sims = entry["multitenant"]["simulated_seconds"]
+            breakdown = (
+                f"(interactive p95 fifo {sims['fifo_interactive_p95']:.2f}s "
+                f"vs fair {sims['fair_interactive_p95']:.2f}s), "
+            )
         print(
             f"{name}: {entry['wall_seconds']}s wall "
-            f"(fig7 {entry['fig7']['wall_seconds']}s, "
-            f"fig8 {entry['fig8']['wall_seconds']}s), "
-            f"{entry['tasks_completed']} tasks ({entry['tasks_per_second']}/s), "
+            + breakdown
+            + f"{entry['tasks_completed']} tasks ({entry['tasks_per_second']}/s), "
             f"resolve hit rate {counters['resolve_cache_hit_rate']}, "
             f"rebuild fraction {counters['rebuild_fraction']}"
         )

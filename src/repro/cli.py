@@ -123,6 +123,60 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant serving scenario and print its SLO summary.
+
+    Exits nonzero when any query failed or was shed by admission control, so
+    scripted runs can gate on serving health.
+    """
+    from repro.server.scenario import run_multitenant
+
+    report = run_multitenant(
+        policy=args.policy,
+        num_workers=args.workers,
+        seed=args.seed,
+        queries=args.queries,
+        think_time=args.think_time,
+        revoke=args.revoke,
+        max_queue=args.queue_cap,
+        interactive_cap=args.interactive_cap,
+        clients=args.clients,
+    )
+    rows = []
+    for pool_name, pool in report["pools"].items():
+        rows.append([
+            pool_name,
+            pool["queries"],
+            pool["completed"],
+            pool["failed"],
+            pool["rejected"],
+            _fmt_s(pool["p50_response"]),
+            _fmt_s(pool["p95_response"]),
+            _fmt_s(pool["p99_response"]),
+            _fmt_s(pool["mean_queue_delay"]),
+        ])
+    print(format_table(
+        ["pool", "queries", "done", "failed", "rejected",
+         "p50 (s)", "p95 (s)", "p99 (s)", "queue delay (s)"],
+        rows,
+        title=(f"job server SLOs (policy={report['scheduling_policy']}, "
+               f"seed={args.seed}, workers={args.workers})"),
+    ))
+    print(f"submitted: {report['submitted']}  completed: {report['completed']}  "
+          f"failed: {report['failed']}  rejected: {report['rejected']}  "
+          f"queued peak: {report['queued_peak']}")
+    print(f"revocations: {report['revocations']}")
+    if report["failed"] or report["rejected"]:
+        print("UNHEALTHY: queries failed or were rejected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    """Fixed-precision simulated seconds; '-' when no sample exists."""
+    return "-" if value is None else f"{value:.3f}"
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     """Print the what-if report for a prospective job."""
     from repro.core.advisor import JobProfile, advise
@@ -188,6 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=10)
     p.add_argument("--hours", type=float, default=2.0)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("serve", help="multi-tenant job server scenario + SLO report")
+    _add_common(p)
+    p.add_argument("--policy", choices=["fifo", "fair"], default="fair",
+                   help="root scheduling policy across pools")
+    p.add_argument("--workers", type=int, default=10)
+    p.add_argument("--queries", type=int, default=8,
+                   help="queries per interactive client")
+    p.add_argument("--clients", type=int, default=1,
+                   help="closed-loop interactive clients")
+    p.add_argument("--think-time", type=float, default=15.0,
+                   help="mean client think time (simulated s)")
+    p.add_argument("--queue-cap", type=int, default=16,
+                   help="admission queue bound; arrivals beyond it are shed")
+    p.add_argument("--interactive-cap", type=int, default=None,
+                   help="max concurrent interactive queries (default unlimited)")
+    p.add_argument("--revoke", action="store_true",
+                   help="revoke one worker mid-stream (replacement after 120s)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("advise", help="what-if report: every market + both policies")
     _add_common(p)

@@ -9,9 +9,10 @@ application — the fault-tolerance manager).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.environment import Environment
@@ -52,6 +53,9 @@ class FlintContext:
         self.fault_injector = None
         self._rdd_counter = itertools.count()
         self._rdds: List["RDD"] = []
+        self._rdds_by_id: Dict[int, "RDD"] = {}
+        #: Pool new jobs land in when none is named (see :meth:`job_pool`).
+        self.current_job_pool = "default"
         # Import here to break the rdd <-> scheduler <-> context cycle.
         from repro.engine.scheduler import TaskScheduler
 
@@ -106,6 +110,11 @@ class FlintContext:
 
     def _register_rdd(self, rdd: "RDD") -> None:
         self._rdds.append(rdd)
+        self._rdds_by_id[rdd.rdd_id] = rdd
+
+    def rdd_by_id(self, rdd_id: int) -> Optional["RDD"]:
+        """The registered RDD with this id, if any (invariant checking)."""
+        return self._rdds_by_id.get(rdd_id)
 
     # ------------------------------------------------------------------
     # Execution
@@ -113,6 +122,32 @@ class FlintContext:
     def run_job(self, rdd: "RDD", func: Callable[[List[Any]], Any]) -> List[Any]:
         """Run ``func`` over every partition of ``rdd``; returns per-partition results."""
         return self.scheduler.run_job(rdd, func)
+
+    def submit_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[List[Any]], Any],
+        pool: Optional[str] = None,
+        name: Optional[str] = None,
+        on_done: Optional[Callable[[Any], None]] = None,
+    ):
+        """Submit an action without blocking; returns a ``JobHandle``."""
+        return self.scheduler.submit_job(rdd, func, pool=pool, name=name, on_done=on_done)
+
+    @contextlib.contextmanager
+    def job_pool(self, name: str) -> Iterator[None]:
+        """Route every action submitted in this scope into the named pool.
+
+        Mirrors Spark's ``spark.scheduler.pool`` local property: workload
+        code stays pool-agnostic (``rdd.count()`` just works) while the
+        caller — typically the job server — decides where its jobs run.
+        """
+        previous = self.current_job_pool
+        self.current_job_pool = name
+        try:
+            yield
+        finally:
+            self.current_job_pool = previous
 
     def run_until(self, t: float) -> None:
         """Advance simulated time with no job active (interactive idle)."""
@@ -179,6 +214,19 @@ class FlintContext:
         for worker in self.cluster.live_workers():
             if worker.block_manager is not None:
                 worker.block_manager.remove_rdd(rdd.rdd_id)
+
+    # ------------------------------------------------------------------
+    def profile_report(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``FLINT_PROFILE=1`` section timings across the hot subsystems.
+
+        One merged view of the scheduler's rounds, the shuffle fetch path,
+        and the checkpoint writer (empty sub-dicts when profiling is off).
+        """
+        return {
+            "scheduler": self.scheduler.timers.report(),
+            "shuffle": self.shuffle_manager.timers.report(),
+            "checkpoint": self.checkpoints.timers.report(),
+        }
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,77 @@
+"""Scheduler pools: fair-share slot allocation across concurrent jobs.
+
+Modelled on Spark's FairScheduler.  Every job is submitted into a named
+:class:`Pool`; the scheduler's root policy decides how CPU slots are shared
+*between* jobs each scheduling round:
+
+- ``fifo`` (the default, and the seed's effective behaviour): jobs take
+  slots strictly in submission order — a query submitted mid-batch waits
+  for the batch frontier to drain.
+- ``fair``: weighted max-min sharing.  Each dispatch goes to the pool with
+  the smallest ``running_tasks / weight`` share, ``interactive`` pools
+  strictly ahead of ``batch`` pools, then to a job inside that pool by the
+  pool's own intra-pool policy (``fifo`` by submission order, ``fair`` by
+  per-job running count).
+
+Pools are lightweight accounting objects — admission control (queue bounds,
+concurrency caps) lives in :class:`repro.server.JobServer`, which sits on
+top of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+POOL_POLICIES = ("fifo", "fair")
+PRIORITY_CLASSES = ("interactive", "batch")
+
+#: Root scheduling policies accepted by :class:`TaskScheduler`.
+SCHEDULING_POLICIES = ("fifo", "fair")
+
+DEFAULT_POOL = "default"
+
+
+@dataclass
+class Pool:
+    """One scheduling pool: a weight, a priority class, and live accounting.
+
+    Args:
+        name: pool identifier (jobs are submitted by pool name).
+        policy: intra-pool job ordering — ``fifo`` (submission order) or
+            ``fair`` (least-running job first).
+        weight: fair-share weight relative to sibling pools.
+        priority: ``interactive`` pools dispatch strictly before ``batch``
+            pools under the fair root policy (the paper's short-query-over-
+            long-batch case, §5 Fig 9).
+    """
+
+    name: str
+    policy: str = "fifo"
+    weight: float = 1.0
+    priority: str = "batch"
+    # Live accounting, maintained by the scheduler.
+    running_tasks: int = field(default=0, compare=False)
+    jobs_submitted: int = field(default=0, compare=False)
+    jobs_finished: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POOL_POLICIES:
+            raise ValueError(
+                f"unknown pool policy {self.policy!r} (expected one of {POOL_POLICIES})"
+            )
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"unknown priority class {self.priority!r} "
+                f"(expected one of {PRIORITY_CLASSES})"
+            )
+        if self.weight <= 0:
+            raise ValueError("pool weight must be positive")
+
+    @property
+    def priority_rank(self) -> int:
+        """Interactive pools sort strictly before batch pools."""
+        return 0 if self.priority == "interactive" else 1
+
+    @property
+    def active_jobs(self) -> int:
+        return self.jobs_submitted - self.jobs_finished

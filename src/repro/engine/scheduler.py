@@ -19,13 +19,23 @@ list instead of re-walking the lineage DAG.  The seed's recompute-everything
 resolver is retained as ``mode="legacy"`` and must stay simulation-identical
 — ``tests/engine/test_scheduler_equivalence.py`` holds the two modes to
 bit-equal runtimes and task counts.
+
+The scheduler multiplexes a *set* of in-flight jobs: ``submit_job`` is
+non-blocking and returns a :class:`JobHandle`; ``run_job`` is submit + wait
+and keeps the seed's exact blocking semantics.  Each scheduling round
+gathers every active job's ready frontier and allocates free slots across
+jobs under the root scheduling policy (``fifo`` submission order, or
+``fair`` weighted max-min across :class:`~repro.engine.pools.Pool`\\ s, with
+interactive pools strictly ahead of batch pools).  A single job under
+either policy dispatches in exactly the seed's order, so single-job runs
+stay bit-identical in both scheduler modes.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import ClusterListener
 from repro.engine.block_index import parse_block_id
@@ -33,6 +43,7 @@ from repro.engine.block_manager import BlockManager, block_id_for
 from repro.engine.checkpoint import CheckpointWriteError
 from repro.engine.dependencies import NarrowDependency, ShuffleDependency
 from repro.engine.partitioner import stable_hash
+from repro.engine.pools import DEFAULT_POOL, SCHEDULING_POLICIES, Pool
 from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
 from repro.engine.shuffle import ShuffleFetchFailure
 from repro.engine.task import (
@@ -83,6 +94,11 @@ class SchedulerStats:
     readiness_invalidations: int = 0
     readiness_rebuilds: int = 0
     ready_queue_peak: int = 0
+    # Multi-job observability.
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    concurrent_jobs_peak: int = 0
 
     def task_counts(self) -> Dict[str, int]:
         """The counters that must agree across scheduler modes."""
@@ -153,7 +169,8 @@ class TaskRuntime:
         if rdd.persisted:
             self.pending_puts.append(
                 PendingPut(
-                    block_id_for(rdd.rdd_id, partition), data, nbytes, rdd.disk_persist
+                    block_id_for(rdd.rdd_id, partition), data, nbytes, rdd.disk_persist,
+                    rdd=rdd,
                 )
             )
         if self._is_materialisation_point(rdd):
@@ -181,15 +198,39 @@ class _JobState:
 
     _UNSET = object()
 
-    def __init__(self, rdd: "RDD", func: Callable[[List[Any]], Any]):
+    def __init__(
+        self,
+        rdd: "RDD",
+        func: Callable[[List[Any]], Any],
+        job_id: int = 0,
+        pool: Optional[Pool] = None,
+        name: Optional[str] = None,
+        submitted_at: float = 0.0,
+        on_done: Optional[Callable[["_JobState"], None]] = None,
+    ):
         self.rdd = rdd
         self.func = func
+        self.job_id = job_id
+        self.pool = pool
+        self.name = name or f"job-{job_id}"
+        self.submitted_at = submitted_at
+        self.first_dispatch_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.on_done = on_done
+        self.finished = False
+        self.failed = False
+        #: Tasks currently in flight for this job (results + maps dispatched
+        #: from its frontier); the fair policy shares slots by these counts.
+        self.running_tasks = 0
         self.results: List[Any] = [self._UNSET] * rdd.num_partitions
         self.remaining = rdd.num_partitions
+        #: Memoised incremental ready list (None = must rebuild next round).
+        self.ready_list: Optional[List[TaskSpec]] = None
         #: RESULT specs in partition order, built once — the ready-list
         #: rebuild filters these instead of re-allocating specs each pass.
         self.root_specs: List[TaskSpec] = [
-            TaskSpec(TaskKind.RESULT, rdd, p, func=func) for p in range(rdd.num_partitions)
+            TaskSpec(TaskKind.RESULT, rdd, p, func=func, job_id=job_id)
+            for p in range(rdd.num_partitions)
         ]
 
     def set_result(self, partition: int, value: Any) -> None:
@@ -205,17 +246,118 @@ class _JobState:
         return self.remaining == 0
 
 
+class JobHandle:
+    """Handle to one submitted job: inspect it, wait on it, time it.
+
+    ``wait()`` pumps the simulation loop exactly like the seed's blocking
+    ``run_job`` did, so a lone job driven through a handle is bit-identical
+    to the synchronous path.  Waits may nest: an interactive client's
+    ``wait()`` can run from an arrival event fired inside a batch job's own
+    wait loop, and the multiplexed rounds give both jobs slots.
+    """
+
+    def __init__(self, scheduler: "TaskScheduler", state: _JobState):
+        self._scheduler = scheduler
+        self._state = state
+
+    @property
+    def job_id(self) -> int:
+        return self._state.job_id
+
+    @property
+    def name(self) -> str:
+        return self._state.name
+
+    @property
+    def pool(self) -> Optional[str]:
+        return self._state.pool.name if self._state.pool is not None else None
+
+    @property
+    def done(self) -> bool:
+        return self._state.finished
+
+    @property
+    def failed(self) -> bool:
+        return self._state.failed
+
+    @property
+    def submitted_at(self) -> float:
+        return self._state.submitted_at
+
+    @property
+    def first_dispatch_at(self) -> Optional[float]:
+        return self._state.first_dispatch_at
+
+    @property
+    def finished_at(self) -> Optional[float]:
+        return self._state.finished_at
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        """Simulated seconds between submission and first dispatch."""
+        if self._state.first_dispatch_at is None:
+            return None
+        return self._state.first_dispatch_at - self._state.submitted_at
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Simulated seconds between submission and completion."""
+        if self._state.finished_at is None:
+            return None
+        return self._state.finished_at - self._state.submitted_at
+
+    def wait(self) -> List[Any]:
+        """Block (in simulated time) until the job completes; return results."""
+        state = self._state
+        scheduler = self._scheduler
+        env = scheduler.env
+        try:
+            while not state.finished:
+                if not env.events:
+                    raise EngineError(
+                        "scheduler deadlock: job incomplete but no pending events "
+                        f"(live workers: {scheduler.cluster.size})"
+                    )
+                env.step()
+                scheduler._schedule_round()
+        except BaseException:
+            # Mirror the seed's ``finally: self.job = None``: an exception
+            # unwinding through the wait loop abandons the job rather than
+            # leaving it wedged in the in-flight set.
+            scheduler._abandon_job(state)
+            raise
+        if state.failed:
+            raise EngineError(f"job {state.name!r} was abandoned")
+        return list(state.results)
+
+    def result(self) -> List[Any]:
+        """Alias for :meth:`wait`."""
+        return self.wait()
+
+
 class TaskScheduler(ClusterListener):
     """Dispatches tasks onto cluster slots and recovers from revocations."""
 
-    def __init__(self, context: "FlintContext", mode: str = "incremental"):
+    def __init__(
+        self,
+        context: "FlintContext",
+        mode: str = "incremental",
+        scheduling_policy: str = "fifo",
+    ):
         if mode not in ("incremental", "legacy"):
             raise ValueError(f"unknown scheduler mode {mode!r}")
+        if scheduling_policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {scheduling_policy!r} "
+                f"(expected one of {SCHEDULING_POLICIES})"
+            )
         self.context = context
         self.env = context.env
         self.cluster = context.cluster
         self.mode = mode
         self.incremental = mode == "incremental"
+        #: Root policy for sharing slots between concurrent jobs.
+        self.scheduling_policy = scheduling_policy
         self.busy: Dict[str, int] = {}
         #: Concurrent checkpoint writes per worker.  Checkpoint tasks are
         #: I/O-bound (one writer saturates a node's HDFS pipeline), so at
@@ -225,7 +367,12 @@ class TaskScheduler(ClusterListener):
         self.max_checkpoint_tasks_per_worker = 1
         self.running: Dict[Tuple, RunningTask] = {}
         self._checkpoint_queue: "OrderedDict[Tuple, TaskSpec]" = OrderedDict()
-        self.job: Optional[_JobState] = None
+        #: In-flight jobs by job id, in submission order (ids ascend, dicts
+        #: preserve insertion order — FIFO policy iterates this directly).
+        self._jobs: "OrderedDict[int, _JobState]" = OrderedDict()
+        self._next_job_id = 0
+        #: Scheduling pools by name; jobs land in ``default`` unless routed.
+        self.pools: Dict[str, Pool] = {DEFAULT_POOL: Pool(DEFAULT_POOL)}
         self.stats = SchedulerStats()
         self.timers = SectionTimers(enabled=profiling_enabled_by_env())
         self._seen_partitions: Dict[int, Set[int]] = {}
@@ -240,12 +387,12 @@ class TaskScheduler(ClusterListener):
         self._in_round = False
         self._round_pending = False
         # Incremental readiness state: resolve results cached across rounds,
-        # reverse edges for targeted invalidation, and the memoised ordered
-        # ready list (None = must rebuild next round).
+        # reverse edges for targeted invalidation.  The memoised ordered
+        # ready lists live per job (``_JobState.ready_list``; None = must
+        # rebuild next round).
         self._resolve_cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]] = {}
         self._dependents: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
         self._shuffle_dependents: Dict[int, Set[Tuple[int, int]]] = {}
-        self._ready_list: Optional[List[TaskSpec]] = None
         # Map specs are identified entirely by (shuffle, partition); reuse
         # one object per identity so rebuilds don't churn allocations.
         self._map_specs: Dict[Tuple[int, int], TaskSpec] = {}
@@ -273,13 +420,14 @@ class TaskScheduler(ClusterListener):
         for rt in doomed:
             self.env.events.cancel(rt.completion_event)
             del self.running[rt.spec.key]
+            self._note_task_left(rt)
             self.stats.tasks_lost += 1
         self.busy.pop(worker.worker_id, None)
         self._ckpt_busy.pop(worker.worker_id, None)
         # Lost in-flight tasks may not touch any tracked state (a result
-        # task holding no blocks), so the cached ready list cannot rely on
+        # task holding no blocks), so the cached ready lists cannot rely on
         # change events alone after a revocation.
-        self._ready_list = None
+        self._drop_ready_lists()
         self._schedule_round()
 
     def on_worker_terminated(self, worker: "Worker", t: float) -> None:
@@ -287,7 +435,7 @@ class TaskScheduler(ClusterListener):
         # dropping the outputs keeps the shuffle missing-sets truthful
         # (queries against a dead worker already answered "missing").
         self.context.shuffle_manager.remove_outputs_on(worker.worker_id)
-        self._ready_list = None
+        self._drop_ready_lists()
 
     def _register_worker(self, worker: "Worker") -> None:
         if worker.block_manager is None:
@@ -298,31 +446,146 @@ class TaskScheduler(ClusterListener):
         self.busy.setdefault(worker.worker_id, 0)
 
     # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def add_pool(
+        self,
+        name: str,
+        policy: str = "fifo",
+        weight: float = 1.0,
+        priority: str = "batch",
+    ) -> Pool:
+        """Create (or reconfigure) a scheduling pool, keeping live counters."""
+        existing = self.pools.get(name)
+        if existing is not None:
+            Pool(name, policy=policy, weight=weight, priority=priority)  # validate
+            existing.policy = policy
+            existing.weight = weight
+            existing.priority = priority
+            return existing
+        pool = Pool(name, policy=policy, weight=weight, priority=priority)
+        self.pools[name] = pool
+        return pool
+
+    def get_pool(self, name: str) -> Pool:
+        """The named pool, auto-created with defaults if unknown."""
+        pool = self.pools.get(name)
+        if pool is None:
+            pool = Pool(name)
+            self.pools[name] = pool
+        return pool
+
+    def set_scheduling_policy(self, policy: str) -> None:
+        if policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {policy!r} "
+                f"(expected one of {SCHEDULING_POLICIES})"
+            )
+        self.scheduling_policy = policy
+
+    # ------------------------------------------------------------------
     # Job execution
     # ------------------------------------------------------------------
-    def run_job(self, rdd: "RDD", func: Callable[[List[Any]], Any]) -> List[Any]:
-        """Run an action over every partition of ``rdd``; blocks in sim time."""
-        if self.job is not None:
-            raise EngineError("concurrent jobs are not supported")
-        job = _JobState(rdd, func)
-        self.job = job
-        # RESULT roots belong to this job; a ready list cached for a
-        # previous job's frontier is meaningless now.
-        self._ready_list = None
-        try:
+    @property
+    def active_jobs(self) -> List[JobHandle]:
+        """Handles for every job currently in flight, in submission order."""
+        return [JobHandle(self, job) for job in self._jobs.values()]
+
+    def submit_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[List[Any]], Any],
+        pool: Optional[str] = None,
+        name: Optional[str] = None,
+        on_done: Optional[Callable[[JobHandle], None]] = None,
+    ) -> JobHandle:
+        """Submit an action without blocking; returns a :class:`JobHandle`.
+
+        The job joins the in-flight set and competes for slots from the next
+        scheduling round.  ``on_done`` (if given) fires once, with the
+        handle, inside the completion round that retires the job.
+        """
+        if pool is None:
+            pool = getattr(self.context, "current_job_pool", DEFAULT_POOL)
+        pool_obj = self.get_pool(pool)
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        job = _JobState(
+            rdd,
+            func,
+            job_id=job_id,
+            pool=pool_obj,
+            name=name,
+            submitted_at=self.env.now,
+            on_done=(lambda state: on_done(JobHandle(self, state))) if on_done else None,
+        )
+        self.stats.jobs_submitted += 1
+        pool_obj.jobs_submitted += 1
+        self._jobs[job_id] = job
+        if len(self._jobs) > self.stats.concurrent_jobs_peak:
+            self.stats.concurrent_jobs_peak = len(self._jobs)
+        if job.is_done:
+            # Zero-partition action: nothing to dispatch.
+            self._retire(job)
+        else:
             self._schedule_round()
-            while not job.is_done:
-                if not self.env.events:
-                    raise EngineError(
-                        "scheduler deadlock: job incomplete but no pending events "
-                        f"(live workers: {self.cluster.size})"
-                    )
-                self.env.step()
-                self._schedule_round()
-        finally:
-            self.job = None
-            self._ready_list = None
-        return list(job.results)
+        return JobHandle(self, job)
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[List[Any]], Any],
+        pool: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[Any]:
+        """Run an action over every partition of ``rdd``; blocks in sim time.
+
+        Submit + wait: single-job runs are bit-identical to the seed's
+        blocking loop, and nested calls (an action issued from inside an
+        event callback while another job waits) now multiplex instead of
+        raising ``concurrent jobs are not supported``.
+        """
+        return self.submit_job(rdd, func, pool=pool, name=name).wait()
+
+    def _retire(self, job: _JobState) -> None:
+        """Remove a completed job from the in-flight set and notify."""
+        job.finished = True
+        job.finished_at = self.env.now
+        self._jobs.pop(job.job_id, None)
+        job.ready_list = None
+        if job.pool is not None:
+            job.pool.jobs_finished += 1
+        self.stats.jobs_completed += 1
+        if job.on_done is not None:
+            callback, job.on_done = job.on_done, None
+            callback(job)
+
+    def _abandon_job(self, job: _JobState) -> None:
+        """Drop an incomplete job whose waiter is unwinding with an error."""
+        if job.finished:
+            return
+        job.finished = True
+        job.failed = True
+        job.finished_at = self.env.now
+        self._jobs.pop(job.job_id, None)
+        job.ready_list = None
+        if job.pool is not None:
+            job.pool.jobs_finished += 1
+        self.stats.jobs_failed += 1
+
+    def _drop_ready_lists(self) -> None:
+        """Invalidate every in-flight job's memoised ready list."""
+        for job in self._jobs.values():
+            job.ready_list = None
+
+    def _note_task_left(self, running: RunningTask) -> None:
+        """Per-job/per-pool accounting when a task leaves ``self.running``."""
+        job = running.job
+        if job is None:
+            return
+        job.running_tasks = max(0, job.running_tasks - 1)
+        if job.pool is not None:
+            job.pool.running_tasks = max(0, job.pool.running_tasks - 1)
 
     # ------------------------------------------------------------------
     # Checkpoint task management (driven by the fault-tolerance manager)
@@ -386,39 +649,50 @@ class TaskScheduler(ClusterListener):
     def _run_one_round(self) -> None:
         self.stats.scheduling_rounds += 1
         with self.timers.section("schedule_round"):
-            specs = self._ready_specs()
-            if len(specs) > self.stats.ready_queue_peak:
-                self.stats.ready_queue_peak = len(specs)
-            for spec in specs:
+            ckpt_specs, job_specs = self._ready_specs()
+            depth = len(ckpt_specs) + sum(len(s) for _j, s in job_specs)
+            if depth > self.stats.ready_queue_peak:
+                self.stats.ready_queue_peak = depth
+            # Checkpoint writes take the next free slots (Flint prioritises
+            # bounding recomputation over marginal task latency).
+            for spec in ckpt_specs:
                 if spec.key in self.running:
                     # Dispatched by a nested round (fault-injection path).
                     continue
                 worker = self._pick_worker(spec)
                 if worker is None:
-                    if spec.kind == TaskKind.CHECKPOINT:
-                        # Only the per-worker checkpoint-stream cap is
-                        # exhausted; compute slots may still be free for
-                        # job tasks.
-                        continue
-                    break
+                    # Only the per-worker checkpoint-stream cap is
+                    # exhausted; compute slots may still be free for
+                    # job tasks.
+                    continue
                 self._dispatch(spec, worker)
+            for job, spec in self._iter_job_specs(job_specs):
+                if spec.key in self.running:
+                    continue
+                worker = self._pick_worker(spec)
+                if worker is None:
+                    break
+                self._dispatch(spec, worker, job)
 
-    def _ready_specs(self) -> List[TaskSpec]:
-        specs: List[TaskSpec] = []
-        # Checkpoint writes take the next free slots (Flint prioritises
-        # bounding recomputation over marginal task latency).
+    def _ready_specs(self) -> Tuple[List[TaskSpec], List[Tuple[_JobState, List[TaskSpec]]]]:
+        """Pending checkpoint writes plus each job's ready frontier."""
+        ckpt_specs: List[TaskSpec] = []
         for key, spec in list(self._checkpoint_queue.items()):
             if key not in self.running:
-                specs.append(spec)
-        job = self.job
-        if job is None:
-            return specs
+                ckpt_specs.append(spec)
+        job_specs: List[Tuple[_JobState, List[TaskSpec]]] = []
+        for job in list(self._jobs.values()):
+            specs = self._specs_for_job(job)
+            if specs:
+                job_specs.append((job, specs))
+        return ckpt_specs, job_specs
+
+    def _specs_for_job(self, job: _JobState) -> List[TaskSpec]:
         if not self.incremental:
-            specs.extend(self._ready_job_specs_scan(job))
-            return specs
-        if self._ready_list is None:
+            return self._ready_job_specs_scan(job)
+        if job.ready_list is None:
             with self.timers.section("ready_rebuild"):
-                self._ready_list = self._build_ready_list(job)
+                job.ready_list = self._build_ready_list(job)
             self.stats.readiness_rebuilds += 1
         # Between rebuilds only three things change: specs get dispatched
         # (now in ``running``; a fresh walk would skip them without
@@ -428,7 +702,8 @@ class TaskScheduler(ClusterListener):
         # never visits them).  Filtering the memoised order by those three
         # O(1) checks is therefore exactly the walk.
         sm = self.context.shuffle_manager
-        for spec in self._ready_list:
+        specs: List[TaskSpec] = []
+        for spec in job.ready_list:
             if spec.key in self.running:
                 continue
             kind = spec.kind
@@ -440,6 +715,59 @@ class TaskScheduler(ClusterListener):
                 continue
             specs.append(spec)
         return specs
+
+    def _iter_job_specs(
+        self, job_specs: List[Tuple[_JobState, List[TaskSpec]]]
+    ) -> Iterator[Tuple[_JobState, TaskSpec]]:
+        """Yield ``(job, spec)`` in slot-allocation order under the root policy.
+
+        ``fifo`` (and any single-job round) preserves the seed's exact
+        dispatch order: jobs in submission order, each frontier in walk
+        order.  ``fair`` interleaves dispatches by weighted max-min share —
+        every yield goes to the pool with the smallest
+        ``running_tasks / weight`` (interactive pools strictly first, pool
+        name as the deterministic tiebreak), then to a job inside that pool
+        by its intra-pool policy.  Shares count this round's tentative
+        allocations, so a single round spreads free slots rather than
+        handing them all to the first-sorted pool.
+        """
+        if self.scheduling_policy == "fifo" or len(job_specs) <= 1:
+            for job, specs in job_specs:
+                for spec in specs:
+                    yield job, spec
+            return
+        pool_alloc: Dict[str, int] = {}
+        job_alloc: Dict[int, int] = {}
+        entries: List[List[Any]] = []
+        for job, specs in job_specs:
+            pool = job.pool if job.pool is not None else self.get_pool(DEFAULT_POOL)
+            pool_alloc.setdefault(pool.name, pool.running_tasks)
+            job_alloc[job.job_id] = job.running_tasks
+            entries.append([job, pool, specs, 0])
+
+        def share_key(entry: List[Any]) -> Tuple:
+            job, pool = entry[0], entry[1]
+            if pool.policy == "fair":
+                intra = (job_alloc[job.job_id], job.job_id)
+            else:
+                intra = (job.job_id, 0)
+            return (
+                pool.priority_rank,
+                pool_alloc[pool.name] / pool.weight,
+                pool.name,
+                intra,
+            )
+
+        while entries:
+            entry = min(entries, key=share_key)
+            job, pool, specs, idx = entry
+            spec = specs[idx]
+            entry[3] += 1
+            if entry[3] >= len(specs):
+                entries.remove(entry)
+            pool_alloc[pool.name] += 1
+            job_alloc[job.job_id] += 1
+            yield job, spec
 
     def _build_ready_list(self, job: _JobState) -> List[TaskSpec]:
         """The seed's depth-first frontier walk over incremental resolves.
@@ -486,9 +814,7 @@ class TaskScheduler(ClusterListener):
         cache: Dict[Tuple[int, int], Tuple[bool, List[TaskSpec]]] = {}
         visited: Set[Tuple] = set()
         stack: List[TaskSpec] = [
-            TaskSpec(TaskKind.RESULT, job.rdd, p, func=job.func)
-            for p in range(job.rdd.num_partitions)
-            if not job.has_result(p)
+            s for s in job.root_specs if not job.has_result(s.partition)
         ]
         while stack:
             spec = stack.pop()
@@ -621,13 +947,13 @@ class TaskScheduler(ClusterListener):
             for key in list(self._shuffle_dependents.get(shuffle_id, ())):
                 self._invalidate_node(key)
             return
-        # Loss events: the ready list is not a pure function of the cached
+        # Loss events: the ready lists are not a pure function of the cached
         # answers (the walk also consulted map availability), so an
-        # unchanged-answer repair cannot prove it valid.  Losses are rare
-        # (evictions, revocations) — drop the list unconditionally.
+        # unchanged-answer repair cannot prove them valid.  Losses are rare
+        # (evictions, revocations) — drop the lists unconditionally.
         for key in list(self._shuffle_dependents.get(shuffle_id, ())):
             self._invalidate_node(key)
-        self._ready_list = None
+        self._drop_ready_lists()
 
     def _on_checkpoint_event(self, rdd_id: int, partition: Optional[int], available: bool) -> None:
         if partition is not None:
@@ -669,7 +995,7 @@ class TaskScheduler(ClusterListener):
                 new = self._resolve_inc(rdd, k[1])
                 if new[0] == old[0] and self._needed_unchanged(new[1], old[1]):
                     continue
-            self._ready_list = None
+            self._drop_ready_lists()
             stack.extend(self._dependents.get(k, ()))
 
     def _needed_unchanged(self, new: List[TaskSpec], old: List[TaskSpec]) -> bool:
@@ -718,12 +1044,12 @@ class TaskScheduler(ClusterListener):
     # ------------------------------------------------------------------
     # Dispatch and completion
     # ------------------------------------------------------------------
-    def _dispatch(self, spec: TaskSpec, worker: "Worker") -> None:
+    def _dispatch(self, spec: TaskSpec, worker: "Worker", job: Optional[_JobState] = None) -> None:
         self.busy[worker.worker_id] = self.busy.get(worker.worker_id, 0) + 1
         if spec.kind == TaskKind.CHECKPOINT:
             self._ckpt_busy[worker.worker_id] = self._ckpt_busy.get(worker.worker_id, 0) + 1
             self._checkpoint_queue.pop(spec.key, None)
-        target_id = self.job.rdd.rdd_id if self.job is not None else None
+        target_id = job.rdd.rdd_id if job is not None else None
         runtime = TaskRuntime(self.context, worker, target_id)
         result = None
         buckets = None
@@ -762,11 +1088,18 @@ class TaskScheduler(ClusterListener):
             pending_puts=runtime.pending_puts,
             map_buckets=buckets,
             computed=runtime.computed,
+            job=job,
         )
         running.completion_event = self.env.schedule_in(
             duration, "task_done", running, callback=self._on_task_done
         )
         self.running[spec.key] = running
+        if job is not None:
+            if job.first_dispatch_at is None:
+                job.first_dispatch_at = self.env.now
+            job.running_tasks += 1
+            if job.pool is not None:
+                job.pool.running_tasks += 1
         if inj is not None:
             # Mid-stage / mid-checkpoint-write injection point: the task is
             # in flight, so a revocation fired here loses exactly this work.
@@ -779,7 +1112,7 @@ class TaskScheduler(ClusterListener):
             self.busy[worker.worker_id] = max(0, self.busy[worker.worker_id] - 1)
         if spec.kind == TaskKind.CHECKPOINT and worker.worker_id in self._ckpt_busy:
             self._ckpt_busy[worker.worker_id] = max(0, self._ckpt_busy[worker.worker_id] - 1)
-        self._ready_list = None
+        self._drop_ready_lists()
         self._schedule_round()
 
     def _execute_map(self, spec: TaskSpec, runtime: TaskRuntime) -> List[List[Any]]:
@@ -812,6 +1145,7 @@ class TaskScheduler(ClusterListener):
         running: RunningTask = event.payload
         spec = running.spec
         self.running.pop(spec.key, None)
+        self._note_task_left(running)
         worker = self.cluster.workers.get(running.worker_id)
         if worker is not None:
             self.busy[running.worker_id] = max(0, self.busy.get(running.worker_id, 1) - 1)
@@ -825,7 +1159,7 @@ class TaskScheduler(ClusterListener):
             # with no change event fired, so a ready list memoised while it
             # ran is no longer faithful.
             self.stats.tasks_lost += 1
-            self._ready_list = None
+            self._drop_ready_lists()
             self._schedule_round()
             return
 
@@ -834,6 +1168,11 @@ class TaskScheduler(ClusterListener):
         self.stats.task_time_total += running.duration
 
         for put in running.pending_puts:
+            if put.rdd is not None and not put.rdd.persisted:
+                # The RDD was unpersisted while this task was in flight
+                # (a concurrent job's cache management); landing the block
+                # anyway would leak storage no owner can ever drop.
+                continue
             worker.block_manager.put(put.block_id, put.data, put.nbytes, put.spill)
 
         if spec.kind == TaskKind.SHUFFLE_MAP:
@@ -848,8 +1187,9 @@ class TaskScheduler(ClusterListener):
                 ) from exc
         elif spec.kind == TaskKind.RESULT:
             self.stats.result_tasks += 1
-            if self.job is not None and self.job.rdd.rdd_id == spec.rdd.rdd_id:
-                self.job.set_result(spec.partition, running.result)
+            job = running.job
+            if job is not None and not job.finished:
+                job.set_result(spec.partition, running.result)
         elif spec.kind == TaskKind.CHECKPOINT:
             self.stats.checkpoint_tasks += 1
             self.stats.checkpoint_time_total += running.duration
@@ -876,6 +1216,11 @@ class TaskScheduler(ClusterListener):
             # shuffle outputs, results, checkpoints) have just landed.
             inj.on_task_completed(spec, worker)
         self._schedule_round()
+        # Retire after the trailing round, matching the seed: its final
+        # post-completion round still saw the job as active.
+        job = running.job
+        if job is not None and not job.finished and job.is_done:
+            self._retire(job)
 
     def _process_computed(self, running: RunningTask, worker: "Worker", now: float) -> None:
         """Track materialisations and capture checkpoint payloads."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Set, Tuple
 
 from repro.engine.dependencies import ShuffleDependency
+from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
 from repro.storage.local_disk import DiskFullError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,6 +72,9 @@ class ShuffleManager:
         #: injected revocation of a serving worker surfaces as the genuine
         #: :class:`ShuffleFetchFailure` recovery path.
         self.fault_injector = None
+        #: ``FLINT_PROFILE=1`` section timing for the fetch/register hot
+        #: paths (see :meth:`FlintContext.profile_report`).
+        self.timers = SectionTimers(enabled=profiling_enabled_by_env())
 
     def add_listener(self, listener: Callable[[int, int, bool], None]) -> None:
         self._listeners.append(listener)
@@ -115,31 +119,32 @@ class ShuffleManager:
             raise ValueError(
                 f"expected {dep.num_reduce_partitions} buckets, got {len(buckets)}"
             )
-        bucket_bytes = [len(b) * record_size for b in buckets]
-        key = self._disk_key(dep.shuffle_id, map_id)
-        total = sum(bucket_bytes)
-        missing = self._ensure_tracked(dep)
-        try:
-            worker.local_disk.put(key, buckets, total)
-        except DiskFullError:
-            # Old shuffle files are always recoverable through lineage, so a
-            # full disk evicts them oldest-first (Spark's ContextCleaner
-            # plays the analogous role via RDD garbage collection).
-            self._evict_local_state(worker, needed=total, keep_key=key)
-            worker.local_disk.put(key, buckets, total)
-        status = MapStatus(worker.worker_id, key, bucket_bytes)
-        statuses = self._outputs.setdefault(dep.shuffle_id, {})
-        old = statuses.get(map_id)
-        if old is not None and old.worker_id != worker.worker_id:
-            owned = self._owned.get(old.worker_id)
-            if owned is not None:
-                owned.discard((dep.shuffle_id, map_id))
-        statuses[map_id] = status
-        self._owned.setdefault(worker.worker_id, set()).add((dep.shuffle_id, map_id))
-        missing.discard(map_id)
-        self.bytes_written += status.total_bytes
-        self._notify(dep.shuffle_id, map_id, True)
-        return status
+        with self.timers.section("shuffle_register"):
+            bucket_bytes = [len(b) * record_size for b in buckets]
+            key = self._disk_key(dep.shuffle_id, map_id)
+            total = sum(bucket_bytes)
+            missing = self._ensure_tracked(dep)
+            try:
+                worker.local_disk.put(key, buckets, total)
+            except DiskFullError:
+                # Old shuffle files are always recoverable through lineage,
+                # so a full disk evicts them oldest-first (Spark's
+                # ContextCleaner plays the analogous role via RDD GC).
+                self._evict_local_state(worker, needed=total, keep_key=key)
+                worker.local_disk.put(key, buckets, total)
+            status = MapStatus(worker.worker_id, key, bucket_bytes)
+            statuses = self._outputs.setdefault(dep.shuffle_id, {})
+            old = statuses.get(map_id)
+            if old is not None and old.worker_id != worker.worker_id:
+                owned = self._owned.get(old.worker_id)
+                if owned is not None:
+                    owned.discard((dep.shuffle_id, map_id))
+            statuses[map_id] = status
+            self._owned.setdefault(worker.worker_id, set()).add((dep.shuffle_id, map_id))
+            missing.discard(map_id)
+            self.bytes_written += status.total_bytes
+            self._notify(dep.shuffle_id, map_id, True)
+            return status
 
     def has_map_output(self, shuffle_id: int, map_id: int) -> bool:
         status = self._outputs.get(shuffle_id, {}).get(map_id)
@@ -202,28 +207,29 @@ class ShuffleManager:
         Raises:
             ShuffleFetchFailure: when any map output has been lost.
         """
-        if self.fault_injector is not None:
-            self.fault_injector.on_shuffle_fetch(dep, reduce_id, to_worker)
-        missing = self.missing_maps(dep)
-        if missing:
-            raise ShuffleFetchFailure(dep.shuffle_id, missing)
-        buckets: List[List[Any]] = []
-        local_bytes = 0
-        remote_bytes = 0
-        statuses = self._outputs[dep.shuffle_id]
-        for map_id in range(dep.num_map_partitions):
-            status = statuses[map_id]
-            worker = self._workers[status.worker_id]
-            all_buckets = worker.local_disk.get(status.disk_key)
-            buckets.append(all_buckets[reduce_id])
-            nbytes = status.bucket_bytes[reduce_id]
-            if status.worker_id == to_worker.worker_id:
-                local_bytes += nbytes
-            else:
-                remote_bytes += nbytes
-        self.bytes_fetched_local += local_bytes
-        self.bytes_fetched_remote += remote_bytes
-        return buckets, local_bytes, remote_bytes
+        with self.timers.section("shuffle_fetch"):
+            if self.fault_injector is not None:
+                self.fault_injector.on_shuffle_fetch(dep, reduce_id, to_worker)
+            missing = self.missing_maps(dep)
+            if missing:
+                raise ShuffleFetchFailure(dep.shuffle_id, missing)
+            buckets: List[List[Any]] = []
+            local_bytes = 0
+            remote_bytes = 0
+            statuses = self._outputs[dep.shuffle_id]
+            for map_id in range(dep.num_map_partitions):
+                status = statuses[map_id]
+                worker = self._workers[status.worker_id]
+                all_buckets = worker.local_disk.get(status.disk_key)
+                buckets.append(all_buckets[reduce_id])
+                nbytes = status.bucket_bytes[reduce_id]
+                if status.worker_id == to_worker.worker_id:
+                    local_bytes += nbytes
+                else:
+                    remote_bytes += nbytes
+            self.bytes_fetched_local += local_bytes
+            self.bytes_fetched_remote += remote_bytes
+            return buckets, local_bytes, remote_bytes
 
     def _evict_local_state(self, worker: "Worker", needed: int, keep_key: str) -> None:
         """Free local-disk space by dropping recomputable state.

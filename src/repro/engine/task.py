@@ -38,6 +38,10 @@ class TaskSpec:
     data: Any = None
     nbytes: int = 0
     preferred_worker_id: Optional[str] = None
+    # RESULT: the submitting job.  Two concurrent jobs may act on the same
+    # RDD, so result identity must include the job; map and checkpoint work
+    # stays job-agnostic (any job's output satisfies every consumer).
+    job_id: Optional[int] = None
     # key is consulted on every scheduler dict/set operation; memoise the
     # tuple (identifying fields never change after construction) and use the
     # kind's value string — its hash is cached on the interned str object,
@@ -50,6 +54,8 @@ class TaskSpec:
         if k is None:
             if self.kind == TaskKind.SHUFFLE_MAP:
                 k = (self.kind.value, self.dep.shuffle_id, self.partition)
+            elif self.kind == TaskKind.RESULT:
+                k = (self.kind.value, self.rdd.rdd_id, self.partition, self.job_id)
             else:
                 k = (self.kind.value, self.rdd.rdd_id, self.partition)
             self._key = k
@@ -61,12 +67,18 @@ class TaskSpec:
 
 @dataclass
 class PendingPut:
-    """A deferred block-manager insert (applied at task completion)."""
+    """A deferred block-manager insert (applied at task completion).
+
+    ``rdd`` lets the scheduler drop puts whose RDD was unpersisted while the
+    task was in flight — with concurrent jobs, a sibling job's unpersist can
+    land mid-task, and applying the put anyway would leak an unowned block.
+    """
 
     block_id: str
     data: Any
     nbytes: int
     spill: bool = False
+    rdd: Any = None
 
 
 @dataclass
@@ -97,3 +109,6 @@ class RunningTask:
     map_buckets: Optional[List[List[Any]]] = None
     computed: List[ComputedPartition] = field(default_factory=list)
     completion_event: Any = None
+    # The job whose frontier this task was dispatched from (None for
+    # checkpoint writes); drives per-job and per-pool slot accounting.
+    job: Any = None

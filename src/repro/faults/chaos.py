@@ -4,7 +4,10 @@ Generates hundreds of seeded :class:`FaultPlan` specs across two families —
 ``revocation`` (single kills, correlated bursts, delayed/lost warnings,
 false alarms) and ``io`` (checkpoint write failures, mid-fetch map-output
 loss, stragglers) — and runs each against PageRank/ALS/KMeans under both
-scheduler modes via :func:`repro.faults.harness.run_with_plan`.
+scheduler modes via :func:`repro.faults.harness.run_with_plan`.  An opt-in
+``multijob`` family (paired with the ``MultiJob`` workload) repeats the
+revocation/fetch-kill mix while at least two jobs are multiplexed, checking
+the per-job and per-pool scheduler books on every fault.
 
 Every plan derives deterministically from ``(master_seed, seed)``, so any
 failure replays from one line::
@@ -38,6 +41,9 @@ WORKLOAD_SEED = 7
 MTTF = 1800.0
 
 FAMILIES = ("revocation", "io")
+#: Opt-in families outside the default matrix (kept stable at 120 plans);
+#: ``multijob`` stresses the scheduler with >=2 jobs in flight per fault.
+EXTRA_FAMILIES = ("multijob",)
 MODES = ("incremental", "legacy")
 
 
@@ -62,10 +68,47 @@ def _als(ctx: FlintContext):
     )
 
 
+class _MultiJobWorkload:
+    """PageRank in the foreground with a shuffled aggregation job in flight.
+
+    ``run()`` submits the background action through the non-blocking
+    ``submit_job`` surface before starting PageRank's blocking iterations,
+    so every injected fault lands while at least two jobs are multiplexed.
+    The reference run takes the identical path, keeping results comparable.
+    """
+
+    def __init__(self, ctx: FlintContext):
+        self.ctx = ctx
+        self.pagerank = _pagerank(ctx)
+        source = ctx.generate(
+            lambda p: [(p * 37 + i) % 211 for i in range(60)],
+            num_partitions=PARTITIONS,
+            record_size=64_000,
+            name="mj-source",
+        )
+        self.background = (
+            source.key_by(lambda v: v % 13).reduce_by_key(lambda a, b: a + b)
+        )
+
+    def load(self) -> None:
+        self.pagerank.load()
+
+    def run(self):
+        handle = self.ctx.submit_job(self.background, len, name="mj-background")
+        ranks = self.pagerank.run()
+        background = handle.wait()
+        return ranks, background
+
+
 CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
     "PageRank": _pagerank,
     "KMeans": _kmeans,
     "ALS": _als,
+}
+
+#: Workloads outside the default matrix, runnable via ``--workload``.
+EXTRA_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
+    "MultiJob": _MultiJobWorkload,
 }
 
 
@@ -74,11 +117,15 @@ CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
 # ----------------------------------------------------------------------
 def generate_spec(seed: int, family: str, master_seed: int = 0) -> str:
     """One deterministic plan spec for ``(master_seed, seed, family)``."""
-    if family not in FAMILIES:
-        raise ValueError(f"unknown fault family {family!r} (expected {FAMILIES})")
+    if family not in FAMILIES + EXTRA_FAMILIES:
+        raise ValueError(
+            f"unknown fault family {family!r} (expected {FAMILIES + EXTRA_FAMILIES})"
+        )
     rng = random.Random(f"{master_seed}/{seed}/{family}")
     if family == "revocation":
         return _revocation_spec(rng)
+    if family == "multijob":
+        return _multijob_spec(rng)
     return _io_spec(rng)
 
 
@@ -134,6 +181,24 @@ def _io_spec(rng: random.Random) -> str:
             )
     if rng.random() < 0.4:
         clauses.append(f"revoke at=task:{rng.randint(5, 100)} replace=120")
+    return "; ".join(clauses)
+
+
+def _multijob_spec(rng: random.Random) -> str:
+    """Concurrent-job stress: revocations and fetch-kills while >=2 jobs run.
+
+    Both fault kinds always appear — a revocation tears cross-job state
+    (both jobs lose cached blocks and running tasks at once) and a
+    fetch-kill lands mid-shuffle on whichever job fetches next.
+    """
+    clauses: List[str] = [
+        f"revoke at={rng.choice(['task', 'dispatch'])}:{rng.randint(2, 60)} replace=120",
+        f"fetch-kill at=fetch:{rng.randint(1, 20)}",
+    ]
+    if rng.random() < 0.5:
+        clauses.append(f"revoke at=time:{rng.randint(20, 300)} replace=120")
+    if rng.random() < 0.3:
+        clauses.append(f"fetch-kill at=fetch:{rng.randint(21, 40)}")
     return "; ".join(clauses)
 
 
@@ -195,7 +260,7 @@ def run_chaos(
     references: Dict[Tuple[str, str], tuple] = {}
     started = time.perf_counter()
     for workload_name in workloads:
-        factory = CHAOS_WORKLOADS[workload_name]
+        factory = {**CHAOS_WORKLOADS, **EXTRA_WORKLOADS}[workload_name]
         for mode in modes:
             cell = (workload_name, mode)
             if cell not in references:
@@ -255,9 +320,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seeds", type=int, default=10, help="seeds per matrix cell")
     parser.add_argument("--seed-base", type=int, default=0, help="first seed value")
     parser.add_argument("--master-seed", type=int, default=0)
-    parser.add_argument("--workload", choices=sorted(CHAOS_WORKLOADS), default=None)
+    parser.add_argument(
+        "--workload",
+        choices=sorted(CHAOS_WORKLOADS) + sorted(EXTRA_WORKLOADS),
+        default=None,
+    )
     parser.add_argument("--mode", choices=MODES, default=None)
-    parser.add_argument("--family", choices=FAMILIES, default=None)
+    parser.add_argument("--family", choices=FAMILIES + EXTRA_FAMILIES, default=None)
     parser.add_argument(
         "--replay-seed", type=int, default=None,
         help="re-run exactly one seed (use with --workload/--mode/--family)",

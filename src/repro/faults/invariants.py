@@ -23,6 +23,11 @@ Invariants:
 5. **Scheduler books** — no task is running on a dead worker, per-worker
    busy counts equal the running-task census and never exceed slots, and
    nothing queued for checkpointing is simultaneously running.
+6. **Job books** — no task runs on behalf of a retired or unknown job, and
+   per-job / per-pool running-task counters equal the running census.
+7. **Block ownership** — every cached RDD block belongs to a registered,
+   still-persisted RDD: a finished or abandoned job may not leak blocks of
+   unpersisted datasets into the shared cache.
 
 Result equivalence with the failure-free run (the sixth invariant) is
 enforced by :mod:`repro.faults.harness`, which owns both runs.
@@ -32,6 +37,8 @@ from __future__ import annotations
 
 from collections import Counter
 from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from repro.engine.block_index import parse_block_id
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.context import FlintContext
@@ -94,6 +101,8 @@ class InvariantChecker:
         found.extend(self._check_shuffle_truth())
         found.extend(self._check_checkpoints())
         found.extend(self._check_scheduler_books())
+        found.extend(self._check_job_books())
+        found.extend(self._check_block_ownership())
         if label:
             found = [f"{label}: {v}" for v in found]
         self.violations.extend(found)
@@ -240,4 +249,64 @@ class InvariantChecker:
         for key in scheduler._checkpoint_queue:
             if key in scheduler.running:
                 out.append(f"checkpoint task {key} is both queued and running")
+        return out
+
+    def _check_job_books(self) -> List[str]:
+        """Per-job and per-pool slot accounting under multiplexed jobs."""
+        out: List[str] = []
+        scheduler = self.ctx.scheduler
+        jobs = scheduler._jobs
+        job_census: Counter = Counter()
+        pool_census: Counter = Counter()
+        for key, running in scheduler.running.items():
+            job = running.job
+            if job is None:  # checkpoint write: job-agnostic by design
+                continue
+            if job.finished or jobs.get(job.job_id) is not job:
+                out.append(
+                    f"task {key} still running on behalf of retired job "
+                    f"{job.name!r} (id {job.job_id})"
+                )
+                continue
+            job_census[job.job_id] += 1
+            if job.pool is not None:
+                pool_census[job.pool.name] += 1
+        for job in jobs.values():
+            if job.running_tasks != job_census.get(job.job_id, 0):
+                out.append(
+                    f"job {job.name!r} books {job.running_tasks} running tasks "
+                    f"but the census finds {job_census.get(job.job_id, 0)}"
+                )
+        for name, pool in scheduler.pools.items():
+            if pool.running_tasks != pool_census.get(name, 0):
+                out.append(
+                    f"pool {name!r} books {pool.running_tasks} running tasks "
+                    f"but the census finds {pool_census.get(name, 0)}"
+                )
+        return out
+
+    def _check_block_ownership(self) -> List[str]:
+        """No job may leak cached blocks of unpersisted or unknown RDDs."""
+        out: List[str] = []
+        seen: Set[int] = set()
+        for worker in self.ctx.cluster.live_workers():
+            for block_id in self.ctx.block_index.blocks_on(worker.worker_id):
+                parsed = parse_block_id(block_id)
+                if parsed is None:
+                    out.append(f"cached block {block_id!r} has no rdd_<id>_<p> form")
+                    continue
+                rdd_id, _partition = parsed
+                if rdd_id in seen:
+                    continue
+                seen.add(rdd_id)
+                rdd = self.ctx.rdd_by_id(rdd_id)
+                if rdd is None:
+                    out.append(
+                        f"cached block {block_id!r} references unregistered rdd {rdd_id}"
+                    )
+                elif not rdd.persisted:
+                    out.append(
+                        f"block leak: rdd {rdd_id} ({rdd.name}) is cached on "
+                        f"worker {worker.worker_id} but no longer persisted"
+                    )
         return out

@@ -1,0 +1,31 @@
+"""Multi-tenant job server over the Flint engine.
+
+The engine's scheduler multiplexes concurrent jobs and shares slots across
+pools; this package is the serving layer on top of it: admission control
+(bounded queue, per-pool concurrency caps, rejection stats), named sessions
+holding shared cached RDDs, per-query SLO metrics in simulated seconds, and
+seeded open/closed-loop client generators for driving it.
+"""
+
+from repro.server.clients import ClosedLoopClient, OpenLoopClient
+from repro.server.jobserver import (
+    JobRejected,
+    JobServer,
+    PoolConfig,
+    QueryRecord,
+    ServerConfig,
+    ServerStats,
+)
+from repro.server.session import Session
+
+__all__ = [
+    "ClosedLoopClient",
+    "JobRejected",
+    "JobServer",
+    "OpenLoopClient",
+    "PoolConfig",
+    "QueryRecord",
+    "ServerConfig",
+    "ServerStats",
+    "Session",
+]

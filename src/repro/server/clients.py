@@ -1,0 +1,128 @@
+"""Seeded client generators that drive a :class:`~repro.server.jobserver.JobServer`.
+
+Two canonical load models from the queueing literature:
+
+- **Closed loop** — one outstanding query per client; the next arrival is
+  scheduled *after* the previous completion plus an exponential think time.
+  Latency feedback throttles the client, like an analyst at a console.
+- **Open loop** — Poisson arrivals at a fixed rate, blind to completions.
+  Queries pile up when the system falls behind, like a public endpoint.
+
+Both are deterministic given ``master_seed``: interarrival draws come from a
+:class:`~repro.simulation.rng.SeededRNG` child stream keyed by the client
+name, and arrivals ride the simulation's event queue via ``schedule_in``.
+Clients never pump the event loop themselves — they submit with a completion
+callback, so any number of them can interleave with batch jobs in flight.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.simulation.rng import SeededRNG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.jobserver import JobServer, QueryRecord
+
+
+class ClosedLoopClient:
+    """Issues the next query only after the previous one completes."""
+
+    def __init__(
+        self,
+        server: "JobServer",
+        query_fn: Callable[[], Any],
+        pool: str = "interactive",
+        name: str = "client",
+        think_time: float = 5.0,
+        max_queries: int = 10,
+        master_seed: int = 0,
+    ):
+        self.server = server
+        self.query_fn = query_fn
+        self.pool = pool
+        self.name = name
+        self.think_time = think_time
+        self.max_queries = max_queries
+        self.rng = SeededRNG(master_seed, f"client/{name}")
+        self.issued = 0
+        self.finished = False
+        self.records: List["QueryRecord"] = []
+
+    def start(self, delay: float = 0.0) -> None:
+        """Schedule the first arrival ``delay`` simulated seconds from now."""
+        self.server.context.env.schedule_in(
+            delay, f"{self.name}-arrival", callback=lambda _ev: self._arrive()
+        )
+
+    def _arrive(self) -> None:
+        self.issued += 1
+        self.server.submit_query(
+            self.query_fn,
+            pool=self.pool,
+            name=f"{self.name}-{self.issued}",
+            on_complete=self._completed,
+        )
+
+    def _completed(self, record: "QueryRecord") -> None:
+        self.records.append(record)
+        if self.issued >= self.max_queries:
+            self.finished = True
+            return
+        think = float(self.rng.exponential(self.think_time))
+        self.server.context.env.schedule_in(
+            think, f"{self.name}-arrival", callback=lambda _ev: self._arrive()
+        )
+
+
+class OpenLoopClient:
+    """Poisson arrivals at ``rate`` per simulated second, blind to completions."""
+
+    def __init__(
+        self,
+        server: "JobServer",
+        query_fn: Callable[[], Any],
+        rate: float = 0.1,
+        pool: str = "interactive",
+        name: str = "open-client",
+        max_queries: int = 10,
+        master_seed: int = 0,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.server = server
+        self.query_fn = query_fn
+        self.rate = rate
+        self.pool = pool
+        self.name = name
+        self.max_queries = max_queries
+        self.rng = SeededRNG(master_seed, f"client/{name}")
+        self.issued = 0
+        self.finished = False
+        self.records: List["QueryRecord"] = []
+
+    def start(self, delay: Optional[float] = None) -> None:
+        """Schedule the first arrival (a fresh interarrival draw by default)."""
+        if delay is None:
+            delay = float(self.rng.exponential(1.0 / self.rate))
+        self.server.context.env.schedule_in(
+            delay, f"{self.name}-arrival", callback=lambda _ev: self._arrive()
+        )
+
+    def _arrive(self) -> None:
+        self.issued += 1
+        # Schedule the successor before running the query: open-loop arrivals
+        # must not inherit the current query's latency.
+        if self.issued < self.max_queries:
+            gap = float(self.rng.exponential(1.0 / self.rate))
+            self.server.context.env.schedule_in(
+                gap, f"{self.name}-arrival", callback=lambda _ev: self._arrive()
+            )
+        else:
+            self.finished = True
+        self.server.submit_query(
+            self.query_fn,
+            pool=self.pool,
+            name=f"{self.name}-{self.issued}",
+            on_complete=self.records.append,
+        )

@@ -1,0 +1,332 @@
+"""The multi-tenant job server: admission control + SLO accounting.
+
+``JobServer`` fronts one :class:`~repro.engine.context.FlintContext` for many
+clients.  Each *query* is a callable that runs RDD actions (a TPC-H query, a
+batch step); the server routes it into a scheduler pool, enforces admission
+control — a per-pool concurrency cap backed by one bounded FIFO queue — and
+records per-query SLO metrics (queue delay, response time) in simulated
+seconds.
+
+Execution model: this is a discrete-event simulation on one thread, so a
+query "runs concurrently" by executing inside an event callback while other
+jobs are mid-flight — the scheduler multiplexes their tasks.  ``submit_query``
+therefore executes an admitted query *inline* (blocking in simulated time)
+and returns its finished record; a capped-out query is queued and later runs
+inside the completion frame that frees the slot.  ``run_query`` is the
+blocking surface for top-level drivers: it additionally pumps the event loop
+until a queued query finishes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.engine.pools import DEFAULT_POOL
+from repro.engine.scheduler import EngineError
+from repro.server.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import FlintContext
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Static configuration for one scheduler pool as seen by the server."""
+
+    name: str
+    policy: str = "fifo"
+    weight: float = 1.0
+    priority: str = "batch"
+    #: Queries of this pool running at once; None = unlimited (the
+    #: scheduler's fair sharing is then the only throttle).
+    max_concurrent: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server-wide configuration."""
+
+    #: Root policy for sharing slots between concurrent jobs.
+    scheduling_policy: str = "fair"
+    #: Bound on queries waiting for a pool slot; arrivals beyond it are
+    #: rejected (load shedding, never unbounded latency).
+    max_queue: int = 16
+    pools: Tuple[PoolConfig, ...] = ()
+
+
+class JobRejected(RuntimeError):
+    """Admission control turned a query away (queue full)."""
+
+    def __init__(self, pool: str, reason: str):
+        super().__init__(f"query rejected from pool {pool!r}: {reason}")
+        self.pool = pool
+        self.reason = reason
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle and SLO record of one submitted query."""
+
+    name: str
+    pool: str
+    arrived_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    ok: bool = False
+    rejected: bool = False
+    done: bool = False
+    error: Optional[BaseException] = None
+    result: Any = None
+    on_complete: Optional[Callable[["QueryRecord"], None]] = None
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        """Simulated seconds spent waiting for admission."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.arrived_at
+
+    @property
+    def response(self) -> Optional[float]:
+        """Simulated seconds from arrival to completion (the SLO metric)."""
+        if self.finished_at is None or self.rejected:
+            return None
+        return self.finished_at - self.arrived_at
+
+
+@dataclass
+class ServerStats:
+    """Aggregate admission/completion counters."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    queued_peak: int = 0
+    rejected_by_pool: Dict[str, int] = field(default_factory=dict)
+
+
+def percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return None
+    if not 0.0 < q <= 1.0:
+        raise ValueError("q must be in (0, 1]")
+    ordered = sorted(values)
+    rank = max(1, -(-int(q * 1000) * len(ordered) // 1000))  # ceil(q*n) sans float error
+    rank = min(rank, len(ordered))
+    return ordered[rank - 1]
+
+
+class JobServer:
+    """Serves concurrent queries over one engine context."""
+
+    def __init__(self, context: "FlintContext", config: Optional[ServerConfig] = None):
+        self.context = context
+        self.scheduler = context.scheduler
+        self.config = config or ServerConfig()
+        self.scheduler.set_scheduling_policy(self.config.scheduling_policy)
+        self._caps: Dict[str, Optional[int]] = {}
+        self._active: Dict[str, int] = {}
+        self._queue: Deque[Tuple[QueryRecord, Callable[[], Any]]] = deque()
+        self._draining = False
+        self.records: List[QueryRecord] = []
+        self.stats = ServerStats()
+        self.sessions: Dict[str, Session] = {}
+        for pool_config in self.config.pools:
+            self.add_pool(pool_config)
+
+    # ------------------------------------------------------------------
+    # Pools and sessions
+    # ------------------------------------------------------------------
+    def add_pool(self, pool_config: PoolConfig) -> None:
+        self.scheduler.add_pool(
+            pool_config.name,
+            policy=pool_config.policy,
+            weight=pool_config.weight,
+            priority=pool_config.priority,
+        )
+        self._caps[pool_config.name] = pool_config.max_concurrent
+
+    def create_session(self, name: str) -> Session:
+        """A named session of shared cached RDDs (one per name)."""
+        session = self.sessions.get(name)
+        if session is None or session.closed:
+            session = Session(name, self.context)
+            self.sessions[name] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        fn: Callable[[], Any],
+        pool: str = DEFAULT_POOL,
+        name: Optional[str] = None,
+        on_complete: Optional[Callable[[QueryRecord], None]] = None,
+    ) -> QueryRecord:
+        """Admit and run (or queue, or reject) one query.
+
+        Admitted queries execute inline — the record returned is finished.
+        Queued records finish later, inside the frame that frees their pool
+        slot; rejected records return immediately with ``rejected`` set.
+        ``on_complete`` fires exactly once in every case.
+        """
+        self.scheduler.get_pool(pool)
+        record = QueryRecord(
+            name=name or f"query-{len(self.records)}",
+            pool=pool,
+            arrived_at=self.context.now,
+            on_complete=on_complete,
+        )
+        self.records.append(record)
+        self.stats.submitted += 1
+        cap = self._caps.get(pool)
+        if cap is not None and self._active.get(pool, 0) >= cap:
+            if len(self._queue) >= self.config.max_queue:
+                record.rejected = True
+                record.done = True
+                record.finished_at = self.context.now
+                self.stats.rejected += 1
+                self.stats.rejected_by_pool[pool] = (
+                    self.stats.rejected_by_pool.get(pool, 0) + 1
+                )
+                self._fire_on_complete(record)
+                return record
+            self._queue.append((record, fn))
+            if len(self._queue) > self.stats.queued_peak:
+                self.stats.queued_peak = len(self._queue)
+            return record
+        self._execute(record, fn)
+        return record
+
+    def run_query(
+        self,
+        fn: Callable[[], Any],
+        pool: str = DEFAULT_POOL,
+        name: Optional[str] = None,
+    ) -> Any:
+        """Blocking surface for top-level drivers: submit, pump, return.
+
+        Raises:
+            JobRejected: when admission control sheds the query.
+            EngineError: when a queued query can never run (no events left),
+                or the query itself failed.
+        """
+        record = self.submit_query(fn, pool=pool, name=name)
+        if record.rejected:
+            raise JobRejected(pool, "admission queue full")
+        env = self.context.env
+        while not record.done:
+            if not env.events:
+                raise EngineError(
+                    "job server stalled: query queued but no pending events"
+                )
+            env.step()
+            self.scheduler._schedule_round()
+        if record.error is not None:
+            raise record.error
+        return record.result
+
+    def _execute(self, record: QueryRecord, fn: Callable[[], Any]) -> None:
+        pool = record.pool
+        self._active[pool] = self._active.get(pool, 0) + 1
+        record.started_at = self.context.now
+        try:
+            with self.context.job_pool(pool):
+                try:
+                    record.result = fn()
+                    record.ok = True
+                    self.stats.completed += 1
+                except EngineError as exc:
+                    record.error = exc
+                    self.stats.failed += 1
+        finally:
+            record.finished_at = self.context.now
+            record.done = True
+            self._active[pool] -= 1
+            self._fire_on_complete(record)
+            self._drain()
+
+    def _fire_on_complete(self, record: QueryRecord) -> None:
+        callback = record.on_complete
+        if callback is not None:
+            record.on_complete = None
+            callback(record)
+
+    def _drain(self) -> None:
+        """Run queued queries whose pools regained capacity (FIFO per pool).
+
+        Reentrancy-guarded: a drained query's own ``_execute`` ends in
+        ``_drain`` too; the outer loop keeps scanning instead of recursing.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            progressed = True
+            while progressed:
+                progressed = False
+                for i, (record, fn) in enumerate(self._queue):
+                    cap = self._caps.get(record.pool)
+                    if cap is None or self._active.get(record.pool, 0) < cap:
+                        del self._queue[i]
+                        self._draining = False
+                        try:
+                            self._execute(record, fn)
+                        finally:
+                            self._draining = True
+                        progressed = True
+                        break
+        finally:
+            self._draining = False
+
+    # ------------------------------------------------------------------
+    # Driving and reporting
+    # ------------------------------------------------------------------
+    def drive_until(self, t: float) -> int:
+        """Advance simulated time (client arrivals fire as they come due)."""
+        return self.context.env.run_until(t)
+
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def active(self, pool: Optional[str] = None) -> int:
+        if pool is not None:
+            return self._active.get(pool, 0)
+        return sum(self._active.values())
+
+    def slo_report(self) -> Dict[str, Any]:
+        """Per-pool and overall SLO summary in simulated seconds."""
+        report: Dict[str, Any] = {
+            "scheduling_policy": self.scheduler.scheduling_policy,
+            "submitted": self.stats.submitted,
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "rejected": self.stats.rejected,
+            "queued_peak": self.stats.queued_peak,
+            "pools": {},
+        }
+        by_pool: Dict[str, List[QueryRecord]] = {}
+        for record in self.records:
+            by_pool.setdefault(record.pool, []).append(record)
+        for pool, records in sorted(by_pool.items()):
+            responses = [r.response for r in records if r.response is not None and r.ok]
+            delays = [r.queue_delay for r in records if r.queue_delay is not None]
+            report["pools"][pool] = {
+                "queries": len(records),
+                "completed": sum(1 for r in records if r.ok),
+                "failed": sum(1 for r in records if r.error is not None),
+                "rejected": sum(1 for r in records if r.rejected),
+                "p50_response": percentile(responses, 0.50),
+                "p95_response": percentile(responses, 0.95),
+                "p99_response": percentile(responses, 0.99),
+                "max_response": max(responses) if responses else None,
+                "mean_queue_delay": (
+                    sum(delays) / len(delays) if delays else None
+                ),
+            }
+        return report

@@ -1,0 +1,82 @@
+"""Named sessions: registries of shared cached RDDs.
+
+The paper's interactive configuration is a long-lived Spark application with
+tables cached in memory, queried by many arriving clients (§5, Fig 9).  A
+``Session`` is that shared state made explicit: datasets are registered once
+under stable names, every client query resolves them by name (counting hits
+and misses), and closing the session unpersists everything it owns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import FlintContext
+    from repro.engine.rdd import RDD
+
+
+class Session:
+    """One named registry of cached RDDs shared across queries."""
+
+    def __init__(self, name: str, context: "FlintContext"):
+        self.name = name
+        self.context = context
+        self.created_at = context.now
+        self.closed = False
+        self._registry: Dict[str, "RDD"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"session {self.name!r} is closed")
+
+    def put(self, name: str, rdd: "RDD", persist: bool = True) -> "RDD":
+        """Register a dataset under ``name``; persists it unless told not to."""
+        self._require_open()
+        if persist and not rdd.persisted:
+            rdd.persist()
+        self._registry[name] = rdd
+        return rdd
+
+    def get(self, name: str) -> Optional["RDD"]:
+        """The registered dataset, or None (counted as a miss)."""
+        self._require_open()
+        rdd = self._registry.get(name)
+        if rdd is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rdd
+
+    def names(self) -> List[str]:
+        return sorted(self._registry)
+
+    def drop(self, name: str) -> bool:
+        """Unregister and unpersist one dataset; True if it existed."""
+        self._require_open()
+        rdd = self._registry.pop(name, None)
+        if rdd is None:
+            return False
+        if rdd.persisted:
+            rdd.unpersist()
+        return True
+
+    def close(self) -> None:
+        """Drop every registered dataset and refuse further use."""
+        if self.closed:
+            return
+        for name in self.names():
+            self.drop(name)
+        self.closed = True
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "created_at": self.created_at,
+            "datasets": self.names(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "closed": self.closed,
+        }

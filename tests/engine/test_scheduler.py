@@ -46,16 +46,30 @@ def test_stats_counters_accumulate():
     assert stats.task_time_total > 0
 
 
-def test_concurrent_jobs_rejected():
+def test_concurrent_jobs_multiplex():
+    """Two in-flight jobs share slots; both complete with correct results."""
     ctx = build_on_demand_context(2)
-    rdd = ctx.parallelize([1], 1)
+    a = ctx.parallelize(list(range(40)), 4, record_size=100_000)
+    b = ctx.parallelize(list(range(40)), 4, record_size=100_000)
+    ha = ctx.scheduler.submit_job(a, len)
+    hb = ctx.scheduler.submit_job(b, len)
+    assert not ha.done and not hb.done
+    assert ctx.scheduler.stats.concurrent_jobs_peak >= 2
+    assert sum(hb.wait()) == 40
+    assert sum(ha.wait()) == 40
+    assert ha.done and hb.done
+    assert ha.makespan is not None and ha.makespan > 0
+    assert ctx.scheduler.stats.jobs_completed >= 2
 
-    from repro.engine.scheduler import EngineError, _JobState
 
-    ctx.scheduler.job = _JobState(rdd, len)
-    with pytest.raises(EngineError):
-        rdd.count()
-    ctx.scheduler.job = None
+def test_submit_job_same_rdd_twice():
+    """Concurrent actions over the *same* RDD must not collide in running."""
+    ctx = build_on_demand_context(2)
+    rdd = ctx.parallelize(list(range(40)), 4, record_size=100_000)
+    h1 = ctx.scheduler.submit_job(rdd, len)
+    h2 = ctx.scheduler.submit_job(rdd, sum)
+    assert h1.wait() == [10, 10, 10, 10]
+    assert sum(h2.wait()) == sum(range(40))
 
 
 def test_enqueue_checkpoint_dedupes():

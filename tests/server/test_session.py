@@ -1,0 +1,86 @@
+"""Named sessions: shared cached datasets with hit/miss accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import build_engine_context
+from repro.server import JobServer, Session
+
+
+@pytest.fixture
+def ctx():
+    return build_engine_context(num_workers=4, seed=0)
+
+
+def test_put_persists_and_get_counts(ctx):
+    session = Session("s", ctx)
+    rdd = ctx.parallelize(list(range(20)), 4)
+    assert not rdd.persisted
+    session.put("data", rdd)
+    assert rdd.persisted
+    assert session.get("data") is rdd
+    assert session.get("absent") is None
+    assert (session.hits, session.misses) == (1, 1)
+    assert session.names() == ["data"]
+
+
+def test_queries_share_the_cached_dataset(ctx):
+    server = JobServer(ctx)
+    session = server.create_session("tpch")
+    base = ctx.parallelize(list(range(100)), 4)
+    session.put("base", base)
+    # First query materialises the cache; the second reads it back.
+    server.run_query(lambda: session.get("base").count(), name="warm")
+    cached_before = ctx.cached_partition_count(base)
+    assert cached_before == base.num_partitions
+    server.run_query(lambda: session.get("base").count(), name="hit")
+    assert session.hits == 2
+    assert server.stats.completed == 2
+
+
+def test_drop_unpersists(ctx):
+    session = Session("s", ctx)
+    rdd = ctx.parallelize(list(range(12)), 3)
+    session.put("d", rdd)
+    rdd.count()
+    assert ctx.cached_partition_count(rdd) == 3
+    assert session.drop("d") is True
+    assert not rdd.persisted
+    assert ctx.cached_partition_count(rdd) == 0
+    assert session.drop("d") is False
+
+
+def test_close_drops_everything_and_locks(ctx):
+    session = Session("s", ctx)
+    a = ctx.parallelize([1, 2], 2)
+    b = ctx.parallelize([3, 4], 2)
+    session.put("a", a)
+    session.put("b", b)
+    session.close()
+    assert session.closed
+    assert not a.persisted and not b.persisted
+    with pytest.raises(RuntimeError):
+        session.get("a")
+    with pytest.raises(RuntimeError):
+        session.put("c", ctx.parallelize([5], 1))
+    # Closing twice is a no-op.
+    session.close()
+
+
+def test_server_reuses_open_sessions(ctx):
+    server = JobServer(ctx)
+    first = server.create_session("shared")
+    assert server.create_session("shared") is first
+    first.close()
+    replacement = server.create_session("shared")
+    assert replacement is not first and not replacement.closed
+
+
+def test_describe(ctx):
+    session = Session("s", ctx)
+    session.put("d", ctx.parallelize([1], 1))
+    info = session.describe()
+    assert info["name"] == "s"
+    assert info["datasets"] == ["d"]
+    assert info["closed"] is False

@@ -54,6 +54,48 @@ def test_parser_rejects_unknown_workload():
         build_parser().parse_args(["run", "--workload", "nope"])
 
 
+_SERVE_SMALL = ["serve", "--workers", "4", "--queries", "2", "--seed", "5"]
+
+
+def test_serve_healthy_run(capsys):
+    assert main(_SERVE_SMALL) == 0
+    out = capsys.readouterr().out
+    assert "job server SLOs (policy=fair, seed=5, workers=4)" in out
+    assert "interactive" in out and "batch" in out
+    assert "failed: 0" in out and "rejected: 0" in out
+    assert "revocations: 0" in out
+
+
+def test_serve_output_is_deterministic(capsys):
+    assert main(_SERVE_SMALL) == 0
+    first = capsys.readouterr().out
+    assert main(_SERVE_SMALL) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_serve_policy_changes_the_report(capsys):
+    assert main(_SERVE_SMALL + ["--policy", "fifo"]) == 0
+    out = capsys.readouterr().out
+    assert "policy=fifo" in out
+
+
+def test_serve_exits_nonzero_on_rejection(capsys):
+    # One slot, no queue, two overlapping clients: someone gets shed.
+    assert main(_SERVE_SMALL + [
+        "--clients", "2", "--interactive-cap", "1", "--queue-cap", "0",
+    ]) == 1
+    captured = capsys.readouterr()
+    assert "UNHEALTHY" in captured.err
+    assert "rejected: 0" not in captured.out
+
+
+def test_serve_revocation_flag(capsys):
+    assert main(_SERVE_SMALL + ["--revoke"]) == 0
+    out = capsys.readouterr().out
+    assert "revocations: 1" in out
+
+
 def test_advise_command(capsys):
     from repro.cli import main
 
