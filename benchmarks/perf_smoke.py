@@ -180,9 +180,17 @@ def _smoke_multitenant():
 
 def run_smoke(out_path: str, mode: str = "incremental") -> dict:
     os.environ["FLINT_SCHEDULER"] = mode
+    # Measured runs must never pay (or hide behind) tracing overhead: pin the
+    # observability layer off and fail loudly if the env says otherwise, so
+    # the committed gate always compares untraced engines.
+    os.environ["FLINT_TRACE"] = "0"
+    from repro.obs import tracing_enabled_by_env
+
+    assert not tracing_enabled_by_env(), "perf smoke must run with tracing disabled"
     report = {
         "benchmark": "engine_perf_smoke",
         "scheduler_mode": mode,
+        "tracing": "disabled",
         "cluster_size": CLUSTER_SIZE,
         "cluster_mttf_seconds": CLUSTER_MTTF,
         "fig8_failure_counts": FIG8_FAILURES,

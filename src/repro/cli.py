@@ -177,6 +177,134 @@ def _fmt_s(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:.3f}"
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario with engine-wide tracing on; export its timeline.
+
+    Writes a Chrome ``trace_event`` JSON (loadable in ``chrome://tracing`` /
+    Perfetto) plus a flat JSONL event log, verifies the emitted task spans
+    reconcile exactly with the scheduler's books (invariant 8), and prints a
+    span/metrics summary.  Exits nonzero on any reconciliation violation.
+    """
+    import os
+
+    from repro.faults.invariants import InvariantChecker
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    # The scenario builders construct their own contexts; the env var is the
+    # channel that reaches every one of them.
+    os.environ["FLINT_TRACE"] = "1"
+
+    captured = {}
+
+    def _capture(ctx) -> None:
+        # The checker must subscribe before anything runs, or post-run
+        # checkpoint state looks unannounced (false invariant-3 hits).
+        captured["ctx"] = ctx
+        captured["checker"] = InvariantChecker(ctx)
+
+    if args.scenario == "multitenant":
+        from repro.server.scenario import run_multitenant
+
+        run_multitenant(
+            policy=args.policy,
+            num_workers=args.workers,
+            seed=args.seed,
+            queries=args.queries,
+            revoke=args.revoke,
+            context_hook=_capture,
+        )
+    elif args.scenario == "storm":
+        _run_storm_scenario(args, _capture)
+    else:
+        _run_workload_scenario(args, _capture)
+
+    ctx = captured["ctx"]
+    checker = captured["checker"]
+    violations = checker.check("trace")
+
+    events = ctx.obs.bus.events
+    out_path = args.out
+    events_path = args.events or f"{out_path}.jsonl"
+    write_chrome_trace(events, out_path)
+    write_jsonl(events, events_path)
+
+    stats = ctx.scheduler.stats
+    completed_spans = ctx.obs.bus.count("task", status="complete")
+    lost_spans = ctx.obs.bus.count("task", status="lost")
+    print(f"trace: {len(events)} events -> {out_path} (+ {events_path})")
+    print(
+        f"task spans: {completed_spans} complete / {lost_spans} lost; "
+        f"scheduler books: {stats.tasks_completed} completed / "
+        f"{stats.tasks_lost} lost"
+    )
+    print(
+        f"spans by kind: "
+        + ", ".join(
+            f"{kind}={n}"
+            for kind in sorted({e.kind for e in events})
+            if (n := ctx.obs.bus.count(kind))
+        )
+    )
+    metrics = ctx.metrics_report()
+    highlights = {
+        name: value
+        for name, value in metrics["counters"].items()
+        if name.startswith(("scheduler.", "blocks.", "checkpoint.gc"))
+    }
+    if highlights:
+        print("counters: " + ", ".join(f"{k}={v:g}" for k, v in sorted(highlights.items())))
+    if violations:
+        for violation in violations:
+            print(f"RECONCILIATION FAILURE: {violation}", file=sys.stderr)
+        return 1
+    print("span/book reconciliation: OK")
+    return 0
+
+
+def _run_storm_scenario(args: argparse.Namespace, context_hook) -> None:
+    """The Figure 3 recipe: memory-heavy PageRank + correlated revocations.
+
+    An oversized working set under MEMORY_ONLY persistence plus a burst of
+    revocations mid-iteration produces the recomputation storm; the trace
+    shows it as ``recompute`` ticks and re-run task spans on the surviving
+    workers' lanes.
+    """
+    from repro.analysis.experiments import build_engine_context
+    from repro.workloads import PageRankWorkload
+
+    ctx = build_engine_context(num_workers=args.workers, seed=args.seed)
+    context_hook(ctx)
+    workload = PageRankWorkload(
+        ctx, data_gb=6.0, num_edges=8_000, num_vertices=1_600,
+        partitions=8, iterations=6, memory_inflation=2.5, seed=99,
+    )
+    workload.load()
+
+    def _revoke(_event):
+        victims = ctx.cluster.live_workers()[:2]
+        if victims:
+            ctx.cluster.force_revoke(victims)
+
+    ctx.env.schedule_at(args.revoke_at, "storm_revocation", callback=_revoke)
+    workload.run()
+
+
+def _run_workload_scenario(args: argparse.Namespace, context_hook) -> None:
+    from repro.analysis.experiments import build_engine_context
+    from repro.workloads import ALSWorkload, KMeansWorkload, PageRankWorkload
+
+    ctx = build_engine_context(num_workers=args.workers, seed=args.seed)
+    context_hook(ctx)
+    factories = {
+        "pagerank": lambda: PageRankWorkload(ctx, partitions=2 * args.workers),
+        "kmeans": lambda: KMeansWorkload(ctx, partitions=2 * args.workers),
+        "als": lambda: ALSWorkload(ctx, partitions=2 * args.workers),
+    }
+    workload = factories[args.scenario]()
+    workload.load()
+    workload.run()
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     """Print the what-if report for a prospective job."""
     from repro.core.advisor import JobProfile, advise
@@ -261,6 +389,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--revoke", action="store_true",
                    help="revoke one worker mid-stream (replacement after 120s)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("trace", help="run a scenario traced; export a Chrome timeline")
+    _add_common(p)
+    p.add_argument("scenario",
+                   choices=["multitenant", "storm", "pagerank", "kmeans", "als"],
+                   help="what to run under FLINT_TRACE=1")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event JSON output path")
+    p.add_argument("--events", default=None,
+                   help="JSONL event-log path (default: <out>.jsonl)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--policy", choices=["fifo", "fair"], default="fair",
+                   help="multitenant scenario: root scheduling policy")
+    p.add_argument("--queries", type=int, default=4,
+                   help="multitenant scenario: queries per client")
+    p.add_argument("--revoke", action="store_true",
+                   help="multitenant scenario: revoke one worker mid-stream")
+    p.add_argument("--revoke-at", type=float, default=150.0,
+                   help="storm scenario: simulated time of the revocation burst")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("advise", help="what-if report: every market + both policies")
     _add_common(p)

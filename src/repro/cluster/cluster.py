@@ -14,8 +14,19 @@ from typing import Dict, List, Optional
 from repro.cluster.environment import Environment
 from repro.cluster.worker import Worker
 from repro.market.provider import REVOCATION_WARNING
+from repro.obs import SpanEvent
 from repro.simulation.events import Event
 from repro.traces.ec2 import INSTANCE_TYPES, InstanceType
+
+#: Membership hooks mirrored onto the event bus, and whether each marks the
+#: *end* of a worker's lifetime (rendered as a span from launch to death)
+#: or a point-in-time membership change (rendered as an instant).
+_WORKER_EVENT_STATUS = {
+    "on_worker_joined": ("joined", False),
+    "on_revocation_warning": ("warned", False),
+    "on_worker_revoked": ("revoked", True),
+    "on_worker_terminated": ("terminated", True),
+}
 
 
 class ClusterListener:
@@ -48,6 +59,9 @@ class Cluster:
         self._counter = itertools.count()
         self._pending_events: Dict[str, List[Event]] = {}
         self.revocation_log: List[tuple] = []  # (time, worker_id, market_id)
+        #: Observability hook (attribute-wired by the engine context);
+        #: None keeps membership notification free of tracing branches.
+        self.obs = None
 
     # -- membership queries -------------------------------------------------
     def live_workers(self) -> List[Worker]:
@@ -194,5 +208,17 @@ class Cluster:
             self._notify("on_revocation_warning", worker, when)
 
     def _notify(self, hook: str, worker: Worker, t: float) -> None:
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            status, is_lifetime_end = _WORKER_EVENT_STATUS[hook]
+            obs.bus.emit(SpanEvent(
+                kind="worker",
+                name=worker.worker_id,
+                start=worker.instance.launch_time if is_lifetime_end else t,
+                end=t if is_lifetime_end else None,
+                worker=worker.worker_id,
+                status="instant" if not is_lifetime_end else status,
+                attrs={"market": worker.instance.market_id, "change": status},
+            ))
         for listener in list(self.listeners):
             getattr(listener, hook)(worker, t)

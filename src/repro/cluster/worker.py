@@ -45,6 +45,9 @@ class Worker:
         self.local_disk = LocalDisk(capacity_bytes=int(self.instance_type.local_disk_gb * GB))
         # The execution engine attaches a BlockManager when the worker joins.
         self.block_manager: Optional["BlockManager"] = None
+        #: Observability hook (attribute-wired by the scheduler on worker
+        #: registration); None keeps the kill path free of tracing branches.
+        self.obs = None
         #: Called (with this worker) after :meth:`kill` drops local state, so
         #: driver-side trackers stay truthful on *any* death path — cluster
         #: revocation, deliberate termination, or a direct kill in tests.
@@ -74,6 +77,18 @@ class Worker:
         self.local_disk.clear()
         if self.block_manager is not None:
             self.block_manager.clear()
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            from repro.obs import SpanEvent
+
+            obs.bus.emit(SpanEvent(
+                kind="worker",
+                name=self.worker_id,
+                start=obs.now(),
+                worker=self.worker_id,
+                status="killed",
+                attrs={"market": self.instance.market_id},
+            ))
         for listener in list(self._death_listeners):
             listener(self)
 

@@ -55,8 +55,12 @@ class BlockManager:
         worker: "Worker",
         capacity_bytes: Optional[int] = None,
         index: Optional["BlockLocationIndex"] = None,
+        obs: Optional[Any] = None,
     ):
         self.worker = worker
+        #: Observability hook (attribute-wired by the scheduler on worker
+        #: registration); None keeps the cache free of any tracing branch.
+        self.obs = obs
         self.capacity_bytes = (
             worker.storage_memory_bytes if capacity_bytes is None else int(capacity_bytes)
         )
@@ -95,8 +99,22 @@ class BlockManager:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.stats.puts += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.inc("blocks.puts")
         if nbytes > self.capacity_bytes:
+            # Rejecting the oversized replacement still invalidates any
+            # existing copy: the caller produced a new version of this
+            # block, so the old bytes (memory or spill) are stale and the
+            # location index must forget this worker.
+            old = self._memory.pop(block_id, None)
+            if old is not None:
+                self._used -= old.nbytes
+            spilled = self.worker.local_disk.delete(self._SPILL_PREFIX + block_id)
+            if (old is not None or spilled) and self.index is not None:
+                self.index.remove(block_id, self.worker.worker_id)
             self.stats.drops += 1
+            if self.obs is not None and self.obs.enabled:
+                self.obs.metrics.inc("blocks.dropped")
             return False
         if block_id in self._memory:
             old = self._memory.pop(block_id)
@@ -116,14 +134,20 @@ class BlockManager:
         self._used -= victim.nbytes
         if not victim.spill:
             self.stats.drops += 1
+            if self.obs is not None and self.obs.enabled:
+                self.obs.metrics.inc("blocks.dropped")
             if self.index is not None:
                 self.index.remove(victim_id, self.worker.worker_id)
             return
         try:
             self.worker.local_disk.put(self._SPILL_PREFIX + victim_id, victim.data, victim.nbytes)
             self.stats.evictions_to_disk += 1
+            if self.obs is not None and self.obs.enabled:
+                self.obs.metrics.inc("blocks.spilled")
         except DiskFullError:
             self.stats.drops += 1
+            if self.obs is not None and self.obs.enabled:
+                self.obs.metrics.inc("blocks.dropped")
             if self.index is not None:
                 self.index.remove(victim_id, self.worker.worker_id)
 

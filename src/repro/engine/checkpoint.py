@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.engine import lineage
 from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
+from repro.obs import SpanEvent
 from repro.storage.dfs import DistributedFileSystem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,8 +32,11 @@ class CheckpointWriteError(RuntimeError):
 class CheckpointRegistry:
     """Driver-side record of checkpointed RDD partitions."""
 
-    def __init__(self, dfs: DistributedFileSystem):
+    def __init__(self, dfs: DistributedFileSystem, obs=None):
         self.dfs = dfs
+        #: Observability hook (attribute-wired by the engine context);
+        #: None keeps the write/GC paths branch-free.
+        self.obs = obs
         self._marked: Set[int] = set()
         self._written: Dict[int, Set[int]] = {}
         self._num_partitions: Dict[int, int] = {}
@@ -105,6 +109,17 @@ class CheckpointRegistry:
             self._num_partitions.setdefault(rdd.rdd_id, rdd.num_partitions)
             self.bytes_written += nbytes
             self.partitions_written += 1
+            obs = self.obs
+            if obs is not None and obs.enabled:
+                obs.metrics.inc("checkpoint.bytes_written", nbytes)
+                obs.metrics.inc("checkpoint.partitions_written")
+                obs.bus.emit(SpanEvent(
+                    kind="checkpoint-write",
+                    name=f"ckpt rdd{rdd.rdd_id}[{partition}]",
+                    start=t,
+                    status="instant",
+                    attrs={"rdd": rdd.rdd_id, "partition": partition, "nbytes": nbytes},
+                ))
             self._notify(rdd.rdd_id, partition, True)
 
     def discard_partition(self, rdd: "RDD", partition: int) -> bool:
@@ -174,6 +189,16 @@ class CheckpointRegistry:
                     self._marked.discard(ancestor.rdd_id)
                     self._notify(ancestor.rdd_id, None, False)
             self.gc_deleted += deleted
+            obs = self.obs
+            if deleted and obs is not None and obs.enabled:
+                obs.metrics.inc("checkpoint.gc_deleted", deleted)
+                obs.bus.emit(SpanEvent(
+                    kind="checkpoint-gc",
+                    name=f"gc after rdd{rdd.rdd_id}",
+                    start=obs.now(),
+                    status="instant",
+                    attrs={"rdd": rdd.rdd_id, "deleted": deleted},
+                ))
         return deleted
 
     @property

@@ -21,6 +21,7 @@ from repro.engine.block_manager import block_id_for
 from repro.engine.checkpoint import CheckpointRegistry
 from repro.engine.costs import CostModel
 from repro.engine.shuffle import ShuffleManager
+from repro.obs import Observability
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.worker import Worker
@@ -36,16 +37,26 @@ class FlintContext:
         cluster: Cluster,
         cost_model: Optional[CostModel] = None,
         scheduler_mode: Optional[str] = None,
+        obs: Optional[Observability] = None,
     ):
         self.env = env
         self.cluster = cluster
         self.cost_model = cost_model or CostModel()
+        #: Engine-wide tracing + metrics (``FLINT_TRACE``, default off).
+        #: Attribute-wired into every subsystem below, the same first-class
+        #: hook-point pattern as the fault injector.
+        self.obs = obs if obs is not None else Observability()
+        self.obs.bind_clock(lambda: env.now)
         #: Driver-side block-location index (Spark's BlockManagerMaster):
         #: block managers mirror every presence change here so cluster-wide
         #: block lookups are dict reads, never worker scans.
         self.block_index = BlockLocationIndex()
-        self.shuffle_manager = ShuffleManager()
-        self.checkpoints = CheckpointRegistry(env.dfs)
+        self.shuffle_manager = ShuffleManager(obs=self.obs)
+        self.checkpoints = CheckpointRegistry(env.dfs, obs=self.obs)
+        cluster.obs = self.obs
+        env.provider.obs = self.obs
+        for market in env.provider.markets.values():
+            market.obs = self.obs
         #: Set by Flint's fault-tolerance manager when it attaches (optional).
         self.ft_manager = None
         #: Installed by :class:`repro.faults.injector.FaultInjector`; None
@@ -227,6 +238,10 @@ class FlintContext:
             "shuffle": self.shuffle_manager.timers.report(),
             "checkpoint": self.checkpoints.timers.report(),
         }
+
+    def metrics_report(self) -> Dict[str, Any]:
+        """``FLINT_TRACE=1`` counters/gauges/histograms (empty when off)."""
+        return self.obs.metrics.snapshot()
 
     # ------------------------------------------------------------------
     @property

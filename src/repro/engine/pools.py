@@ -53,6 +53,7 @@ class Pool:
     running_tasks: int = field(default=0, compare=False)
     jobs_submitted: int = field(default=0, compare=False)
     jobs_finished: int = field(default=0, compare=False)
+    tasks_completed: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.policy not in POOL_POLICIES:

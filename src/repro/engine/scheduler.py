@@ -46,6 +46,7 @@ from repro.engine.partitioner import stable_hash
 from repro.engine.pools import DEFAULT_POOL, SCHEDULING_POLICIES, Pool
 from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
 from repro.engine.shuffle import ShuffleFetchFailure
+from repro.obs import SpanEvent
 from repro.engine.task import (
     ComputedPartition,
     PendingPut,
@@ -374,6 +375,10 @@ class TaskScheduler(ClusterListener):
         #: Scheduling pools by name; jobs land in ``default`` unless routed.
         self.pools: Dict[str, Pool] = {DEFAULT_POOL: Pool(DEFAULT_POOL)}
         self.stats = SchedulerStats()
+        #: Completed-task count per job id, maintained unconditionally (it is
+        #: two dict ops per completion) so the tracing invariant can
+        #: reconcile emitted task spans against the scheduler's own books.
+        self.tasks_completed_by_job: Dict[int, int] = {}
         self.timers = SectionTimers(enabled=profiling_enabled_by_env())
         self._seen_partitions: Dict[int, Set[int]] = {}
         self._generated: Set[int] = set()
@@ -417,11 +422,15 @@ class TaskScheduler(ClusterListener):
     def on_worker_revoked(self, worker: "Worker", t: float) -> None:
         self.context.shuffle_manager.remove_outputs_on(worker.worker_id)
         doomed = [rt for rt in self.running.values() if rt.worker_id == worker.worker_id]
+        obs = self.context.obs
         for rt in doomed:
             self.env.events.cancel(rt.completion_event)
             del self.running[rt.spec.key]
             self._note_task_left(rt)
             self.stats.tasks_lost += 1
+            if obs.enabled:
+                obs.metrics.inc("scheduler.tasks_lost")
+                obs.bus.emit(self._task_span(rt, t, "lost"))
         self.busy.pop(worker.worker_id, None)
         self._ckpt_busy.pop(worker.worker_id, None)
         # Lost in-flight tasks may not touch any tracked state (a result
@@ -439,9 +448,16 @@ class TaskScheduler(ClusterListener):
 
     def _register_worker(self, worker: "Worker") -> None:
         if worker.block_manager is None:
-            worker.block_manager = BlockManager(worker, index=self.context.block_index)
-        elif worker.block_manager.index is None:
-            worker.block_manager.index = self.context.block_index
+            worker.block_manager = BlockManager(
+                worker, index=self.context.block_index, obs=self.context.obs
+            )
+        else:
+            if worker.block_manager.index is None:
+                worker.block_manager.index = self.context.block_index
+            if worker.block_manager.obs is None:
+                worker.block_manager.obs = self.context.obs
+        if worker.obs is None:
+            worker.obs = self.context.obs
         self.context.shuffle_manager.register_worker(worker)
         self.busy.setdefault(worker.worker_id, 0)
 
@@ -556,6 +572,7 @@ class TaskScheduler(ClusterListener):
         if job.pool is not None:
             job.pool.jobs_finished += 1
         self.stats.jobs_completed += 1
+        self._emit_job_span(job, "complete")
         if job.on_done is not None:
             callback, job.on_done = job.on_done, None
             callback(job)
@@ -572,6 +589,42 @@ class TaskScheduler(ClusterListener):
         if job.pool is not None:
             job.pool.jobs_finished += 1
         self.stats.jobs_failed += 1
+        self._emit_job_span(job, "failed")
+
+    def _emit_job_span(self, job: _JobState, status: str) -> None:
+        obs = self.context.obs
+        if not obs.enabled:
+            return
+        obs.bus.emit(SpanEvent(
+            kind="job",
+            name=job.name,
+            start=job.submitted_at,
+            end=self.env.now,
+            job_id=job.job_id,
+            pool=job.pool.name if job.pool is not None else None,
+            status=status,
+            attrs={"tasks": self.tasks_completed_by_job.get(job.job_id, 0)},
+        ))
+
+    def _task_span(self, running: RunningTask, end: float, status: str) -> SpanEvent:
+        spec = running.spec
+        rdd = spec.dep.rdd if spec.kind == TaskKind.SHUFFLE_MAP else spec.rdd
+        job = running.job
+        return SpanEvent(
+            kind="task",
+            name=f"{spec.kind.value} rdd{rdd.rdd_id}[{spec.partition}]",
+            start=running.started_at,
+            end=end,
+            worker=running.worker_id,
+            job_id=job.job_id if job is not None else None,
+            pool=job.pool.name if job is not None and job.pool is not None else None,
+            status=status,
+            attrs={
+                "task_kind": spec.kind.value,
+                "rdd": rdd.rdd_id,
+                "partition": spec.partition,
+            },
+        )
 
     def _drop_ready_lists(self) -> None:
         """Invalidate every in-flight job's memoised ready list."""
@@ -1094,9 +1147,17 @@ class TaskScheduler(ClusterListener):
             duration, "task_done", running, callback=self._on_task_done
         )
         self.running[spec.key] = running
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.inc("scheduler.tasks_dispatched")
         if job is not None:
             if job.first_dispatch_at is None:
                 job.first_dispatch_at = self.env.now
+                if obs.enabled and job.pool is not None:
+                    obs.metrics.observe(
+                        f"pool.queue_delay.{job.pool.name}",
+                        self.env.now - job.submitted_at,
+                    )
             job.running_tasks += 1
             if job.pool is not None:
                 job.pool.running_tasks += 1
@@ -1159,6 +1220,10 @@ class TaskScheduler(ClusterListener):
             # with no change event fired, so a ready list memoised while it
             # ran is no longer faithful.
             self.stats.tasks_lost += 1
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.inc("scheduler.tasks_lost")
+                obs.bus.emit(self._task_span(running, self.env.now, "lost"))
             self._drop_ready_lists()
             self._schedule_round()
             return
@@ -1166,6 +1231,17 @@ class TaskScheduler(ClusterListener):
         now = self.env.now
         self.stats.tasks_completed += 1
         self.stats.task_time_total += running.duration
+        job = running.job
+        if job is not None:
+            self.tasks_completed_by_job[job.job_id] = (
+                self.tasks_completed_by_job.get(job.job_id, 0) + 1
+            )
+            if job.pool is not None:
+                job.pool.tasks_completed += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.inc("scheduler.tasks_completed")
+            obs.bus.emit(self._task_span(running, now, "complete"))
 
         for put in running.pending_puts:
             if put.rdd is not None and not put.rdd.persisted:
@@ -1225,6 +1301,7 @@ class TaskScheduler(ClusterListener):
     def _process_computed(self, running: RunningTask, worker: "Worker", now: float) -> None:
         """Track materialisations and capture checkpoint payloads."""
         ft = self.context.ft_manager
+        obs = self.context.obs
         newly_generated: List["RDD"] = []
         newly_materialised: List["RDD"] = []
         for cp in running.computed:
@@ -1234,6 +1311,20 @@ class TaskScheduler(ClusterListener):
             if not seen and cp.rdd.rdd_id not in self._generated:
                 self._generated.add(cp.rdd.rdd_id)
                 newly_generated.append(cp.rdd)
+            if cp.partition in seen and obs.enabled:
+                # This materialisation-point partition was computed before:
+                # its earlier copy was lost (revocation, eviction) and
+                # lineage just re-derived it — one tick of the Figure 3
+                # recomputation storm.
+                obs.metrics.inc("scheduler.recomputed_partitions")
+                obs.bus.emit(SpanEvent(
+                    kind="recompute",
+                    name=f"recompute rdd{cp.rdd.rdd_id}[{cp.partition}]",
+                    start=now,
+                    worker=worker.worker_id,
+                    status="instant",
+                    attrs={"rdd": cp.rdd.rdd_id, "partition": cp.partition},
+                ))
             seen.add(cp.partition)
             if (
                 len(seen) >= cp.rdd.num_partitions

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Set, Tuple
 
 from repro.engine.dependencies import ShuffleDependency
 from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
+from repro.obs import SpanEvent
 from repro.storage.local_disk import DiskFullError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,7 +47,10 @@ class ShuffleFetchFailure(RuntimeError):
 class ShuffleManager:
     """Tracks map outputs for every shuffle in the application."""
 
-    def __init__(self):
+    def __init__(self, obs=None):
+        #: Observability hook (attribute-wired by the engine context);
+        #: None keeps the fetch/register hot paths branch-free.
+        self.obs = obs
         # shuffle_id -> map_partition -> MapStatus
         self._outputs: Dict[int, Dict[int, MapStatus]] = {}
         self._workers: Dict[str, "Worker"] = {}
@@ -143,6 +147,20 @@ class ShuffleManager:
             self._owned.setdefault(worker.worker_id, set()).add((dep.shuffle_id, map_id))
             missing.discard(map_id)
             self.bytes_written += status.total_bytes
+            obs = self.obs
+            if obs is not None and obs.enabled:
+                obs.metrics.inc("shuffle.bytes_written", status.total_bytes)
+                if not missing:
+                    obs.bus.emit(SpanEvent(
+                        kind="stage",
+                        name=f"shuffle-{dep.shuffle_id}-maps-complete",
+                        start=obs.now(),
+                        status="instant",
+                        attrs={
+                            "shuffle_id": dep.shuffle_id,
+                            "num_maps": dep.num_map_partitions,
+                        },
+                    ))
             self._notify(dep.shuffle_id, map_id, True)
             return status
 
@@ -229,6 +247,23 @@ class ShuffleManager:
                     remote_bytes += nbytes
             self.bytes_fetched_local += local_bytes
             self.bytes_fetched_remote += remote_bytes
+            obs = self.obs
+            if obs is not None and obs.enabled:
+                obs.metrics.inc("shuffle.bytes_fetched_local", local_bytes)
+                obs.metrics.inc("shuffle.bytes_fetched_remote", remote_bytes)
+                obs.bus.emit(SpanEvent(
+                    kind="shuffle-fetch",
+                    name=f"shuffle-{dep.shuffle_id}-reduce-{reduce_id}",
+                    start=obs.now(),
+                    worker=to_worker.worker_id,
+                    status="instant",
+                    attrs={
+                        "shuffle_id": dep.shuffle_id,
+                        "reduce_id": reduce_id,
+                        "local_bytes": local_bytes,
+                        "remote_bytes": remote_bytes,
+                    },
+                ))
             return buckets, local_bytes, remote_bytes
 
     def _evict_local_state(self, worker: "Worker", needed: int, keep_key: str) -> None:

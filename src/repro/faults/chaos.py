@@ -24,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 import time
@@ -32,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.context import FlintContext
 from repro.faults.harness import run_reference, run_with_plan
+from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.workloads import ALSWorkload, KMeansWorkload, PageRankWorkload
 
 NUM_WORKERS = 6
@@ -216,6 +218,8 @@ class ChaosFailure:
     family: str
     spec: str
     violations: List[str]
+    #: Trace files written for this failure (``--trace-failures DIR``).
+    trace_paths: List[str] = field(default_factory=list)
 
     def replay_command(self) -> str:
         return (
@@ -247,11 +251,14 @@ def run_chaos(
     families: Optional[Sequence[str]] = None,
     master_seed: int = 0,
     verbose: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Sweep ``seeds`` x workloads x modes x families; never raises.
 
     The failure-free reference run is computed once per (workload, mode)
-    cell and shared across every plan in that cell.
+    cell and shared across every plan in that cell.  With ``trace_dir``
+    set, every failing plan is deterministically rerun with tracing
+    enabled and its Chrome trace + JSONL event log land in that directory.
     """
     workloads = list(workloads or CHAOS_WORKLOADS)
     modes = list(modes or MODES)
@@ -292,6 +299,10 @@ def run_chaos(
                             seed, master_seed, workload_name, mode, family, spec,
                             violations,
                         )
+                        if trace_dir is not None:
+                            _trace_failure(
+                                factory, failure, references[cell], trace_dir
+                            )
                         report.failures.append(failure)
                         _print_failure(failure)
                     elif verbose:
@@ -302,6 +313,43 @@ def run_chaos(
     return report
 
 
+def _trace_failure(
+    factory: Callable[[FlintContext], object],
+    failure: ChaosFailure,
+    reference: tuple,
+    trace_dir: str,
+) -> None:
+    """Rerun one failing plan with tracing on; write its timeline to disk.
+
+    The rerun is deterministic (same spec, same seed substrate), so the
+    trace shows the same fault sequence that produced the violations.
+    """
+    os.makedirs(trace_dir, exist_ok=True)
+    stem = (
+        f"{failure.workload}-{failure.mode}-{failure.family}-seed{failure.seed}"
+    )
+    try:
+        run = run_with_plan(
+            factory,
+            failure.spec,
+            mode=failure.mode,
+            num_workers=NUM_WORKERS,
+            checkpointing=True,
+            mttf=MTTF,
+            reference=reference,
+            raise_on_violation=False,
+            trace=True,
+        )
+    except Exception as exc:
+        print(f"  trace rerun failed: {type(exc).__name__}: {exc}")
+        return
+    trace_path = os.path.join(trace_dir, f"{stem}.trace.json")
+    events_path = os.path.join(trace_dir, f"{stem}.events.jsonl")
+    write_chrome_trace(run.event_log, trace_path)
+    write_jsonl(run.event_log, events_path)
+    failure.trace_paths = [trace_path, events_path]
+
+
 def _print_failure(failure: ChaosFailure) -> None:
     print(
         f"CHAOS FAILURE seed={failure.seed} master_seed={failure.master_seed} "
@@ -310,6 +358,8 @@ def _print_failure(failure: ChaosFailure) -> None:
     print(f"  plan: {failure.spec}")
     for violation in failure.violations:
         print(f"  violation: {violation}")
+    for path in failure.trace_paths:
+        print(f"  trace: {path}")
     print(f"  replay: {failure.replay_command()}")
 
 
@@ -332,6 +382,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="re-run exactly one seed (use with --workload/--mode/--family)",
     )
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--trace-failures", metavar="DIR", default=None,
+        help="rerun each failing plan with tracing and write Chrome trace "
+        "+ JSONL event log into DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.replay_seed is not None:
@@ -345,6 +400,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         families=[args.family] if args.family else None,
         master_seed=args.master_seed,
         verbose=args.verbose or args.replay_seed is not None,
+        trace_dir=args.trace_failures,
     )
     print(
         f"chaos: {report.plans_run} plans, {report.faults_fired} faults fired, "

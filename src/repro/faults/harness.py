@@ -25,6 +25,7 @@ from repro.faults.invariants import InvariantChecker, InvariantViolation
 from repro.faults.plan import FaultPlan
 from repro.market.market import OnDemandMarket
 from repro.market.provider import CloudProvider
+from repro.obs import Observability
 
 #: Non-revocable substrate: every failure comes from the plan, so the same
 #: spec replays the same scenario event-for-event.
@@ -33,13 +34,18 @@ _PRICE = 0.175
 
 
 def build_fault_context(
-    num_workers: int = 6, seed: int = 0, mode: str = "incremental"
+    num_workers: int = 6, seed: int = 0, mode: str = "incremental", trace: bool = False
 ) -> FlintContext:
-    """A deterministic on-demand cluster for one fault-injection run."""
+    """A deterministic on-demand cluster for one fault-injection run.
+
+    ``trace=True`` force-enables the observability layer (regardless of
+    ``FLINT_TRACE``) so the run's event log can be attached to its report.
+    """
     provider = CloudProvider([OnDemandMarket(_MARKET_ID, _PRICE)])
     env = Environment(provider, seed=seed)
     cluster = Cluster(env)
-    ctx = FlintContext(env, cluster, scheduler_mode=mode)
+    obs = Observability(enabled=True) if trace else None
+    ctx = FlintContext(env, cluster, scheduler_mode=mode, obs=obs)
     cluster.launch(_MARKET_ID, bid=_PRICE, count=num_workers)
     return ctx
 
@@ -58,6 +64,10 @@ class FaultRunReport:
     reference_runtime: float = 0.0
     results: Any = None
     reference_results: Any = None
+    #: Flat event rows (``SpanEvent.to_dict``) from the faulted run when it
+    #: was traced; empty otherwise.  Chaos failure reports carry these so a
+    #: failing plan ships with its full timeline.
+    event_log: List[dict] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -105,6 +115,7 @@ def run_with_plan(
     mttf: float = 1800.0,
     reference: Optional[tuple] = None,
     raise_on_violation: bool = True,
+    trace: bool = False,
 ) -> FaultRunReport:
     """Execute ``workload_factory`` under ``plan`` and verify every invariant.
 
@@ -117,6 +128,8 @@ def run_with_plan(
             driver shares one failure-free run across hundreds of plans.
         raise_on_violation: raise :class:`InvariantViolation` on any failed
             invariant or result divergence; otherwise report and return.
+        trace: force-enable tracing on the faulted run and attach its event
+            log to the report (the chaos driver reruns failures this way).
     """
     if isinstance(plan, str):
         plan = FaultPlan.parse(plan)
@@ -126,7 +139,7 @@ def run_with_plan(
         )
     ref_results, ref_runtime = reference
 
-    ctx = build_fault_context(num_workers, seed, mode)
+    ctx = build_fault_context(num_workers, seed, mode, trace=trace)
     checker = InvariantChecker(ctx)
     injector = FaultInjector(plan, checker).install(ctx)
     manager = _attach_manager(ctx, checkpointing, mttf)
@@ -166,6 +179,7 @@ def run_with_plan(
         reference_runtime=ref_runtime,
         results=results,
         reference_results=ref_results,
+        event_log=[e.to_dict() for e in ctx.obs.bus.events] if ctx.obs.enabled else [],
     )
     if raise_on_violation and report.violations:
         raise InvariantViolation(

@@ -28,6 +28,11 @@ Invariants:
 7. **Block ownership** — every cached RDD block belongs to a registered,
    still-persisted RDD: a finished or abandoned job may not leak blocks of
    unpersisted datasets into the shared cache.
+8. **Trace books** (active only when tracing is enabled) — the event bus's
+   completed/lost task spans reconcile *exactly* with the scheduler's own
+   counters: totals, per-kind counts, per-pool completions, and per-job
+   completions all agree with the books the scheduler keeps regardless of
+   tracing.  Observation must never drift from the thing observed.
 
 Result equivalence with the failure-free run (the sixth invariant) is
 enforced by :mod:`repro.faults.harness`, which owns both runs.
@@ -103,6 +108,7 @@ class InvariantChecker:
         found.extend(self._check_scheduler_books())
         found.extend(self._check_job_books())
         found.extend(self._check_block_ownership())
+        found.extend(self._check_trace_books())
         if label:
             found = [f"{label}: {v}" for v in found]
         self.violations.extend(found)
@@ -282,6 +288,64 @@ class InvariantChecker:
                 out.append(
                     f"pool {name!r} books {pool.running_tasks} running tasks "
                     f"but the census finds {pool_census.get(name, 0)}"
+                )
+        return out
+
+    def _check_trace_books(self) -> List[str]:
+        """Emitted task spans must reconcile exactly with scheduler counters.
+
+        Only active when the context's observability layer is enabled (the
+        checker must have been constructed before the run so the bus holds
+        the whole history).  The scheduler maintains its per-job and
+        per-pool completion books unconditionally, so every span count has
+        an independent ledger to agree with.
+        """
+        obs = getattr(self.ctx, "obs", None)
+        if obs is None or not obs.enabled:
+            return []
+        out: List[str] = []
+        scheduler = self.ctx.scheduler
+        stats = scheduler.stats
+        task_events = obs.bus.by_kind("task")
+        completed = [e for e in task_events if e.status == "complete"]
+        lost = [e for e in task_events if e.status == "lost"]
+        if len(completed) != stats.tasks_completed:
+            out.append(
+                f"trace books: {len(completed)} completed task spans but the "
+                f"scheduler counts {stats.tasks_completed} completions"
+            )
+        if len(lost) != stats.tasks_lost:
+            out.append(
+                f"trace books: {len(lost)} lost task spans but the scheduler "
+                f"counts {stats.tasks_lost} lost tasks"
+            )
+        kind_census = Counter(e.attrs.get("task_kind") for e in completed)
+        for kind, expected in (
+            ("result", stats.result_tasks),
+            ("shuffle_map", stats.map_tasks),
+            ("checkpoint", stats.checkpoint_tasks),
+        ):
+            if kind_census.get(kind, 0) != expected:
+                out.append(
+                    f"trace books: {kind_census.get(kind, 0)} completed "
+                    f"{kind!r} spans but the scheduler counts {expected}"
+                )
+        pool_census = Counter(
+            e.pool for e in completed if e.job_id is not None and e.pool is not None
+        )
+        for name, pool in scheduler.pools.items():
+            if pool_census.get(name, 0) != pool.tasks_completed:
+                out.append(
+                    f"trace books: pool {name!r} has {pool_census.get(name, 0)} "
+                    f"completed spans but books {pool.tasks_completed} completions"
+                )
+        job_census = Counter(e.job_id for e in completed if e.job_id is not None)
+        books = scheduler.tasks_completed_by_job
+        for job_id in sorted(set(job_census) | set(books)):
+            if job_census.get(job_id, 0) != books.get(job_id, 0):
+                out.append(
+                    f"trace books: job {job_id} has {job_census.get(job_id, 0)} "
+                    f"completed spans but books {books.get(job_id, 0)} completions"
                 )
         return out
 

@@ -4,7 +4,8 @@ EC2 (2015-era, the paper's setting) bills spot instances by the hour at the
 spot price in effect at the start of each hour; a final partial hour is free
 when *Amazon* revokes the instance, but fully charged when the *user*
 terminates it.  On-demand servers bill whole hours at a fixed price.  GCE
-preemptible instances bill per minute with a 10-minute minimum.
+preemptible instances bill per minute with a 10-minute minimum, except that
+an instance the provider preempts inside those ten minutes is free.
 """
 
 from __future__ import annotations
@@ -13,6 +14,12 @@ import math
 
 from repro.market.market import Market
 from repro.simulation.clock import HOUR, MINUTE
+
+#: Billing-boundary tolerance in seconds.  Durations accumulated from float
+#: event times can land an epsilon either side of an exact hour/minute
+#: boundary; both sides of every boundary comparison use this tolerance so
+#: "exactly N hours" never misclassifies as N full hours *plus* a partial.
+BILLING_EPSILON = 1e-9
 
 
 def ec2_hourly_cost(
@@ -31,10 +38,10 @@ def ec2_hourly_cost(
         raise ValueError("end must be >= start")
     if end == start:
         return 0.0
-    full_hours = int(math.floor((end - start) / HOUR))
+    full_hours = int(math.floor((end - start + BILLING_EPSILON) / HOUR))
     cost = sum(market.current_price(start + h * HOUR) for h in range(full_hours))
     partial = (end - start) - full_hours * HOUR
-    if partial > 1e-9 and not revoked_by_provider:
+    if partial > BILLING_EPSILON and not revoked_by_provider:
         cost += market.current_price(start + full_hours * HOUR)
     return float(cost)
 
@@ -48,11 +55,26 @@ def on_demand_cost(price_per_hour: float, start: float, end: float) -> float:
     return price_per_hour * math.ceil((end - start) / HOUR - 1e-9)
 
 
-def gce_preemptible_cost(price_per_hour: float, start: float, end: float) -> float:
-    """GCE preemptible billing: per-minute with a 10-minute minimum."""
+def gce_preemptible_cost(
+    price_per_hour: float,
+    start: float,
+    end: float,
+    revoked_by_provider: bool,
+) -> float:
+    """GCE preemptible billing: per-minute with a 10-minute minimum.
+
+    The 10-minute minimum applies to user-initiated termination only — GCE
+    does not bill an instance the *provider* preempts within its first ten
+    minutes, and bills exactly the minutes used when it preempts later.
+    """
     if end < start:
         raise ValueError("end must be >= start")
     if end == start:
         return 0.0
-    minutes = max(10.0, (end - start) / MINUTE)
+    minutes = (end - start) / MINUTE
+    if revoked_by_provider:
+        if minutes < 10.0 - BILLING_EPSILON / MINUTE:
+            return 0.0
+    else:
+        minutes = max(10.0, minutes)
     return price_per_hour * minutes / 60.0

@@ -38,6 +38,36 @@ class Market:
         self.trace = trace
         self.on_demand_price = float(on_demand_price)
         self.history_offset = float(history_offset)
+        #: Observability hook (attribute-wired by the engine context);
+        #: None keeps the market free of any tracing branch.
+        self.obs = None
+
+    def note_revocation_draw(
+        self, launch_time: float, instance_key: str, revocation_time: Optional[float]
+    ) -> None:
+        """First-class hook: the provider stamped an instance's fate here.
+
+        Emits one instant event per granted instance recording the market's
+        price at launch and the pre-drawn revocation time (None = never),
+        which makes revocation storms visible on the market lane of a trace
+        before any worker dies.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return
+        from repro.obs import SpanEvent
+
+        obs.bus.emit(SpanEvent(
+            kind="market",
+            name=self.market_id,
+            start=launch_time,
+            status="instant",
+            attrs={
+                "instance": instance_key,
+                "revocation_time": revocation_time,
+                "price": self.current_price(launch_time),
+            },
+        ))
 
     def _trace_time(self, sim_time: float) -> float:
         return sim_time + self.history_offset

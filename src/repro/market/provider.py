@@ -42,6 +42,10 @@ class CloudProvider:
         self.replacement_delay = float(replacement_delay)
         self.instances: List[Instance] = []
         self._id_counter = itertools.count()
+        #: Observability hook (attribute-wired by the engine context): final
+        #: instance bills land as per-market spend counters and instance
+        #: spans.  None keeps billing paths free of any tracing branch.
+        self.obs = None
 
     def add_market(self, market: Market) -> None:
         """Register an additional market."""
@@ -89,19 +93,39 @@ class CloudProvider:
             )
             self.instances.append(instance)
             granted.append(instance)
+            market.note_revocation_draw(t, instance_id, revocation)
         return granted
 
     def terminate(self, instance: Instance, t: float) -> float:
         """User-initiated termination; returns the instance's final cost."""
         instance.mark_terminated(t)
         instance.cost = self._bill(instance, t, revoked_by_provider=False)
+        self._record_spend(instance, t, revoked_by_provider=False)
         return instance.cost
 
     def revoke(self, instance: Instance, t: float) -> float:
         """Provider-initiated revocation; returns the instance's final cost."""
         instance.mark_revoked(t)
         instance.cost = self._bill(instance, t, revoked_by_provider=True)
+        self._record_spend(instance, t, revoked_by_provider=True)
         return instance.cost
+
+    def _record_spend(self, instance: Instance, end: float, revoked_by_provider: bool) -> None:
+        """Observability: one final bill -> spend counter + instance span."""
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return
+        from repro.obs import SpanEvent
+
+        obs.metrics.inc(f"market.spend.{instance.market_id}", instance.cost)
+        obs.bus.emit(SpanEvent(
+            kind="instance",
+            name=instance.instance_id,
+            start=instance.launch_time,
+            end=end,
+            status="revoked" if revoked_by_provider else "terminated",
+            attrs={"market": instance.market_id, "cost": instance.cost},
+        ))
 
     def accrued_cost(self, instance: Instance, now: float) -> float:
         """Cost of an instance as of ``now`` (final cost once it has ended)."""
@@ -122,5 +146,7 @@ class CloudProvider:
         if isinstance(market, OnDemandMarket):
             return on_demand_cost(market.on_demand_price, instance.launch_time, end)
         if isinstance(market, PreemptibleMarket):
-            return gce_preemptible_cost(market.fixed_price, instance.launch_time, end)
+            return gce_preemptible_cost(
+                market.fixed_price, instance.launch_time, end, revoked_by_provider
+            )
         return ec2_hourly_cost(market, instance.launch_time, end, revoked_by_provider)

@@ -1,0 +1,128 @@
+"""Typed span events on the simulated clock.
+
+A :class:`SpanEvent` is one observable fact about the engine's execution: a
+task ran on a worker over ``[start, end]``, a shuffle bucket was fetched, a
+partition was recomputed, an instance was billed.  Events carry *simulated*
+timestamps (seconds) — the trace is a pure function of the run, so two runs
+of the same seed produce identical event streams and traces are diffable.
+
+The :class:`EventBus` is the collection point.  Subsystems hold a reference
+to the application's bus (attribute-wired, like the fault-injection points —
+never monkeypatched) and guard every emission with ``enabled``, so the
+disabled hot path costs one attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Event kinds the engine emits.  Exporters and the trace-book invariant key
+#: off these strings; new kinds are free to appear, these are the core set.
+EVENT_KINDS = (
+    "job",            # one action, submission -> retirement
+    "stage",          # a shuffle's map side became complete (instant)
+    "task",           # one dispatched task, dispatch -> completion/loss
+    "checkpoint-write",  # a partition landed durably in the DFS (instant)
+    "checkpoint-gc",  # ancestor checkpoints were garbage-collected (instant)
+    "shuffle-fetch",  # one reduce task gathered its buckets (instant)
+    "recompute",      # a previously seen partition was materialised again
+    "query",          # one job-server query, arrival -> completion
+    "worker",         # worker lifecycle (joined/warned/revoked/terminated)
+    "instance",       # one billed instance, launch -> termination/revocation
+    "market",         # a market-level fact (revocation draw at acquisition)
+)
+
+
+@dataclass
+class SpanEvent:
+    """One timeline entry: a span (``end`` set) or an instant (``end`` None).
+
+    Args:
+        kind: event family (see :data:`EVENT_KINDS`).
+        name: human-readable label (becomes the Chrome trace slice name).
+        start: simulated start time in seconds.
+        end: simulated end time; None marks an instant event.
+        worker: worker id the event happened on (its trace lane), if any.
+        job_id: owning job, if any (checkpoint writes are job-agnostic).
+        pool: owning scheduler pool, if any.
+        status: outcome tag — ``complete``/``lost``/``failed`` for spans,
+            lifecycle words (``joined``, ``revoked``, ...) for worker events.
+        attrs: free-form details (byte counts, partition ids, costs).
+    """
+
+    kind: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    worker: Optional[str] = None
+    job_id: Optional[int] = None
+    pool: Optional[str] = None
+    status: str = "complete"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 for instants)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serialisable form (the JSONL export row)."""
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "status": self.status,
+        }
+        if self.end is not None:
+            out["end"] = self.end
+        if self.worker is not None:
+            out["worker"] = self.worker
+        if self.job_id is not None:
+            out["job_id"] = self.job_id
+        if self.pool is not None:
+            out["pool"] = self.pool
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class EventBus:
+    """Ordered collector of :class:`SpanEvent`\\ s for one application.
+
+    Emission order is completion order (the order effects land in the
+    simulation), which is deterministic for a fixed seed.  Listeners fire
+    synchronously on every emission; they must be observation-only.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[SpanEvent] = []
+        self._listeners: List[Callable[[SpanEvent], None]] = []
+
+    def emit(self, event: SpanEvent) -> None:
+        """Record one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def add_listener(self, listener: Callable[[SpanEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def by_kind(self, kind: str) -> List[SpanEvent]:
+        """All recorded events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: Optional[str] = None, status: Optional[str] = None) -> int:
+        """How many events match the given kind/status filters."""
+        return sum(
+            1
+            for e in self.events
+            if (kind is None or e.kind == kind)
+            and (status is None or e.status == status)
+        )
+
+    def clear(self) -> None:
+        self.events.clear()

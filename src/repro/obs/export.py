@@ -1,0 +1,119 @@
+"""Exporters: Chrome ``trace_event`` JSON and a flat JSONL event log.
+
+The Chrome export loads directly into ``chrome://tracing`` / Perfetto and
+lays events out as per-worker task timelines (one lane per worker, plus
+driver lanes per pool and a market lane per billed market) — the paper's
+Figure 3 recomputation storm becomes a visible wall of red ``recompute``
+ticks and re-run task slices.  The JSONL export is one event per line for
+replay and diffing.
+
+Both exporters accept :class:`~repro.obs.events.SpanEvent` objects or their
+``to_dict`` rows interchangeably (chaos reports carry the dict form).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.obs.events import SpanEvent
+
+_EventLike = Union[SpanEvent, Dict[str, Any]]
+
+#: Simulated seconds -> trace microseconds.
+_US = 1_000_000
+
+#: Event kinds rendered on the market process rather than the driver.
+_MARKET_KINDS = ("instance", "market")
+
+
+def _as_dict(event: _EventLike) -> Dict[str, Any]:
+    return event.to_dict() if isinstance(event, SpanEvent) else event
+
+
+def event_dicts(events: Iterable[_EventLike]) -> List[Dict[str, Any]]:
+    """Normalised JSONL rows for an event stream."""
+    return [_as_dict(e) for e in events]
+
+
+def to_jsonl(events: Iterable[_EventLike]) -> str:
+    """One compact JSON object per line, in emission order."""
+    return "".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        for row in event_dicts(events)
+    )
+
+
+def write_jsonl(events: Iterable[_EventLike], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(events))
+
+
+def _lane_for(row: Dict[str, Any]) -> Tuple[str, str]:
+    """``(process, thread)`` a row renders on."""
+    worker = row.get("worker")
+    if worker is not None:
+        return "workers", worker
+    if row.get("kind") in _MARKET_KINDS:
+        market = row.get("attrs", {}).get("market")
+        return "market", market if market is not None else row.get("name", "market")
+    pool = row.get("pool")
+    return "driver", pool if pool is not None else "driver"
+
+
+def to_chrome_trace(events: Iterable[_EventLike]) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON (object format with ``traceEvents``).
+
+    Spans become complete events (``ph: "X"``), instants become instant
+    events (``ph: "i"``); timestamps are simulated microseconds.  Processes
+    and threads are named via metadata events so the viewer shows worker
+    ids, pool names, and market ids instead of synthetic numbers.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    for event in events:
+        row = _as_dict(event)
+        process, thread = _lane_for(row)
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
+            trace_events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        lane = (process, thread)
+        tid = tids.get(lane)
+        if tid is None:
+            tid = tids[lane] = sum(1 for p, _t in tids if p == process) + 1
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": thread},
+            })
+        args: Dict[str, Any] = {"status": row.get("status", "complete")}
+        for key in ("job_id", "pool"):
+            if row.get(key) is not None:
+                args[key] = row[key]
+        args.update(row.get("attrs", {}))
+        entry: Dict[str, Any] = {
+            "name": row["name"],
+            "cat": row["kind"],
+            "pid": pid,
+            "tid": tid,
+            "ts": round(row["start"] * _US, 3),
+            "args": args,
+        }
+        if row.get("end") is not None:
+            entry["ph"] = "X"
+            entry["dur"] = round((row["end"] - row["start"]) * _US, 3)
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[_EventLike], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events), fh, indent=1)
+        fh.write("\n")

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tu
 
 from repro.engine.pools import DEFAULT_POOL
 from repro.engine.scheduler import EngineError
+from repro.obs import SpanEvent
 from repro.server.session import Session
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -194,6 +195,13 @@ class JobServer:
                 self.stats.rejected_by_pool[pool] = (
                     self.stats.rejected_by_pool.get(pool, 0) + 1
                 )
+                obs = self.context.obs
+                if obs.enabled:
+                    obs.metrics.inc("server.queries_rejected")
+                    obs.bus.emit(SpanEvent(
+                        kind="query", name=record.name, start=record.arrived_at,
+                        pool=pool, status="rejected",
+                    ))
                 self._fire_on_complete(record)
                 return record
             self._queue.append((record, fn))
@@ -248,6 +256,22 @@ class JobServer:
             record.finished_at = self.context.now
             record.done = True
             self._active[pool] -= 1
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.inc(
+                    "server.queries_completed" if record.ok else "server.queries_failed"
+                )
+                if record.queue_delay is not None:
+                    obs.metrics.observe(f"server.queue_delay.{pool}", record.queue_delay)
+                obs.bus.emit(SpanEvent(
+                    kind="query",
+                    name=record.name,
+                    start=record.arrived_at,
+                    end=record.finished_at,
+                    pool=pool,
+                    status="complete" if record.ok else "failed",
+                    attrs={"queue_delay": record.queue_delay},
+                ))
             self._fire_on_complete(record)
             self._drain()
 

@@ -16,7 +16,7 @@ directly comparable, and repeated runs are diffable.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.analysis.experiments import build_engine_context
 from repro.server.clients import ClosedLoopClient
@@ -39,6 +39,7 @@ def run_multitenant(
     interactive_cap: Optional[int] = None,
     batch_iterations: int = 3,
     clients: int = 1,
+    context_hook: Optional[Callable[[Any], None]] = None,
 ) -> Dict[str, Any]:
     """Run the scenario under one policy; returns the server's SLO report.
 
@@ -46,8 +47,14 @@ def run_multitenant(
     top-level pump); analyst queries arrive as events and execute inside
     callbacks, multiplexed against the batch tasks.  After the batch job
     finishes, the pump keeps stepping until the analyst is done too.
+
+    ``context_hook`` (if given) receives the freshly built context before
+    anything runs — the tracing CLI uses it to capture the context and
+    install an invariant checker whose listeners must observe the whole run.
     """
     ctx = build_engine_context(num_workers=num_workers, seed=seed)
+    if context_hook is not None:
+        context_hook(ctx)
     server = JobServer(ctx, ServerConfig(
         scheduling_policy=policy,
         max_queue=max_queue,

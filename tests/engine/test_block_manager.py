@@ -41,6 +41,41 @@ def test_oversized_block_dropped():
     assert bm.used_bytes == 0
 
 
+def test_oversized_reput_invalidates_stale_memory_copy():
+    """Rejecting an oversized replacement must not leave the old version.
+
+    The unfixed early-return kept the previous (now stale) copy resident in
+    memory and listed in the location index, so later reads served bytes the
+    caller had already superseded.
+    """
+    from repro.engine.block_index import BlockLocationIndex
+
+    worker, bm = make_bm(capacity=100)
+    index = BlockLocationIndex()
+    bm.index = index
+    assert bm.put("a", "v1", 80)
+    assert index.exists("a")
+    assert not bm.put("a", "v2", 200)  # oversized: rejected...
+    assert bm.get("a") is None  # ...and the stale v1 is gone
+    assert bm.used_bytes == 0
+    assert not index.exists("a")
+
+
+def test_oversized_reput_invalidates_stale_spill_copy():
+    from repro.engine.block_index import BlockLocationIndex
+
+    worker, bm = make_bm(capacity=150)
+    index = BlockLocationIndex()
+    bm.index = index
+    bm.put("a", "A", 100, spill=True)
+    bm.put("b", "B", 100, spill=True)  # spills "a" to disk
+    assert bm.get("a")[2] == "disk"
+    assert not bm.put("a", "A2", 500)  # oversized replacement
+    assert bm.get("a") is None
+    assert not worker.local_disk.has("spill/a")
+    assert index.holders("a") == []
+
+
 def test_memory_only_eviction_drops():
     """Spark's default MEMORY_ONLY: evicted blocks vanish (recompute later)."""
     worker, bm = make_bm(capacity=250)

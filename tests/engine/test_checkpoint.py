@@ -76,6 +76,34 @@ def test_gc_noop_when_descendant_incomplete():
     assert reg.has_partition(a, 0)
 
 
+def test_gc_notifies_listeners_even_when_dfs_already_empty():
+    """GC must announce an ancestor's retirement even if its files are gone.
+
+    When the DFS has diverged from the registry (the checkpoint files were
+    deleted externally), ``delete_prefix`` finds nothing — but listeners
+    still need the ``(rdd_id, None, False)`` notification and the registry
+    must drop its stale ``_written`` record, or the scheduler keeps serving
+    cached readiness decisions backed by checkpoints that no longer exist.
+    """
+    ctx = build_on_demand_context(2)
+    a = ctx.parallelize(list(range(8)), 2)
+    b = a.map(lambda x: x + 1)
+    reg = ctx.checkpoints
+    for p in range(2):
+        reg.record_write(a, p, [p], 100, t=0.0)
+    # Externally wipe a's checkpoint files: registry and DFS now disagree.
+    for p in range(2):
+        ctx.env.dfs.delete(reg.path_for(a.rdd_id, p))
+    notifications = []
+    reg.add_listener(lambda rid, part, avail: notifications.append((rid, part, avail)))
+    for p in range(2):
+        reg.record_write(b, p, [p], 100, t=1.0)
+    deleted = reg.gc_after_checkpoint(b)
+    assert deleted == 0  # nothing left on the DFS to delete...
+    assert (a.rdd_id, None, False) in notifications  # ...but listeners hear it
+    assert a.rdd_id not in reg.written_partitions()  # stale record cleaned
+
+
 def test_stored_bytes_counts_only_checkpoints():
     ctx = build_on_demand_context(2)
     rdd = ctx.parallelize([0], 1)

@@ -102,6 +102,28 @@ def test_chaos_smoke_sweep_passes():
     assert report.checks_run > 0
 
 
+def test_chaos_trace_failure_writes_timeline(tmp_path):
+    """A failure's traced rerun lands a Chrome trace + JSONL next to it."""
+    import json
+
+    from repro.faults.chaos import CHAOS_WORKLOADS, ChaosFailure, _trace_failure
+    from repro.faults.harness import run_reference
+
+    factory = CHAOS_WORKLOADS["KMeans"]
+    reference = run_reference(factory, "incremental", num_workers=6, seed=0)
+    failure = ChaosFailure(
+        seed=0, master_seed=0, workload="KMeans", mode="incremental",
+        family="revocation", spec="revoke at=task:10", violations=["boom"],
+    )
+    _trace_failure(factory, failure, reference, str(tmp_path))
+    assert len(failure.trace_paths) == 2
+    trace_path, events_path = failure.trace_paths
+    trace = json.loads(open(trace_path).read())
+    assert trace["traceEvents"], "trace must not be empty"
+    rows = [json.loads(line) for line in open(events_path)]
+    assert any(row["kind"] == "task" for row in rows)
+
+
 def test_chaos_failure_replay_command_round_trips():
     from repro.faults.chaos import ChaosFailure
 

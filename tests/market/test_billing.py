@@ -24,7 +24,7 @@ def stepped_market():
 def test_zero_duration_is_free():
     assert ec2_hourly_cost(flat_market(), 5.0, 5.0, False) == 0.0
     assert on_demand_cost(1.0, 5.0, 5.0) == 0.0
-    assert gce_preemptible_cost(1.0, 5.0, 5.0) == 0.0
+    assert gce_preemptible_cost(1.0, 5.0, 5.0, False) == 0.0
 
 
 def test_full_hours_charged_at_start_of_hour_price():
@@ -51,7 +51,7 @@ def test_reversed_interval_rejected():
     with pytest.raises(ValueError):
         on_demand_cost(1.0, 10.0, 5.0)
     with pytest.raises(ValueError):
-        gce_preemptible_cost(1.0, 10.0, 5.0)
+        gce_preemptible_cost(1.0, 10.0, 5.0, False)
 
 
 def test_on_demand_rounds_up_to_whole_hours():
@@ -61,9 +61,64 @@ def test_on_demand_rounds_up_to_whole_hours():
 
 
 def test_gce_per_minute_with_10_minute_minimum():
-    assert gce_preemptible_cost(0.60, 0.0, 5 * MINUTE) == pytest.approx(0.60 * 10 / 60)
-    assert gce_preemptible_cost(0.60, 0.0, 30 * MINUTE) == pytest.approx(0.30)
+    assert gce_preemptible_cost(0.60, 0.0, 5 * MINUTE, False) == pytest.approx(0.60 * 10 / 60)
+    assert gce_preemptible_cost(0.60, 0.0, 30 * MINUTE, False) == pytest.approx(0.30)
 
+
+# ---------------------------------------------------------------------------
+# Regressions: hour-boundary epsilon and provider-preemption minimum
+# ---------------------------------------------------------------------------
+
+def test_ec2_hour_boundary_epsilon_regression():
+    """A revocation an epsilon before an hour boundary bills the full hours.
+
+    The unfixed floor((end-start)/HOUR) lost the whole second hour to float
+    noise: 2h - 1e-10 classified as 1 full hour + partial, and the partial
+    is free on provider revocation, undercharging by an entire hour.
+    """
+    market = flat_market(0.10)
+    cost = ec2_hourly_cost(market, 0.0, 2 * HOUR - 1e-10, revoked_by_provider=True)
+    assert cost == pytest.approx(0.20)
+
+
+def test_ec2_boundary_is_symmetric_with_partial_check():
+    market = flat_market(0.10)
+    # Exactly 2 hours: 2 full hours, no started third hour, either way.
+    assert ec2_hourly_cost(market, 0.0, 2 * HOUR, False) == pytest.approx(0.20)
+    assert ec2_hourly_cost(market, 0.0, 2 * HOUR, True) == pytest.approx(0.20)
+    # An epsilon past the boundary on user terminate starts a new hour.
+    assert ec2_hourly_cost(market, 0.0, 2 * HOUR + 1e-6, False) == pytest.approx(0.30)
+
+
+def test_gce_provider_preemption_inside_minimum_is_free():
+    """GCE does not bill instances the provider preempts inside 10 minutes.
+
+    The unfixed model applied the 10-minute minimum unconditionally and
+    charged users for capacity the provider itself took away.
+    """
+    assert gce_preemptible_cost(0.60, 0.0, 5 * MINUTE, revoked_by_provider=True) == 0.0
+    assert gce_preemptible_cost(0.60, 0.0, 9.9 * MINUTE, revoked_by_provider=True) == 0.0
+
+
+def test_gce_provider_preemption_after_minimum_bills_exact_minutes():
+    assert gce_preemptible_cost(
+        0.60, 0.0, 12 * MINUTE, revoked_by_provider=True
+    ) == pytest.approx(0.60 * 12 / 60)
+    # At exactly ten minutes the instance is no longer free.
+    assert gce_preemptible_cost(
+        0.60, 0.0, 10 * MINUTE, revoked_by_provider=True
+    ) == pytest.approx(0.60 * 10 / 60)
+
+
+def test_gce_user_terminate_keeps_minimum():
+    assert gce_preemptible_cost(
+        0.60, 0.0, 2 * MINUTE, revoked_by_provider=False
+    ) == pytest.approx(0.60 * 10 / 60)
+
+
+# ---------------------------------------------------------------------------
+# Property tests across all three models
+# ---------------------------------------------------------------------------
 
 @given(st.floats(0.0, 50 * HOUR), st.floats(0.0, 10 * HOUR))
 @settings(max_examples=60, deadline=None)
@@ -81,3 +136,46 @@ def test_provider_revocation_never_costs_more(duration):
     revoked = ec2_hourly_cost(market, 0.0, duration, True)
     terminated = ec2_hourly_cost(market, 0.0, duration, False)
     assert revoked <= terminated
+
+
+@given(st.floats(0.0, 30 * HOUR), st.floats(0.0, 5 * HOUR), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_gce_cost_monotone_in_duration(duration, extra, revoked):
+    base = gce_preemptible_cost(0.60, 0.0, duration, revoked)
+    longer = gce_preemptible_cost(0.60, 0.0, duration + extra, revoked)
+    assert longer >= base >= 0.0
+
+
+@given(st.floats(0.0, 30 * HOUR))
+@settings(max_examples=60, deadline=None)
+def test_gce_provider_preemption_never_costs_more(duration):
+    revoked = gce_preemptible_cost(0.60, 0.0, duration, True)
+    terminated = gce_preemptible_cost(0.60, 0.0, duration, False)
+    assert revoked <= terminated
+
+
+@given(st.floats(0.0, 30 * HOUR), st.floats(0.0, 5 * HOUR))
+@settings(max_examples=60, deadline=None)
+def test_on_demand_cost_monotone_in_duration(duration, extra):
+    base = on_demand_cost(0.175, 0.0, duration)
+    longer = on_demand_cost(0.175, 0.0, duration + extra)
+    assert longer >= base >= 0.0
+
+
+@given(st.integers(0, 40))
+@settings(max_examples=41, deadline=None)
+def test_exact_hour_boundaries_bill_whole_hours_only(hours):
+    """At an exact N-hour duration every model agrees with whole-hour math."""
+    market = flat_market(0.10)
+    assert ec2_hourly_cost(market, 0.0, hours * HOUR, False) == pytest.approx(hours * 0.10)
+    assert ec2_hourly_cost(market, 0.0, hours * HOUR, True) == pytest.approx(hours * 0.10)
+    assert on_demand_cost(0.10, 0.0, hours * HOUR) == pytest.approx(hours * 0.10)
+
+
+@given(st.integers(10, 24 * 60))
+@settings(max_examples=60, deadline=None)
+def test_gce_exact_minute_boundaries(minutes):
+    """Past the minimum, GCE bills exactly the minutes used, either way."""
+    expected = 0.60 * minutes / 60.0
+    assert gce_preemptible_cost(0.60, 0.0, minutes * MINUTE, False) == pytest.approx(expected)
+    assert gce_preemptible_cost(0.60, 0.0, minutes * MINUTE, True) == pytest.approx(expected)

@@ -1,0 +1,84 @@
+"""Chrome trace / JSONL exporters: format validity and lane mapping."""
+
+import json
+
+from repro.obs.events import SpanEvent
+from repro.obs.export import to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+
+
+def sample_events():
+    return [
+        SpanEvent(kind="task", name="result rdd1[0]", start=1.0, end=3.0,
+                  worker="w-0", job_id=1, pool="batch"),
+        SpanEvent(kind="recompute", name="rdd1[0]", start=4.0, worker="w-1",
+                  status="instant"),
+        SpanEvent(kind="job", name="job-1", start=0.0, end=5.0, job_id=1,
+                  pool="batch"),
+        SpanEvent(kind="instance", name="i-0", start=0.0, end=9.0,
+                  status="revoked", attrs={"market": "spot/a", "cost": 0.1}),
+        SpanEvent(kind="query", name="q0", start=0.0, end=2.0, pool="interactive"),
+    ]
+
+
+def test_chrome_trace_structure():
+    trace = to_chrome_trace(sample_events())
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    rows = trace["traceEvents"]
+    spans = [r for r in rows if r["ph"] == "X"]
+    instants = [r for r in rows if r["ph"] == "i"]
+    metas = [r for r in rows if r["ph"] == "M"]
+    assert len(spans) == 4 and len(instants) == 1
+    assert all(i["s"] == "t" for i in instants)
+    # Simulated seconds scale to trace microseconds.
+    task = next(r for r in spans if r["cat"] == "task")
+    assert task["ts"] == 1_000_000.0 and task["dur"] == 2_000_000.0
+    assert task["args"]["job_id"] == 1 and task["args"]["pool"] == "batch"
+    # Every pid/tid in use is named by a metadata event.
+    named = {(m["pid"], m["tid"]) for m in metas if m["name"] == "thread_name"}
+    used = {(r["pid"], r["tid"]) for r in spans + instants}
+    assert used <= named
+    assert json.dumps(trace)  # serialisable
+
+
+def test_lane_assignment():
+    trace = to_chrome_trace(sample_events())
+    rows = trace["traceEvents"]
+    process_names = {
+        m["pid"]: m["args"]["name"]
+        for m in rows if m["ph"] == "M" and m["name"] == "process_name"
+    }
+    lane_of = {}
+    for m in rows:
+        if m["ph"] == "M" and m["name"] == "thread_name":
+            lane_of[(m["pid"], m["tid"])] = (process_names[m["pid"]], m["args"]["name"])
+    by_cat = {r["cat"]: lane_of[(r["pid"], r["tid"])] for r in rows if r["ph"] in "Xi"}
+    assert by_cat["task"] == ("workers", "w-0")
+    assert by_cat["recompute"] == ("workers", "w-1")
+    assert by_cat["job"] == ("driver", "batch")
+    assert by_cat["instance"] == ("market", "spot/a")
+    assert by_cat["query"] == ("driver", "interactive")
+
+
+def test_exporters_accept_dict_rows():
+    events = sample_events()
+    rows = [e.to_dict() for e in events]
+    assert to_chrome_trace(rows) == to_chrome_trace(events)
+    assert to_jsonl(rows) == to_jsonl(events)
+
+
+def test_jsonl_round_trip():
+    events = sample_events()
+    lines = to_jsonl(events).splitlines()
+    assert len(lines) == len(events)
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == [e.to_dict() for e in events]
+
+
+def test_writers(tmp_path):
+    events = sample_events()
+    trace_path = tmp_path / "t.json"
+    jsonl_path = tmp_path / "t.jsonl"
+    write_chrome_trace(events, str(trace_path))
+    write_jsonl(events, str(jsonl_path))
+    assert json.loads(trace_path.read_text())["displayTimeUnit"] == "ms"
+    assert len(jsonl_path.read_text().splitlines()) == len(events)

@@ -1,0 +1,99 @@
+"""End-to-end tracing: real runs reconcile with the scheduler's books.
+
+These tests run whole workloads with an enabled :class:`Observability` and
+check (a) invariant 8 — emitted task spans match the scheduler's counters
+exactly, per pool and per job — and (b) that tracing never changes the
+simulation: an identically seeded untraced run produces the same simulated
+runtime and results.
+"""
+
+import json
+
+from repro.faults.harness import build_fault_context, run_with_plan
+from repro.faults.invariants import InvariantChecker
+from repro.obs.export import to_chrome_trace
+from repro.workloads import KMeansWorkload, PageRankWorkload
+
+
+def _traced_run(workload_factory, num_workers=4, seed=0):
+    ctx = build_fault_context(num_workers=num_workers, seed=seed, trace=True)
+    checker = InvariantChecker(ctx)  # before the run: it subscribes to hooks
+    workload = workload_factory(ctx)
+    workload.load()
+    results = workload.run()
+    return ctx, checker, results
+
+
+def test_task_spans_reconcile_with_scheduler_books():
+    ctx, checker, _ = _traced_run(lambda c: KMeansWorkload(c, partitions=8))
+    assert checker.check("trace") == []
+    stats = ctx.scheduler.stats
+    assert ctx.obs.bus.count("task", status="complete") == stats.tasks_completed
+    assert stats.tasks_completed > 0
+    # Per-job books agree with per-job span counts.
+    by_job = {}
+    for e in ctx.obs.bus.by_kind("task"):
+        if e.status == "complete" and e.job_id is not None:
+            by_job[e.job_id] = by_job.get(e.job_id, 0) + 1
+    assert by_job == ctx.scheduler.tasks_completed_by_job
+
+
+def test_revocation_emits_lost_spans_and_recomputes():
+    def factory(c):
+        return PageRankWorkload(c, partitions=8, iterations=3)
+
+    ctx = build_fault_context(num_workers=4, seed=0, trace=True)
+    checker = InvariantChecker(ctx)
+    workload = factory(ctx)
+    workload.load()
+    ctx.env.schedule_in(
+        50.0, "revoke",
+        callback=lambda _e: ctx.cluster.force_revoke(ctx.cluster.live_workers()[:1]),
+    )
+    workload.run()
+    assert checker.check("trace") == []
+    stats = ctx.scheduler.stats
+    assert ctx.obs.bus.count("task", status="lost") == stats.tasks_lost
+    assert ctx.obs.bus.count("worker", status="revoked") == 1
+    # The trace stays a valid Chrome document under failure.
+    assert json.dumps(to_chrome_trace(ctx.obs.bus.events))
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    """Same seed, traced vs untraced: identical results and simulated time."""
+
+    def run(trace):
+        ctx = build_fault_context(num_workers=4, seed=3, trace=trace)
+        workload = KMeansWorkload(ctx, partitions=8)
+        workload.load()
+        results = workload.run()
+        return results, ctx.now, ctx.scheduler.stats.tasks_completed
+
+    traced = run(True)
+    untraced = run(False)
+    assert traced == untraced
+
+
+def test_fault_report_carries_event_log_when_traced():
+    def factory(c):
+        return KMeansWorkload(c, partitions=8)
+
+    plain = run_with_plan(factory, "revoke at=task:10", raise_on_violation=False)
+    assert plain.event_log == []
+    traced = run_with_plan(factory, "revoke at=task:10", raise_on_violation=False,
+                           trace=True)
+    assert traced.event_log, "traced rerun must attach its event stream"
+    kinds = {row["kind"] for row in traced.event_log}
+    assert "task" in kinds and "worker" in kinds
+    # Rows are the flat to_dict form the exporters accept directly.
+    assert json.dumps(to_chrome_trace(traced.event_log))
+
+
+def test_metrics_report_exposes_engine_counters():
+    ctx, _, _ = _traced_run(lambda c: KMeansWorkload(c, partitions=8))
+    snap = ctx.metrics_report()
+    counters = snap["counters"]
+    assert counters["scheduler.tasks_completed"] == ctx.scheduler.stats.tasks_completed
+    assert counters["scheduler.tasks_dispatched"] >= counters["scheduler.tasks_completed"]
+    assert "shuffle.bytes_written" in counters
+    assert any(name.startswith("pool.queue_delay.") for name in snap["histograms"])
