@@ -7,6 +7,10 @@ Runs the engine perf smoke and compares it against the checked-in
   30%) slower than the committed baseline fails the gate.  Workloads whose
   baseline wall time is under ``--min-wall`` seconds are reported but not
   gated (sub-second timings are noise-dominated on shared CI runners).
+- **Throughput gate** — the same threshold applied to ``tasks_per_second``
+  (reciprocally: higher is better), with the same ``--min-wall`` noise
+  exemption.  Catches data-plane slowdowns that wall time alone can hide
+  behind a faster host.
 - **Determinism gate** — the *simulated* runtimes must match the baseline
   exactly: they are pure outputs of the discrete-event engine and may not
   drift with the host.  Any mismatch means an unintended behaviour change.
@@ -98,6 +102,33 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
             )
         else:
             notes.append(line)
+        # Throughput gate: tasks/second may not fall more than the same
+        # threshold below the committed baseline (higher is better, so the
+        # gate is the wall gate's reciprocal).  Sub-min-wall workloads are
+        # exempt for the same noise reason.
+        base_tps = base_entry.get("tasks_per_second")
+        fresh_tps = fresh_entry.get("tasks_per_second")
+        if base_tps is None:
+            notes.append(
+                f"{name}: baseline has no tasks_per_second; throughput not "
+                f"gated (re-baseline with: {_REBASELINE})"
+            )
+        elif fresh_tps:
+            tps_ratio = fresh_tps / base_tps
+            line = (
+                f"{name}: throughput {fresh_tps}/s vs baseline {base_tps}/s "
+                f"({(tps_ratio - 1.0) * 100.0:+.1f}%)"
+            )
+            if base_wall < min_wall:
+                notes.append(line + f" [not gated: baseline < {min_wall}s]")
+            elif tps_ratio < 1.0 / (1.0 + threshold):
+                failures.append(
+                    line
+                    + f" falls below the {threshold * 100.0:.0f}% throughput "
+                    f"gate (if intentional, re-baseline with: {_REBASELINE})"
+                )
+            else:
+                notes.append(line)
         base_sim = _sim_runtimes(base_entry)
         fresh_sim = _sim_runtimes(fresh_entry)
         for key in sorted(base_sim.keys() & fresh_sim.keys()):
@@ -148,7 +179,11 @@ def main() -> int:
         print(f"perf gate: baseline {args.baseline} is not valid JSON ({exc})")
         print(f"Regenerate it with:\n    {_REBASELINE}")
         return 2
-    fresh = run_smoke(args.out, mode=baseline.get("scheduler_mode", "incremental"))
+    fresh = run_smoke(
+        args.out,
+        mode=baseline.get("scheduler_mode", "incremental"),
+        fusion=baseline.get("fusion", "on"),
+    )
     failures, notes = compare(baseline, fresh, args.threshold, args.min_wall)
     for note in notes:
         print(f"ok: {note}")

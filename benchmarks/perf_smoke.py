@@ -41,11 +41,13 @@ _COUNTER_FIELDS = (
     "resolve_cache_misses",
     "readiness_invalidations",
     "readiness_rebuilds",
+    "fused_chains",
+    "fused_stages",
 )
 
 
 def _run_scenario(factory, checkpointing, failures, failure_at):
-    """One measured run; returns (simulated_runtime, SchedulerStats)."""
+    """One measured run; returns (simulated_runtime, FlintContext)."""
     ctx = build_engine_context(num_workers=CLUSTER_SIZE)
     manager = None
     if checkpointing:
@@ -66,19 +68,30 @@ def _run_scenario(factory, checkpointing, failures, failure_at):
     runtime = ctx.now - t0
     if manager is not None:
         manager.stop()
-    return runtime, ctx.scheduler.stats
+    return runtime, ctx
 
 
-def _accumulate(agg, stats):
+def _accumulate(agg, ctx):
+    stats = ctx.scheduler.stats
     for field in _COUNTER_FIELDS:
         agg[field] = agg.get(field, 0) + getattr(stats, field)
     agg["tasks_completed"] = agg.get("tasks_completed", 0) + stats.tasks_completed
     agg["ready_queue_peak"] = max(agg.get("ready_queue_peak", 0), stats.ready_queue_peak)
+    # Sizing-memo counters live on the context, not SchedulerStats.
+    agg["record_size_memo_hits"] = (
+        agg.get("record_size_memo_hits", 0) + ctx.record_size_memo_hits
+    )
+    agg["record_size_memo_misses"] = (
+        agg.get("record_size_memo_misses", 0) + ctx.record_size_memo_misses
+    )
 
 
 def _counters_payload(agg):
     resolves = agg["resolve_cache_hits"] + agg["resolve_cache_misses"]
     rounds = agg["scheduling_rounds"]
+    memo_hits = agg.get("record_size_memo_hits", 0)
+    memo_misses = agg.get("record_size_memo_misses", 0)
+    memo_total = memo_hits + memo_misses
     return {
         "scheduling_rounds": rounds,
         "resolve_cache_hits": agg["resolve_cache_hits"],
@@ -96,6 +109,18 @@ def _counters_payload(agg):
             round(agg["readiness_rebuilds"] / rounds, 4) if rounds else None
         ),
         "ready_queue_peak": agg["ready_queue_peak"],
+        # Fused data plane: narrow chains collapsed into single streamed
+        # passes (both zero under FLINT_FUSION=off, and for workloads whose
+        # narrow stages are all single-operator).
+        "fused_chains": agg.get("fused_chains", 0),
+        "fused_stages": agg.get("fused_stages", 0),
+        "record_size_memo_hits": memo_hits,
+        "record_size_memo_misses": memo_misses,
+        # Memoised per-RDD sizing: repeat record-size consults are dict
+        # reads, not lineage walks.
+        "record_size_memo_hit_rate": (
+            round(memo_hits / memo_total, 4) if memo_total else None
+        ),
     }
 
 
@@ -105,10 +130,10 @@ def _smoke_one_workload(factory):
 
     # Figure 7 shape: baseline and one revocation, no checkpointing.
     wall_start = time.perf_counter()
-    baseline, stats = _run_scenario(factory, False, 0, None)
-    _accumulate(agg, stats)
-    revoked, stats = _run_scenario(factory, False, 1, baseline * 0.5)
-    _accumulate(agg, stats)
+    baseline, ctx = _run_scenario(factory, False, 0, None)
+    _accumulate(agg, ctx)
+    revoked, ctx = _run_scenario(factory, False, 1, baseline * 0.5)
+    _accumulate(agg, ctx)
     entry["fig7"] = {
         "wall_seconds": round(time.perf_counter() - wall_start, 3),
         "baseline_runtime": baseline,
@@ -119,13 +144,13 @@ def _smoke_one_workload(factory):
     # Figure 8 shape: checkpointed sweep over concurrent revocation counts.
     wall_start = time.perf_counter()
     runtimes = {}
-    base_runtime, stats = _run_scenario(factory, True, 0, None)
+    base_runtime, ctx = _run_scenario(factory, True, 0, None)
     runtimes["0"] = base_runtime
-    _accumulate(agg, stats)
+    _accumulate(agg, ctx)
     for k in FIG8_FAILURES[1:]:
-        runtime, stats = _run_scenario(factory, True, k, base_runtime * 0.5)
+        runtime, ctx = _run_scenario(factory, True, k, base_runtime * 0.5)
         runtimes[str(k)] = runtime
-        _accumulate(agg, stats)
+        _accumulate(agg, ctx)
     entry["fig8"] = {
         "wall_seconds": round(time.perf_counter() - wall_start, 3),
         "simulated_runtime_seconds": runtimes,
@@ -169,6 +194,8 @@ def _smoke_multitenant():
         agg["ready_queue_peak"] = max(
             agg.get("ready_queue_peak", 0), stats["ready_queue_peak"]
         )
+        for field, value in report["sizing"].items():
+            agg[field] = agg.get(field, 0) + value
     wall = round(time.perf_counter() - wall_start, 3)
     entry["wall_seconds"] = wall
     entry["multitenant"] = {"simulated_seconds": sims}
@@ -178,8 +205,9 @@ def _smoke_multitenant():
     return entry, agg
 
 
-def run_smoke(out_path: str, mode: str = "incremental") -> dict:
+def run_smoke(out_path: str, mode: str = "incremental", fusion: str = "on") -> dict:
     os.environ["FLINT_SCHEDULER"] = mode
+    os.environ["FLINT_FUSION"] = fusion
     # Measured runs must never pay (or hide behind) tracing overhead: pin the
     # observability layer off and fail loudly if the env says otherwise, so
     # the committed gate always compares untraced engines.
@@ -190,6 +218,7 @@ def run_smoke(out_path: str, mode: str = "incremental") -> dict:
     report = {
         "benchmark": "engine_perf_smoke",
         "scheduler_mode": mode,
+        "fusion": fusion,
         "tracing": "disabled",
         "cluster_size": CLUSTER_SIZE,
         "cluster_mttf_seconds": CLUSTER_MTTF,
@@ -225,14 +254,57 @@ def run_smoke(out_path: str, mode: str = "incremental") -> dict:
     return report
 
 
+def fusion_comparison(report: dict, unfused_out: str) -> dict:
+    """Re-run the smoke with ``FLINT_FUSION=off`` and compare wall/throughput.
+
+    The fused report must already exist; the unfused run lands beside it.
+    Simulated runtimes are identical by construction (fusion only changes
+    how narrow chains are executed, never what they compute or charge), so
+    the interesting deltas are wall seconds and tasks/second.
+    """
+    unfused = run_smoke(unfused_out, mode=report["scheduler_mode"], fusion="off")
+    comparison = {}
+    pairs = list(report["workloads"].items()) + [("totals", report["totals"])]
+    for name, fused_entry in pairs:
+        unfused_entry = (
+            unfused["totals"] if name == "totals" else unfused["workloads"][name]
+        )
+        fused_wall = fused_entry["wall_seconds"]
+        comparison[name] = {
+            "fused_wall_seconds": fused_wall,
+            "unfused_wall_seconds": unfused_entry["wall_seconds"],
+            "fused_tasks_per_second": fused_entry["tasks_per_second"],
+            "unfused_tasks_per_second": unfused_entry["tasks_per_second"],
+            "wall_speedup": (
+                round(unfused_entry["wall_seconds"] / fused_wall, 3)
+                if fused_wall else None
+            ),
+        }
+    return comparison
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_engine.json"))
     parser.add_argument(
         "--mode", default="incremental", choices=["incremental", "legacy"]
     )
+    parser.add_argument("--fusion", default="on", choices=["on", "off"])
+    parser.add_argument(
+        "--compare-fusion", action="store_true",
+        help="also run with FLINT_FUSION=off and report wall/throughput deltas",
+    )
     args = parser.parse_args()
-    report = run_smoke(args.out, args.mode)
+    if args.compare_fusion and args.fusion != "on":
+        parser.error("--compare-fusion requires --fusion on (the fused side)")
+    report = run_smoke(args.out, args.mode, fusion=args.fusion)
+    if args.compare_fusion:
+        stem, ext = os.path.splitext(args.out)
+        comparison = fusion_comparison(report, stem + ".unfused" + ext)
+        report["fusion_comparison"] = comparison
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
     for name, entry in report["workloads"].items():
         counters = entry["scheduler_counters"]
         if "fig7" in entry:
@@ -251,13 +323,23 @@ def main() -> int:
             + breakdown
             + f"{entry['tasks_completed']} tasks ({entry['tasks_per_second']}/s), "
             f"resolve hit rate {counters['resolve_cache_hit_rate']}, "
-            f"rebuild fraction {counters['rebuild_fraction']}"
+            f"rebuild fraction {counters['rebuild_fraction']}, "
+            f"fused chains {counters['fused_chains']}, "
+            f"sizing memo hit rate {counters['record_size_memo_hit_rate']}"
         )
     totals = report["totals"]
     print(
         f"total: {totals['wall_seconds']}s wall, "
         f"{totals['tasks_completed']} tasks ({totals['tasks_per_second']}/s)"
     )
+    for name, cmp in report.get("fusion_comparison", {}).items():
+        print(
+            f"fusion {name}: wall {cmp['fused_wall_seconds']}s fused vs "
+            f"{cmp['unfused_wall_seconds']}s unfused "
+            f"({cmp['wall_speedup']}x), throughput "
+            f"{cmp['fused_tasks_per_second']}/s vs "
+            f"{cmp['unfused_tasks_per_second']}/s"
+        )
     print(f"wrote {args.out}")
     return 0
 

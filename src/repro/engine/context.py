@@ -38,10 +38,25 @@ class FlintContext:
         cost_model: Optional[CostModel] = None,
         scheduler_mode: Optional[str] = None,
         obs: Optional[Observability] = None,
+        fusion: Optional[bool] = None,
     ):
         self.env = env
         self.cluster = cluster
         self.cost_model = cost_model or CostModel()
+        #: Fused narrow-chain execution (``FLINT_FUSION``, default on).
+        #: ``off`` routes every task through the seed's per-RDD
+        #: ``compute``/``iterator`` recursion — the golden reference the
+        #: fusion equivalence tests compare against.
+        if fusion is None:
+            fusion = os.environ.get("FLINT_FUSION", "on").lower() not in (
+                "off", "0", "false",
+            )
+        self.fusion_enabled = bool(fusion)
+        #: Bumped by :meth:`RDD.set_record_size`; versions every RDD's
+        #: memoised inherited record size (see ``RDD.record_size``).
+        self.sizing_epoch = 0
+        self.record_size_memo_hits = 0
+        self.record_size_memo_misses = 0
         #: Engine-wide tracing + metrics (``FLINT_TRACE``, default off).
         #: Attribute-wired into every subsystem below, the same first-class
         #: hook-point pattern as the fault injector.

@@ -58,6 +58,10 @@ class RDD:
         self.dependencies = dependencies
         self.num_partitions = int(num_partitions)
         self._record_size = record_size
+        #: Memoised inherited record size: ``(sizing_epoch, value)``.  The
+        #: context-wide epoch bumps on any ``set_record_size`` so stale
+        #: entries self-invalidate without a graph walk.
+        self._record_size_memo: Optional[Tuple[int, int]] = None
         self.compute_multiplier = float(compute_multiplier)
         self.name = name or type(self).__name__
         self.persisted = False
@@ -65,13 +69,37 @@ class RDD:
         self.manual_checkpoint = False
         # Set for post-shuffle RDDs so joins can avoid redundant shuffles.
         self.partitioner: Optional[HashPartitioner] = None
+        #: How many lineage edges point at this RDD.  An RDD consumed by
+        #: more than one dependant must stay a fusion boundary: the unfused
+        #: path memoises (and charges) it once per task, which fusion can
+        #: only reproduce by resolving it through ``TaskRuntime.iterator``.
+        self.dependents = 0
+        for dep in dependencies:
+            dep.rdd.dependents += 1
         context._register_rdd(self)
 
     # ------------------------------------------------------------------
     # Core contract
     # ------------------------------------------------------------------
+    #: True for operators that can run as a stage of a fused narrow chain:
+    #: :meth:`compute_fused` consumes the parent's already-resolved records
+    #: instead of re-entering ``runtime.iterator``.  Sources and shuffle
+    #: consumers stay False — they are pipeline breakers by construction.
+    supports_fusion = False
+
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         """Produce the records of partition ``split`` (pure, deterministic)."""
+        raise NotImplementedError
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
+        """Produce partition ``split`` from the parent's record stream.
+
+        Fused form of :meth:`compute` for single-narrow-parent operators:
+        ``records`` is an iterable of the (sole contributing) parent
+        partition's records, already resolved by the task runtime.  Must
+        return exactly what ``compute`` would — the fused and unfused data
+        planes are held bit-identical by the equivalence tests.
+        """
         raise NotImplementedError
 
     @property
@@ -81,18 +109,35 @@ class RDD:
 
     @property
     def record_size(self) -> int:
-        """Virtual bytes per record (own hint, else inherited, else default)."""
+        """Virtual bytes per record (own hint, else inherited, else default).
+
+        Inherited answers are memoised per RDD against the context's sizing
+        epoch: lineage chains grow one node per transformation, so without
+        the memo every charge on a late-iteration RDD re-walks the whole
+        graph back to its source.
+        """
         if self._record_size is not None:
             return self._record_size
+        ctx = self.context
+        memo = self._record_size_memo
+        if memo is not None and memo[0] == ctx.sizing_epoch:
+            ctx.record_size_memo_hits += 1
+            return memo[1]
+        ctx.record_size_memo_misses += 1
         if self.dependencies:
-            return self.dependencies[0].rdd.record_size
-        return DEFAULT_RECORD_SIZE
+            value = self.dependencies[0].rdd.record_size
+        else:
+            value = DEFAULT_RECORD_SIZE
+        self._record_size_memo = (ctx.sizing_epoch, value)
+        return value
 
     def set_record_size(self, nbytes: int) -> "RDD":
         """Override the virtual record size hint (returns self for chaining)."""
         if nbytes <= 0:
             raise ValueError("record size must be positive")
         self._record_size = int(nbytes)
+        # Descendants may have memoised the old inherited value.
+        self.context.sizing_epoch += 1
         return self
 
     def set_name(self, name: str) -> "RDD":

@@ -42,7 +42,7 @@ from repro.engine.block_index import parse_block_id
 from repro.engine.block_manager import BlockManager, block_id_for
 from repro.engine.checkpoint import CheckpointWriteError
 from repro.engine.dependencies import NarrowDependency, ShuffleDependency
-from repro.engine.partitioner import stable_hash
+from repro.engine.partitioner import HashPartitioner, stable_hash
 from repro.engine.pools import DEFAULT_POOL, SCHEDULING_POLICIES, Pool
 from repro.engine.profiling import SectionTimers, profiling_enabled_by_env
 from repro.engine.shuffle import ShuffleFetchFailure
@@ -67,7 +67,36 @@ class EngineError(RuntimeError):
 
 
 def _combine_sort_key(kv):
-    return stable_hash(kv[0])
+    k = kv[0]
+    if type(k) is int:  # inline stable_hash's dominant branch
+        return k & 0x7FFFFFFF
+    return stable_hash(k)
+
+
+#: Missing-key sentinel for the map-side combine loop.
+_ABSENT = object()
+
+
+def _fusion_edge(node: "RDD", split: int) -> Optional[Tuple["RDD", int]]:
+    """The sole contributing ``(parent, parent_partition)`` of a narrow node.
+
+    Returns None — a fusion boundary — when the node has no parents, any
+    shuffle input, or more than one contributing parent partition (e.g. a
+    cogroup with two narrow sides).  Range dependencies (union) contribute
+    at most one parent partition each, so a union fuses through whichever
+    side covers ``split``.
+    """
+    edge = None
+    for dep in node.dependencies:
+        if not isinstance(dep, NarrowDependency):
+            return None
+        parents = dep.parents_of(split)
+        if not parents:
+            continue
+        if edge is not None or len(parents) > 1:
+            return None
+        edge = (dep.rdd, parents[0])
+    return edge
 
 
 @dataclass
@@ -100,6 +129,11 @@ class SchedulerStats:
     jobs_completed: int = 0
     jobs_failed: int = 0
     concurrent_jobs_peak: int = 0
+    #: Fused data plane: narrow chains executed as one streamed pass, and
+    #: the total operator stages they covered (``FLINT_FUSION=off`` leaves
+    #: both at zero).
+    fused_chains: int = 0
+    fused_stages: int = 0
 
     def task_counts(self) -> Dict[str, int]:
         """The counters that must agree across scheduler modes."""
@@ -131,6 +165,7 @@ class TaskRuntime:
         self.pending_puts: List[PendingPut] = []
         self.computed: List[ComputedPartition] = []
         self._memo: Dict[Tuple[int, int], List[Any]] = {}
+        self._fusion = context.fusion_enabled
 
     def charge(self, seconds: float) -> None:
         """Add simulated seconds to this task's duration."""
@@ -164,7 +199,10 @@ class TaskRuntime:
             self._memo[key] = data
             return data
 
-        data = rdd.compute(partition, self)
+        if self._fusion and rdd.supports_fusion:
+            data = self._compute_fused(rdd, partition)
+        else:
+            data = rdd.compute(partition, self)
         nbytes = rdd.partition_bytes(len(data))
         self.charge(self.cost.compute_time(len(data) * rdd.record_size, rdd.compute_multiplier))
         if rdd.persisted:
@@ -178,6 +216,59 @@ class TaskRuntime:
             self.computed.append(ComputedPartition(rdd, partition, data, nbytes))
         self._memo[key] = data
         return data
+
+    def _compute_fused(self, rdd: "RDD", partition: int) -> List[Any]:
+        """Materialise ``(rdd, partition)`` by streaming its narrow chain.
+
+        Walks up the lineage collecting operator stages until a pipeline
+        breaker — a cached/persisted/checkpointed partition, a per-task memo
+        hit, a shuffle or multi-parent dependency, a source, or a node with
+        more than one dependant (which the unfused path would memoise and
+        serve twice).  The boundary input resolves through the normal
+        :meth:`iterator` path, then records stream through each stage's
+        ``compute_fused`` without re-entering per-RDD resolution.
+
+        Simulated time is bit-identical to the unfused recursion: the input
+        subtree charges first, then each interior stage deepest-first with
+        its own record count, size, and multiplier (the caller charges the
+        chain head, exactly as it charges any computed node).
+        """
+        edge = _fusion_edge(rdd, partition)
+        if edge is None:
+            return rdd.compute(partition, self)
+        ctx = self.context
+        checkpoints = ctx.checkpoints
+        memo = self._memo
+        stages = [(rdd, partition)]
+        node, split = edge
+        while (
+            node.supports_fusion
+            and node.dependents == 1
+            and not node.persisted
+            and (node.rdd_id, split) not in memo
+            and not ctx.block_exists(node, split)
+            and not checkpoints.has_partition(node, split)
+        ):
+            edge = _fusion_edge(node, split)
+            if edge is None:
+                break
+            stages.append((node, split))
+            node, split = edge
+        if len(stages) == 1:
+            return rdd.compute(partition, self)
+        stream: List[Any] = self.iterator(node, split)
+        cost = self.cost
+        charge = self.charge
+        for i in range(len(stages) - 1, 0, -1):
+            inner, inner_split = stages[i]
+            stream = inner.compute_fused(stream, inner_split)
+            charge(cost.compute_time(
+                len(stream) * inner.record_size, inner.compute_multiplier
+            ))
+        stats = ctx.scheduler.stats
+        stats.fused_chains += 1
+        stats.fused_stages += len(stages)
+        return rdd.compute_fused(stream, partition)
 
     def shuffle_fetch(self, dep: ShuffleDependency, reduce_id: int) -> List[List[Any]]:
         """Gather one reduce bucket from all map outputs, charging transfer time."""
@@ -225,8 +316,12 @@ class _JobState:
         self.running_tasks = 0
         self.results: List[Any] = [self._UNSET] * rdd.num_partitions
         self.remaining = rdd.num_partitions
-        #: Memoised incremental ready list (None = must rebuild next round).
-        self.ready_list: Optional[List[TaskSpec]] = None
+        #: Memoised incremental ready frontier, keyed by spec key in walk
+        #: order (None = must rebuild next round).  Specs leave the dict the
+        #: moment they stop being dispatch candidates — dispatched, result
+        #: delivered, or map output registered — so a round reads the
+        #: frontier as a plain ``values()`` copy with no per-spec checks.
+        self.ready_list: Optional[Dict[Tuple, TaskSpec]] = None
         #: RESULT specs in partition order, built once — the ready-list
         #: rebuild filters these instead of re-allocating specs each pass.
         self.root_specs: List[TaskSpec] = [
@@ -401,6 +496,9 @@ class TaskScheduler(ClusterListener):
         # Map specs are identified entirely by (shuffle, partition); reuse
         # one object per identity so rebuilds don't churn allocations.
         self._map_specs: Dict[Tuple[int, int], TaskSpec] = {}
+        # shuffle_id -> (output_epoch, interned specs for its missing maps);
+        # see _missing_map_specs.
+        self._missing_spec_lists: Dict[int, Tuple[int, List[TaskSpec]]] = {}
         # rdd_id -> RDD for every node the resolver has seen, so
         # invalidation can re-resolve a popped node in place.
         self._rdd_index: Dict[int, "RDD"] = {}
@@ -747,27 +845,24 @@ class TaskScheduler(ClusterListener):
             with self.timers.section("ready_rebuild"):
                 job.ready_list = self._build_ready_list(job)
             self.stats.readiness_rebuilds += 1
-        # Between rebuilds only three things change: specs get dispatched
-        # (now in ``running``; a fresh walk would skip them without
-        # expanding anything, since ready specs contribute no children),
-        # result tasks complete (their roots would not be pushed), and map
-        # outputs register (the legacy walk drops them from ``missing`` and
-        # never visits them).  Filtering the memoised order by those three
-        # O(1) checks is therefore exactly the walk.
-        sm = self.context.shuffle_manager
-        specs: List[TaskSpec] = []
-        for spec in job.ready_list:
-            if spec.key in self.running:
-                continue
-            kind = spec.kind
-            if kind == TaskKind.RESULT and job.has_result(spec.partition):
-                continue
-            if kind == TaskKind.SHUFFLE_MAP and sm.map_output_available(
-                spec.dep.shuffle_id, spec.partition
-            ):
-                continue
-            specs.append(spec)
-        return specs
+        # Between rebuilds only three things change a spec's candidacy:
+        # it gets dispatched (now in ``running``; a fresh walk would skip
+        # it without expanding anything, since ready specs contribute no
+        # children), its result arrives (the walk would not push its root),
+        # or its map output registers (the walk never visits available
+        # maps).  Each of those transitions pops the spec from the frontier
+        # dict at the event itself — ``_dispatch``, result delivery in
+        # ``_on_task_done``, and ``_on_shuffle_event`` — so the surviving
+        # dict *is* the walk's answer and a round just copies it.
+        #
+        # The pops are sound because every transition is monotone while the
+        # list is valid: results never unset, availability only flips off
+        # via a loss event, and a dispatched task either completes or dies
+        # on a path that drops every ready list (revocation, termination,
+        # straggler, abandoned dispatch, shuffle loss).  A sibling job's
+        # identical map spec is popped by the same dispatch — if that task
+        # is lost, the list drop restores both jobs' copies.
+        return list(job.ready_list.values())
 
     def _iter_job_specs(
         self, job_specs: List[Tuple[_JobState, List[TaskSpec]]]
@@ -822,14 +917,16 @@ class TaskScheduler(ClusterListener):
             job_alloc[job.job_id] += 1
             yield job, spec
 
-    def _build_ready_list(self, job: _JobState) -> List[TaskSpec]:
+    def _build_ready_list(self, job: _JobState) -> Dict[Tuple, TaskSpec]:
         """The seed's depth-first frontier walk over incremental resolves.
 
         Enumeration order is kept bit-identical to the legacy walk: RESULT
         roots pushed in partition order (popped descending), running specs
-        pruned without expansion, ``visited`` dedupe by task key.
+        pruned without expansion, ``visited`` dedupe by task key.  Returns
+        an insertion-ordered dict so later candidacy transitions pop specs
+        by key in O(1) (see ``_specs_for_job``).
         """
-        ready: List[TaskSpec] = []
+        ready: Dict[Tuple, TaskSpec] = {}
         visited: Set[Tuple] = set()
         running = self.running
         sm = self.context.shuffle_manager
@@ -856,10 +953,22 @@ class TaskScheduler(ClusterListener):
                 target = spec.rdd
             is_ready, needed = self._resolve_inc(target, spec.partition)
             if is_ready:
-                ready.append(spec)
+                ready[key] = spec
             else:
                 stack.extend(needed)
         return ready
+
+    def _pop_from_ready_lists(self, key: Tuple) -> None:
+        """Retire a spec from every job's memoised frontier.
+
+        Map-task keys are job-agnostic, so one job's dispatch or output
+        registration satisfies every sibling's copy of the spec; result
+        keys embed the job id and only ever hit their owner's dict.
+        """
+        for job in self._jobs.values():
+            ready = job.ready_list
+            if ready is not None:
+                ready.pop(key, None)
 
     def _ready_job_specs_scan(self, job: _JobState) -> List[TaskSpec]:
         """Legacy mode: recompute the frontier from scratch (seed behaviour)."""
@@ -937,6 +1046,25 @@ class TaskScheduler(ClusterListener):
             self._map_specs[sk] = spec
         return spec
 
+    def _missing_map_specs(self, dep: ShuffleDependency) -> List[TaskSpec]:
+        """Interned specs for a shuffle's currently-missing map outputs.
+
+        Every reducer of an incomplete shuffle resolves to the same needed
+        list, so it is built once per shuffle output epoch instead of once
+        per resolve (a wide stage used to pay maps × reducers ``_map_spec``
+        calls during a rebuild).  Valid exactly while the epoch matches:
+        registrations and losses both bump it.
+        """
+        sm = self.context.shuffle_manager
+        sid = dep.shuffle_id
+        epoch = sm.output_epoch(sid)
+        cached = self._missing_spec_lists.get(sid)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        specs = [self._map_spec(dep, m) for m in sm.missing_maps(dep)]
+        self._missing_spec_lists[sid] = (epoch, specs)
+        return specs
+
     def _resolve_inc(self, rdd: "RDD", partition: int) -> Tuple[bool, List[TaskSpec]]:
         """Persistent-cache twin of :meth:`_resolve`.
 
@@ -963,10 +1091,9 @@ class TaskScheduler(ClusterListener):
         for dep in rdd.dependencies:
             if isinstance(dep, ShuffleDependency):
                 self._shuffle_dependents.setdefault(dep.shuffle_id, set()).add(key)
-                missing = self.context.shuffle_manager.missing_maps(dep)
-                if missing:
+                if self.context.shuffle_manager.has_missing(dep.shuffle_id):
                     ready = False
-                    needed.extend(self._map_spec(dep, m) for m in missing)
+                    needed.extend(self._missing_map_specs(dep))
             elif isinstance(dep, NarrowDependency):
                 for parent_partition in dep.parents_of(partition):
                     self._dependents.setdefault((dep.rdd.rdd_id, parent_partition), set()).add(key)
@@ -989,6 +1116,13 @@ class TaskScheduler(ClusterListener):
 
     def _on_shuffle_event(self, shuffle_id: int, map_id: int, available: bool) -> None:
         if available:
+            # The map spec is no longer a dispatch candidate for anyone —
+            # exactly the condition the frontier filter used to re-check
+            # every round.  Availability only flips back off via the loss
+            # branch below, which drops every list outright.
+            self._pop_from_ready_lists(
+                (TaskKind.SHUFFLE_MAP.value, shuffle_id, map_id)
+            )
             if self.context.shuffle_manager.has_missing(shuffle_id):
                 # A registration that leaves the shuffle incomplete cannot
                 # flip any dependant ready; it only shrinks their needed
@@ -1147,6 +1281,7 @@ class TaskScheduler(ClusterListener):
             duration, "task_done", running, callback=self._on_task_done
         )
         self.running[spec.key] = running
+        self._pop_from_ready_lists(spec.key)
         obs = self.context.obs
         if obs.enabled:
             obs.metrics.inc("scheduler.tasks_dispatched")
@@ -1180,25 +1315,56 @@ class TaskScheduler(ClusterListener):
         dep = spec.dep
         records = runtime.iterator(dep.rdd, spec.partition)
         n_buckets = dep.num_reduce_partitions
-        pf = dep.partitioner.partition_for
+        partitioner = dep.partitioner
+        # ``num_reduce_partitions`` is the partitioner's own partition
+        # count, so a plain HashPartitioner's bucket choice can be inlined
+        # into the per-record loops (no function call per record).
+        hashed = type(partitioner) is HashPartitioner
+        pf = partitioner.partition_for
         if dep.map_side_combine:
             create, merge_value, _merge_combiners = dep.aggregator
-            tables: List[Dict[Any, Any]] = [dict() for _ in range(n_buckets)]
+            # Combine into one table, then distribute: the partitioner runs
+            # once per distinct key instead of once per record, and tiny
+            # buckets skip the sort.  Within a bucket the insertion order
+            # (first key occurrence) and merged values are exactly the
+            # per-bucket-table walk's, and the stable sort preserves it for
+            # hash ties — the buckets are bit-identical to the seed's.
+            combined: Dict[Any, Any] = {}
+            get = combined.get
             for key, value in records:
-                table = tables[pf(key)]
-                if key in table:
-                    table[key] = merge_value(table[key], value)
-                else:
-                    table[key] = create(value)
+                prev = get(key, _ABSENT)
+                combined[key] = (
+                    create(value) if prev is _ABSENT else merge_value(prev, value)
+                )
+            tables: List[List[Any]] = [[] for _ in range(n_buckets)]
+            if hashed:
+                for item in combined.items():
+                    key = item[0]
+                    if type(key) is int:
+                        tables[(key & 0x7FFFFFFF) % n_buckets].append(item)
+                    else:
+                        tables[stable_hash(key) % n_buckets].append(item)
+            else:
+                for item in combined.items():
+                    tables[pf(item[0])].append(item)
             buckets = [
-                sorted(table.items(), key=_combine_sort_key) if table else []
-                for table in tables
+                sorted(t, key=_combine_sort_key) if len(t) > 1 else t
+                for t in tables
             ]
+            out_records = len(combined)
         else:
             buckets = [[] for _ in range(n_buckets)]
-            for record in records:
-                buckets[pf(record[0])].append(record)
-        out_records = sum(len(b) for b in buckets)
+            if hashed:
+                for record in records:
+                    key = record[0]
+                    if type(key) is int:
+                        buckets[(key & 0x7FFFFFFF) % n_buckets].append(record)
+                    else:
+                        buckets[stable_hash(key) % n_buckets].append(record)
+            else:
+                for record in records:
+                    buckets[pf(record[0])].append(record)
+            out_records = len(records)
         runtime.charge(self.context.cost_model.shuffle_write_time(out_records * dep.rdd.record_size))
         return buckets
 
@@ -1266,6 +1432,9 @@ class TaskScheduler(ClusterListener):
             job = running.job
             if job is not None and not job.finished:
                 job.set_result(spec.partition, running.result)
+                ready = job.ready_list
+                if ready is not None:
+                    ready.pop(spec.key, None)
         elif spec.kind == TaskKind.CHECKPOINT:
             self.stats.checkpoint_tasks += 1
             self.stats.checkpoint_time_total += running.duration

@@ -35,6 +35,27 @@ class MapStatus:
         return sum(self.bucket_bytes)
 
 
+@dataclass
+class FetchPlan:
+    """Precomputed fetch layout for one complete shuffle.
+
+    Built once per (shuffle, output-epoch) and reused by every reduce task:
+    ``bucket_lists[map_id]`` is the map output's on-disk bucket list, and the
+    byte totals are pre-aggregated so a fetch resolves its local/remote split
+    with two list reads instead of an O(maps) status walk.  Any output
+    mutation (register, eviction, worker loss) bumps the shuffle's epoch,
+    invalidating the plan.
+    """
+
+    epoch: int
+    # map_id -> that map output's full bucket list (one entry per reducer).
+    bucket_lists: List[List[List[Any]]]
+    # reduce_id -> total bytes across all map outputs.
+    reduce_bytes: List[int]
+    # worker_id -> (reduce_id -> bytes served from that worker).
+    worker_bytes: Dict[str, List[int]]
+
+
 class ShuffleFetchFailure(RuntimeError):
     """A reduce task found a map output missing (its worker died)."""
 
@@ -63,6 +84,16 @@ class ShuffleManager:
         # worker_id -> {(shuffle_id, map_id)} it currently serves, so loss
         # of a worker is handled in O(outputs it owned), not O(all outputs).
         self._owned: Dict[str, Set[Tuple[int, int]]] = {}
+        # shuffle_id -> maintained total registered bytes, so
+        # ``output_bytes`` is O(1) instead of summing every MapStatus.
+        self._total_bytes: Dict[int, int] = {}
+        # shuffle_id -> output-mutation epoch / cached FetchPlan.  The plan
+        # is valid only while its epoch matches; every register/evict/loss
+        # bumps the epoch (see :class:`FetchPlan`).
+        self._plan_epochs: Dict[int, int] = {}
+        self._plans: Dict[int, FetchPlan] = {}
+        self.plans_built = 0
+        self.plan_hits = 0
         self.bytes_written = 0
         self.bytes_fetched_remote = 0
         self.bytes_fetched_local = 0
@@ -109,6 +140,19 @@ class ShuffleManager:
     def _disk_key(shuffle_id: int, map_id: int) -> str:
         return f"shuffle/{shuffle_id}/map_{map_id}"
 
+    def _invalidate_plan(self, shuffle_id: int) -> None:
+        """Bump the shuffle's output epoch, retiring any cached fetch plan."""
+        self._plan_epochs[shuffle_id] = self._plan_epochs.get(shuffle_id, 0) + 1
+
+    def output_epoch(self, shuffle_id: int) -> int:
+        """Monotone version of the shuffle's output set.
+
+        Bumped on every register, eviction, and loss — so any derived
+        structure (fetch plans, the scheduler's missing-spec lists) is
+        valid exactly while the epoch it was built at still matches.
+        """
+        return self._plan_epochs.get(shuffle_id, 0)
+
     # ------------------------------------------------------------------
     def register_map_output(
         self,
@@ -137,19 +181,26 @@ class ShuffleManager:
                 self._evict_local_state(worker, needed=total, keep_key=key)
                 worker.local_disk.put(key, buckets, total)
             status = MapStatus(worker.worker_id, key, bucket_bytes)
-            statuses = self._outputs.setdefault(dep.shuffle_id, {})
+            sid = dep.shuffle_id
+            statuses = self._outputs.setdefault(sid, {})
             old = statuses.get(map_id)
             if old is not None and old.worker_id != worker.worker_id:
                 owned = self._owned.get(old.worker_id)
                 if owned is not None:
-                    owned.discard((dep.shuffle_id, map_id))
+                    owned.discard((sid, map_id))
             statuses[map_id] = status
-            self._owned.setdefault(worker.worker_id, set()).add((dep.shuffle_id, map_id))
+            self._invalidate_plan(sid)
+            self._total_bytes[sid] = (
+                self._total_bytes.get(sid, 0)
+                + total
+                - (old.total_bytes if old is not None else 0)
+            )
+            self._owned.setdefault(worker.worker_id, set()).add((sid, map_id))
             missing.discard(map_id)
-            self.bytes_written += status.total_bytes
+            self.bytes_written += total
             obs = self.obs
             if obs is not None and obs.enabled:
-                obs.metrics.inc("shuffle.bytes_written", status.total_bytes)
+                obs.metrics.inc("shuffle.bytes_written", total)
                 if not missing:
                     obs.bus.emit(SpanEvent(
                         kind="stage",
@@ -228,23 +279,20 @@ class ShuffleManager:
         with self.timers.section("shuffle_fetch"):
             if self.fault_injector is not None:
                 self.fault_injector.on_shuffle_fetch(dep, reduce_id, to_worker)
-            missing = self.missing_maps(dep)
+            # Inline missing_maps: the happy path needs only the emptiness
+            # check, and the query counter must tick exactly as before.
+            self.missing_queries += 1
+            missing = self._missing.get(dep.shuffle_id)
+            if missing is None:
+                missing = self._ensure_tracked(dep)
             if missing:
-                raise ShuffleFetchFailure(dep.shuffle_id, missing)
-            buckets: List[List[Any]] = []
-            local_bytes = 0
-            remote_bytes = 0
-            statuses = self._outputs[dep.shuffle_id]
-            for map_id in range(dep.num_map_partitions):
-                status = statuses[map_id]
-                worker = self._workers[status.worker_id]
-                all_buckets = worker.local_disk.get(status.disk_key)
-                buckets.append(all_buckets[reduce_id])
-                nbytes = status.bucket_bytes[reduce_id]
-                if status.worker_id == to_worker.worker_id:
-                    local_bytes += nbytes
-                else:
-                    remote_bytes += nbytes
+                raise ShuffleFetchFailure(dep.shuffle_id, sorted(missing))
+            plan = self._fetch_plan(dep)
+            buckets = [all_buckets[reduce_id] for all_buckets in plan.bucket_lists]
+            total = plan.reduce_bytes[reduce_id]
+            served = plan.worker_bytes.get(to_worker.worker_id)
+            local_bytes = served[reduce_id] if served is not None else 0
+            remote_bytes = total - local_bytes
             self.bytes_fetched_local += local_bytes
             self.bytes_fetched_remote += remote_bytes
             obs = self.obs
@@ -265,6 +313,40 @@ class ShuffleManager:
                     },
                 ))
             return buckets, local_bytes, remote_bytes
+
+    def _fetch_plan(self, dep: ShuffleDependency) -> FetchPlan:
+        """The cached :class:`FetchPlan` for a complete shuffle.
+
+        Only called after the missing-map check passes, so every map output
+        is present.  Rebuilt when the shuffle's output epoch has moved.
+        """
+        sid = dep.shuffle_id
+        epoch = self._plan_epochs.get(sid, 0)
+        plan = self._plans.get(sid)
+        if plan is not None and plan.epoch == epoch:
+            self.plan_hits += 1
+            return plan
+        self.plans_built += 1
+        statuses = self._outputs[sid]
+        n_reduce = dep.num_reduce_partitions
+        bucket_lists: List[List[List[Any]]] = []
+        reduce_bytes = [0] * n_reduce
+        worker_bytes: Dict[str, List[int]] = {}
+        for map_id in range(dep.num_map_partitions):
+            status = statuses[map_id]
+            worker = self._workers[status.worker_id]
+            bucket_lists.append(worker.local_disk.get(status.disk_key))
+            served = worker_bytes.get(status.worker_id)
+            if served is None:
+                served = worker_bytes[status.worker_id] = [0] * n_reduce
+            bb = status.bucket_bytes
+            for r in range(n_reduce):
+                nbytes = bb[r]
+                reduce_bytes[r] += nbytes
+                served[r] += nbytes
+        plan = FetchPlan(epoch, bucket_lists, reduce_bytes, worker_bytes)
+        self._plans[sid] = plan
+        return plan
 
     def _evict_local_state(self, worker: "Worker", needed: int, keep_key: str) -> None:
         """Free local-disk space by dropping recomputable state.
@@ -290,6 +372,8 @@ class ShuffleManager:
                     owned = self._owned.get(popped.worker_id)
                     if owned is not None:
                         owned.discard((sid, map_id))
+                    self._invalidate_plan(sid)
+                    self._total_bytes[sid] = self._total_bytes.get(sid, 0) - popped.total_bytes
                     self._mark_lost(sid, map_id)
             elif worker.block_manager is not None:
                 # Cache spill evicted behind the block manager's back: keep
@@ -319,12 +403,24 @@ class ShuffleManager:
             status = statuses.get(map_id)
             if status is not None and status.worker_id == worker_id:
                 del statuses[map_id]
+                self._invalidate_plan(shuffle_id)
+                self._total_bytes[shuffle_id] = (
+                    self._total_bytes.get(shuffle_id, 0) - status.total_bytes
+                )
                 self._mark_lost(shuffle_id, map_id)
                 lost += 1
         return lost
 
     def output_bytes(self, dep: ShuffleDependency) -> int:
-        """Total bytes currently registered for a shuffle."""
+        """Total bytes currently registered for a shuffle (O(1), maintained)."""
+        return self._total_bytes.get(dep.shuffle_id, 0)
+
+    def output_bytes_by_scan(self, dep: ShuffleDependency) -> int:
+        """Reference O(maps) implementation of :meth:`output_bytes`.
+
+        The equivalence tests hold the maintained counter to exactly its
+        answers, mirroring :meth:`missing_maps_by_probe`.
+        """
         return sum(s.total_bytes for s in self._outputs.get(dep.shuffle_id, {}).values())
 
     # ------------------------------------------------------------------

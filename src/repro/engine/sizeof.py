@@ -5,6 +5,11 @@ one by sampling real records with a recursive ``sys.getsizeof`` walk —
 exactly the kind of sampling Spark's ``SizeEstimator`` does.  Estimates are
 only a fallback: every paper workload sets explicit hints so its data volume
 matches the evaluation's input sizes.
+
+Sizes feed the cost model, so the walk must be deterministic across
+interpreter runs: ``set``/``frozenset`` iteration order depends on string
+hash randomization (PYTHONHASHSEED), so oversized sets are sampled in
+stable-hash order rather than iteration order.
 """
 
 from __future__ import annotations
@@ -12,8 +17,15 @@ from __future__ import annotations
 import sys
 from typing import Any, Sequence
 
+from repro.engine.partitioner import stable_hash
+
 _SAMPLE_LIMIT = 20
 _DEPTH_LIMIT = 4
+
+
+def _stable_sample_key(item: Any):
+    """Process-independent ordering key for sampling unordered containers."""
+    return (stable_hash(item), repr(item))
 
 
 def deep_sizeof(obj: Any, depth: int = _DEPTH_LIMIT) -> int:
@@ -24,7 +36,16 @@ def deep_sizeof(obj: Any, depth: int = _DEPTH_LIMIT) -> int:
     if isinstance(obj, dict):
         for key, value in list(obj.items())[:_SAMPLE_LIMIT]:
             size += deep_sizeof(key, depth - 1) + deep_sizeof(value, depth - 1)
-    elif isinstance(obj, (list, tuple, set, frozenset)):
+    elif isinstance(obj, (set, frozenset)):
+        items = list(obj)
+        if len(items) > _SAMPLE_LIMIT:
+            # Which elements land in the sample must not depend on the
+            # set's (salted-hash) iteration order.  Under the limit the
+            # whole set is summed, so order is irrelevant.
+            items = sorted(items, key=_stable_sample_key)[:_SAMPLE_LIMIT]
+        for item in items:
+            size += deep_sizeof(item, depth - 1)
+    elif isinstance(obj, (list, tuple)):
         for item in list(obj)[:_SAMPLE_LIMIT]:
             size += deep_sizeof(item, depth - 1)
     return size

@@ -42,24 +42,20 @@ class TaskSpec:
     # RDD, so result identity must include the job; map and checkpoint work
     # stays job-agnostic (any job's output satisfies every consumer).
     job_id: Optional[int] = None
-    # key is consulted on every scheduler dict/set operation; memoise the
-    # tuple (identifying fields never change after construction) and use the
-    # kind's value string — its hash is cached on the interned str object,
-    # unlike Enum's per-call name hashing.
-    _key: Optional[Tuple] = field(default=None, repr=False, compare=False)
+    # key is consulted on every scheduler dict/set operation; compute the
+    # tuple eagerly (identifying fields never change after construction) so
+    # lookups are a plain attribute read, and use the kind's value string —
+    # its hash is cached on the interned str object, unlike Enum's per-call
+    # name hashing.
+    key: Tuple = field(init=False, repr=False, compare=False)
 
-    @property
-    def key(self) -> Tuple:
-        k = self._key
-        if k is None:
-            if self.kind == TaskKind.SHUFFLE_MAP:
-                k = (self.kind.value, self.dep.shuffle_id, self.partition)
-            elif self.kind == TaskKind.RESULT:
-                k = (self.kind.value, self.rdd.rdd_id, self.partition, self.job_id)
-            else:
-                k = (self.kind.value, self.rdd.rdd_id, self.partition)
-            self._key = k
-        return k
+    def __post_init__(self) -> None:
+        if self.kind == TaskKind.SHUFFLE_MAP:
+            self.key = (self.kind.value, self.dep.shuffle_id, self.partition)
+        elif self.kind == TaskKind.RESULT:
+            self.key = (self.kind.value, self.rdd.rdd_id, self.partition, self.job_id)
+        else:
+            self.key = (self.kind.value, self.rdd.rdd_id, self.partition)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskSpec({self.kind.value}, rdd={self.rdd.rdd_id}, p={self.partition})"

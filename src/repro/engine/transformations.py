@@ -25,6 +25,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.context import FlintContext
     from repro.engine.scheduler import TaskRuntime
 
+#: Missing-key sentinel for the aggregation merge loops (one dict lookup
+#: per record instead of a membership probe plus a read).
+_ABSENT = object()
+
+
+def _record_hash_key(kv):
+    """``stable_hash`` of a pair's key, with the int fast path inlined."""
+    k = kv[0]
+    if type(k) is int:
+        return k & 0x7FFFFFFF
+    return stable_hash(k)
+
 
 class ParallelCollectionRDD(RDD):
     """Source RDD from driver-side data, split into even slices."""
@@ -80,6 +92,8 @@ class GeneratedRDD(RDD):
 class MappedRDD(RDD):
     """One-to-one record transformation."""
 
+    supports_fusion = True
+
     def __init__(self, parent: RDD, fn: Callable[[Any], Any], compute_multiplier: float = 1.0):
         super().__init__(
             parent.context,
@@ -92,11 +106,16 @@ class MappedRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
-        return [self._fn(x) for x in runtime.iterator(parent, split)]
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
+        return [self._fn(x) for x in records]
 
 
 class FilteredRDD(RDD):
     """Keeps records matching a predicate."""
+
+    supports_fusion = True
 
     def __init__(self, parent: RDD, predicate: Callable[[Any], bool]):
         super().__init__(
@@ -107,11 +126,16 @@ class FilteredRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
-        return [x for x in runtime.iterator(parent, split) if self._predicate(x)]
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
+        return [x for x in records if self._predicate(x)]
 
 
 class FlatMappedRDD(RDD):
     """Maps each record to an iterable and flattens."""
+
+    supports_fusion = True
 
     def __init__(self, parent: RDD, fn: Callable[[Any], Any], compute_multiplier: float = 1.0):
         super().__init__(
@@ -125,14 +149,21 @@ class FlatMappedRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
         out: List[Any] = []
-        for x in runtime.iterator(parent, split):
-            out.extend(self._fn(x))
+        extend = out.extend
+        fn = self._fn
+        for x in records:
+            extend(fn(x))
         return out
 
 
 class MapPartitionsRDD(RDD):
     """Applies a function to an entire partition at once."""
+
+    supports_fusion = True
 
     def __init__(
         self, parent: RDD, fn: Callable[[List[Any]], List[Any]], compute_multiplier: float = 1.0
@@ -148,7 +179,13 @@ class MapPartitionsRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
-        return list(self._fn(list(runtime.iterator(parent, split))))
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
+        # The user function gets a private list copy, exactly as unfused:
+        # it may mutate its argument, and ``records`` can be a cached
+        # partition the block manager still owns.
+        return list(self._fn(list(records)))
 
 
 class PartitionIndexedRDD(RDD):
@@ -159,6 +196,8 @@ class PartitionIndexedRDD(RDD):
     reduce bucket it originally went to.
     """
 
+    supports_fusion = True
+
     def __init__(self, parent: RDD):
         super().__init__(
             parent.context, [OneToOneDependency(parent)], parent.num_partitions, name="indexKey"
@@ -166,11 +205,16 @@ class PartitionIndexedRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
-        return [((split, i), x) for i, x in enumerate(runtime.iterator(parent, split))]
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
+        return [((split, i), x) for i, x in enumerate(records)]
 
 
 class ZipWithIndexRDD(RDD):
     """Pairs records with global indices from precomputed partition offsets."""
+
+    supports_fusion = True
 
     def __init__(self, parent: RDD, offsets: List[int]):
         if len(offsets) != parent.num_partitions:
@@ -183,12 +227,17 @@ class ZipWithIndexRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
         base = self._offsets[split]
-        return [(x, base + i) for i, x in enumerate(runtime.iterator(parent, split))]
+        return [(x, base + i) for i, x in enumerate(records)]
 
 
 class SampledRDD(RDD):
     """Deterministic Bernoulli sampling (seeded per partition)."""
+
+    supports_fusion = True
 
     def __init__(self, parent: RDD, fraction: float, seed: int = 0):
         if not 0.0 <= fraction <= 1.0:
@@ -201,10 +250,14 @@ class SampledRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
+        return self.compute_fused(runtime.iterator(parent, split), split)
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
         # Seeded by (user seed, partition) only — not the RDD id — so the
         # same pipeline built twice samples identically.
         rng = SeededRNG(self._seed, f"sample-{split}")
-        records = list(runtime.iterator(parent, split))
+        if type(records) is not list:
+            records = list(records)
         if not records:
             return []
         mask = rng.random(len(records)) < self._fraction
@@ -212,7 +265,14 @@ class SampledRDD(RDD):
 
 
 class UnionRDD(RDD):
-    """Concatenation of several RDDs via range dependencies."""
+    """Concatenation of several RDDs via range dependencies.
+
+    Fuses as an identity stage: each output partition maps to exactly one
+    parent partition through its :class:`RangeDependency`, so a narrow chain
+    can run straight through a union without a materialisation stop.
+    """
+
+    supports_fusion = True
 
     def __init__(self, context: "FlintContext", parents: List[RDD]):
         if not parents:
@@ -228,8 +288,11 @@ class UnionRDD(RDD):
         for dep in self.dependencies:
             parents = dep.parents_of(split)
             if parents:
-                return list(runtime.iterator(dep.rdd, parents[0]))
+                return self.compute_fused(runtime.iterator(dep.rdd, parents[0]), split)
         raise IndexError(f"partition {split} out of range for union")
+
+    def compute_fused(self, records: Any, split: int) -> List[Any]:
+        return list(records)
 
 
 class ShuffledRDD(RDD):
@@ -267,20 +330,23 @@ class ShuffledRDD(RDD):
             return out
         create, merge_value, merge_combiners = dep.aggregator
         merged: Dict[Any, Any] = {}
-        for bucket in buckets:
-            for key, value in bucket:
-                if dep.map_side_combine:
-                    # Map side already produced combiners.
-                    if key in merged:
-                        merged[key] = merge_combiners(merged[key], value)
-                    else:
-                        merged[key] = value
-                else:
-                    if key in merged:
-                        merged[key] = merge_value(merged[key], value)
-                    else:
-                        merged[key] = create(value)
-        return sorted(merged.items(), key=lambda kv: stable_hash(kv[0]))
+        get = merged.get
+        if dep.map_side_combine:
+            # Map side already produced combiners.
+            for bucket in buckets:
+                for key, value in bucket:
+                    prev = get(key, _ABSENT)
+                    merged[key] = (
+                        value if prev is _ABSENT else merge_combiners(prev, value)
+                    )
+        else:
+            for bucket in buckets:
+                for key, value in bucket:
+                    prev = get(key, _ABSENT)
+                    merged[key] = (
+                        create(value) if prev is _ABSENT else merge_value(prev, value)
+                    )
+        return sorted(merged.items(), key=_record_hash_key)
 
 
 class CoGroupedRDD(RDD):
@@ -307,23 +373,29 @@ class CoGroupedRDD(RDD):
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         n = len(self.dependencies)
-        table: Dict[Any, List[List[Any]]] = {}
-
-        def absorb(side: int, records) -> None:
-            for key, value in records:
-                groups = table.get(key)
-                if groups is None:
-                    groups = [[] for _ in range(n)]
-                    table[key] = groups
-                groups[side].append(value)
-
+        # Group tuples are built up-front (not converted from lists at the
+        # end), so the result is one sort over the table itself.  The
+        # two-sided case — every ``cogroup``/``join`` the engine itself
+        # creates — constructs its group pair as a literal.
+        table: Dict[Any, Tuple[List[Any], ...]] = {}
+        get = table.get
         for side, dep in enumerate(self.dependencies):
             if isinstance(dep, ShuffleDependency):
-                for bucket in runtime.shuffle_fetch(dep, split):
-                    absorb(side, bucket)
+                sources = runtime.shuffle_fetch(dep, split)
             else:
-                absorb(side, runtime.iterator(dep.rdd, split))
-        return sorted(
-            ((k, tuple(groups)) for k, groups in table.items()),
-            key=lambda kv: stable_hash(kv[0]),
-        )
+                sources = (runtime.iterator(dep.rdd, split),)
+            if n == 2:
+                for records in sources:
+                    for key, value in records:
+                        groups = get(key)
+                        if groups is None:
+                            groups = table[key] = ([], [])
+                        groups[side].append(value)
+            else:
+                for records in sources:
+                    for key, value in records:
+                        groups = get(key)
+                        if groups is None:
+                            groups = table[key] = tuple([] for _ in range(n))
+                        groups[side].append(value)
+        return sorted(table.items(), key=_record_hash_key)

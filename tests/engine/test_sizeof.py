@@ -1,0 +1,59 @@
+"""Record-size estimation: determinism of the recursive sizeof walk.
+
+Sizes feed the cost model, so ``deep_sizeof`` must return the same answer
+in every interpreter run.  The dangerous case is oversized ``set`` /
+``frozenset`` containers: which elements land in the bounded sample must
+not depend on the set's salted-hash iteration order (PYTHONHASHSEED).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.engine.sizeof import _SAMPLE_LIMIT, deep_sizeof, estimate_record_size
+
+_SNIPPET = (
+    "from repro.engine.sizeof import deep_sizeof;"
+    "print(deep_sizeof(frozenset('key-%d' % i for i in range(64))));"
+    "print(deep_sizeof({('k%d' % i, i) for i in range(64)}))"
+)
+
+
+def _sizeof_under_hash_seed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        env=env, capture_output=True, text=True, check=True,
+    ).stdout
+
+
+def test_oversized_set_sampling_is_hash_seed_independent():
+    """The regression: salted set iteration order must not move the sample."""
+    assert _sizeof_under_hash_seed("1") == _sizeof_under_hash_seed("2")
+
+
+def test_small_sets_sum_every_element():
+    small = {f"key-{i}" for i in range(_SAMPLE_LIMIT)}
+    # Order is irrelevant under the limit: every element is summed.
+    assert deep_sizeof(small) == deep_sizeof(frozenset(sorted(small)))
+    assert deep_sizeof(small) > sys.getsizeof(small)
+
+
+def test_deep_sizeof_recurses_into_containers():
+    flat = sys.getsizeof([0, 1])
+    nested = deep_sizeof([[0, 1], {"a": (2, 3)}])
+    assert nested > flat
+    # Depth limit bottoms out instead of recursing forever.
+    assert deep_sizeof([[[[[[1]]]]]]) > 0
+
+
+def test_estimate_record_size_bounds():
+    assert estimate_record_size([]) == 1
+    records = [(i, f"value-{i}") for i in range(100)]
+    est = estimate_record_size(records)
+    assert est == estimate_record_size(records[:_SAMPLE_LIMIT])
+    assert est >= 1
