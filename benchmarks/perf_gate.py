@@ -15,6 +15,13 @@ Runs the engine perf smoke and compares it against the checked-in
   exactly: they are pure outputs of the discrete-event engine and may not
   drift with the host.  Any mismatch means an unintended behaviour change.
 
+The fresh run replays the committed baseline's configuration — scheduler
+mode, fusion, **and executor backend + worker count** — so the gate always
+compares like-with-like: an inline baseline never gates a process-pool run
+(whose wall profile legitimately differs) and vice versa.  The executor
+plane is behaviour-invariant by contract, so the determinism gate holds
+across backends regardless; only the wall/throughput gates need the pairing.
+
 Usage:
     PYTHONPATH=src python benchmarks/perf_gate.py \
         [--baseline BENCH_engine.json] [--threshold 0.30] [--out path.json]
@@ -179,10 +186,19 @@ def main() -> int:
         print(f"perf gate: baseline {args.baseline} is not valid JSON ({exc})")
         print(f"Regenerate it with:\n    {_REBASELINE}")
         return 2
+    executor = baseline.get("executor", "inline")
+    workers = baseline.get("worker_count")
+    print(
+        f"perf gate: baseline config scheduler={baseline.get('scheduler_mode', 'incremental')} "
+        f"fusion={baseline.get('fusion', 'on')} executor={executor}"
+        + (f" workers={workers}" if workers else "")
+    )
     fresh = run_smoke(
         args.out,
         mode=baseline.get("scheduler_mode", "incremental"),
         fusion=baseline.get("fusion", "on"),
+        executor=executor,
+        workers=workers,
     )
     failures, notes = compare(baseline, fresh, args.threshold, args.min_wall)
     for note in notes:

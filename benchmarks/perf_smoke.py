@@ -8,8 +8,15 @@ multi-tenant serving scenario (job server, fifo vs fair), and emits
 the ``SchedulerStats`` counters that evidence the O(1)/O(Δ) readiness
 machinery (resolve-cache hit rate, rebuild fraction, invalidation counts).
 
+The report records which executor plane produced the numbers (``executor``,
+``worker_count``, ``host_cpus``) so the perf gate always compares
+like-with-like; ``--compare-executors`` additionally re-runs the smoke under
+every other ``FLINT_EXECUTOR`` backend and embeds per-backend wall seconds.
+
 Usage:
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_engine.json]
+        [--executor inline|process|async] [--executor-workers N]
+        [--compare-fusion] [--compare-executors]
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ for path in (_ROOT, os.path.join(_ROOT, "src")):
 from benchmarks.conftest import BATCH_WORKLOADS, CLUSTER_SIZE  # noqa: E402
 from repro.analysis.experiments import build_engine_context  # noqa: E402
 from repro.core.ftmanager import FaultToleranceManager  # noqa: E402
+from repro.engine.executor import EXECUTOR_BACKENDS, resolve_backend  # noqa: E402
 from repro.simulation.clock import HOUR  # noqa: E402
 
 MARKET = "od/r3.large"
@@ -43,6 +51,9 @@ _COUNTER_FIELDS = (
     "readiness_rebuilds",
     "fused_chains",
     "fused_stages",
+    "kernels_offloaded",
+    "kernels_consumed",
+    "kernels_fallback",
 )
 
 
@@ -114,6 +125,13 @@ def _counters_payload(agg):
         # narrow stages are all single-operator).
         "fused_chains": agg.get("fused_chains", 0),
         "fused_stages": agg.get("fused_stages", 0),
+        # Executor plane: kernels staged on the backend pool vs actually
+        # consumed by dispatched tasks (all zero under the inline plane;
+        # fallbacks mean the chain shape drifted between staging and
+        # dispatch, and the task recomputed inline).
+        "kernels_offloaded": agg.get("kernels_offloaded", 0),
+        "kernels_consumed": agg.get("kernels_consumed", 0),
+        "kernels_fallback": agg.get("kernels_fallback", 0),
         "record_size_memo_hits": memo_hits,
         "record_size_memo_misses": memo_misses,
         # Memoised per-RDD sizing: repeat record-size consults are dict
@@ -205,9 +223,25 @@ def _smoke_multitenant():
     return entry, agg
 
 
-def run_smoke(out_path: str, mode: str = "incremental", fusion: str = "on") -> dict:
+def run_smoke(
+    out_path: str,
+    mode: str = "incremental",
+    fusion: str = "on",
+    executor: str = "inline",
+    workers: "int | None" = None,
+) -> dict:
     os.environ["FLINT_SCHEDULER"] = mode
     os.environ["FLINT_FUSION"] = fusion
+    # Executor plane under test.  The env var is the channel that reaches
+    # every context the scenarios build; resolving here also validates the
+    # name and pins the effective pool size into the report, so the gate can
+    # compare like-with-like (inline baselines never gate a process run).
+    os.environ["FLINT_EXECUTOR"] = executor
+    if workers is not None:
+        os.environ["FLINT_WORKERS"] = str(workers)
+    else:
+        os.environ.pop("FLINT_WORKERS", None)
+    backend = resolve_backend(executor, workers)
     # Measured runs must never pay (or hide behind) tracing overhead: pin the
     # observability layer off and fail loudly if the env says otherwise, so
     # the committed gate always compares untraced engines.
@@ -219,6 +253,12 @@ def run_smoke(out_path: str, mode: str = "incremental", fusion: str = "on") -> d
         "benchmark": "engine_perf_smoke",
         "scheduler_mode": mode,
         "fusion": fusion,
+        "executor": backend.name,
+        "worker_count": backend.worker_count,
+        # Wall timings only mean anything relative to the host's core count:
+        # on a single-core machine the parallel backends pay serialisation
+        # and pool overhead with no concurrent compute to win back.
+        "host_cpus": os.cpu_count(),
         "tracing": "disabled",
         "cluster_size": CLUSTER_SIZE,
         "cluster_mttf_seconds": CLUSTER_MTTF,
@@ -262,7 +302,13 @@ def fusion_comparison(report: dict, unfused_out: str) -> dict:
     how narrow chains are executed, never what they compute or charge), so
     the interesting deltas are wall seconds and tasks/second.
     """
-    unfused = run_smoke(unfused_out, mode=report["scheduler_mode"], fusion="off")
+    unfused = run_smoke(
+        unfused_out,
+        mode=report["scheduler_mode"],
+        fusion="off",
+        executor=report.get("executor", "inline"),
+        workers=report.get("worker_count"),
+    )
     comparison = {}
     pairs = list(report["workloads"].items()) + [("totals", report["totals"])]
     for name, fused_entry in pairs:
@@ -283,6 +329,41 @@ def fusion_comparison(report: dict, unfused_out: str) -> dict:
     return comparison
 
 
+def executor_comparison(report: dict, out_for, workers: "int | None" = None) -> dict:
+    """Re-run the smoke under every other executor backend.
+
+    Simulated runtimes are backend-invariant by contract (the golden
+    equivalence suite pins them bit-for-bit), so the deltas that matter are
+    wall seconds and task throughput per backend.  Interpret them against
+    ``host_cpus``: with a single core the process/async planes pay pickling
+    and pool overhead with no parallel compute to win back; the Figure 8
+    speedups need a multi-core host.  ``out_for(name)`` maps a backend name
+    to the path its full report is written to.
+    """
+    comparison = {}
+    for name in EXECUTOR_BACKENDS:
+        if name == report.get("executor", "inline"):
+            entry = report
+        else:
+            entry = run_smoke(
+                out_for(name),
+                mode=report["scheduler_mode"],
+                fusion=report["fusion"],
+                executor=name,
+                workers=workers,
+            )
+        comparison[name] = {
+            "worker_count": entry["worker_count"],
+            "wall_seconds": entry["totals"]["wall_seconds"],
+            "tasks_per_second": entry["totals"]["tasks_per_second"],
+            "workload_wall_seconds": {
+                wname: wentry["wall_seconds"]
+                for wname, wentry in entry["workloads"].items()
+            },
+        }
+    return comparison
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_engine.json"))
@@ -291,17 +372,39 @@ def main() -> int:
     )
     parser.add_argument("--fusion", default="on", choices=["on", "off"])
     parser.add_argument(
+        "--executor", default="inline", choices=list(EXECUTOR_BACKENDS),
+        help="executor backend the measured runs use (FLINT_EXECUTOR)",
+    )
+    parser.add_argument(
+        "--executor-workers", type=int, default=None,
+        help="backend pool size (FLINT_WORKERS); default: host cores capped at 4",
+    )
+    parser.add_argument(
         "--compare-fusion", action="store_true",
         help="also run with FLINT_FUSION=off and report wall/throughput deltas",
+    )
+    parser.add_argument(
+        "--compare-executors", action="store_true",
+        help="also run under every other executor backend and record "
+        "per-backend wall seconds in the report",
     )
     args = parser.parse_args()
     if args.compare_fusion and args.fusion != "on":
         parser.error("--compare-fusion requires --fusion on (the fused side)")
-    report = run_smoke(args.out, args.mode, fusion=args.fusion)
+    report = run_smoke(
+        args.out, args.mode, fusion=args.fusion,
+        executor=args.executor, workers=args.executor_workers,
+    )
+    stem, ext = os.path.splitext(args.out)
     if args.compare_fusion:
-        stem, ext = os.path.splitext(args.out)
         comparison = fusion_comparison(report, stem + ".unfused" + ext)
         report["fusion_comparison"] = comparison
+    if args.compare_executors:
+        report["executor_comparison"] = executor_comparison(
+            report, lambda name: f"{stem}.{name}{ext}",
+            workers=args.executor_workers,
+        )
+    if args.compare_fusion or args.compare_executors:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")
@@ -339,6 +442,12 @@ def main() -> int:
             f"({cmp['wall_speedup']}x), throughput "
             f"{cmp['fused_tasks_per_second']}/s vs "
             f"{cmp['unfused_tasks_per_second']}/s"
+        )
+    for name, cmp in report.get("executor_comparison", {}).items():
+        print(
+            f"executor {name} (workers={cmp['worker_count']}, "
+            f"host_cpus={report['host_cpus']}): "
+            f"{cmp['wall_seconds']}s wall, {cmp['tasks_per_second']} tasks/s"
         )
     print(f"wrote {args.out}")
     return 0

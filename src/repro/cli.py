@@ -43,6 +43,38 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="universe seed")
 
 
+def _add_executor(parser: argparse.ArgumentParser) -> None:
+    """Executor-plane flags for subcommands that run the engine.
+
+    ``--executor`` mirrors ``FLINT_EXECUTOR`` and ``--executor-workers``
+    mirrors ``FLINT_WORKERS`` (distinct from ``--workers``, which sizes the
+    simulated *cluster*).  Precedence: flag > environment > default
+    (``inline``; pool sized to host cores, capped at 4).
+    """
+    from repro.engine.executor import EXECUTOR_BACKENDS
+
+    parser.add_argument("--executor", choices=list(EXECUTOR_BACKENDS), default=None,
+                        help="where task bodies run (default: $FLINT_EXECUTOR or inline)")
+    parser.add_argument("--executor-workers", type=int, default=None,
+                        help="executor pool size (default: $FLINT_WORKERS or host cores)")
+
+
+def _apply_executor(args: argparse.Namespace) -> None:
+    """Publish the executor flags to the environment.
+
+    Scenario builders construct their own contexts, so — exactly like
+    ``FLINT_TRACE`` — the environment is the channel that reaches every one
+    of them.  Flags override any inherited env value; absent flags leave the
+    environment (and therefore its precedence over defaults) untouched.
+    """
+    import os
+
+    if args.executor is not None:
+        os.environ["FLINT_EXECUTOR"] = args.executor
+    if args.executor_workers is not None:
+        os.environ["FLINT_WORKERS"] = str(args.executor_workers)
+
+
 def cmd_markets(args: argparse.Namespace) -> int:
     """Print the spot universe as the node manager snapshots it."""
     provider = standard_provider(seed=args.seed)
@@ -89,6 +121,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         TPCHSession,
     )
 
+    _apply_executor(args)
     provider = standard_provider(seed=args.seed)
     mode = Mode.INTERACTIVE if args.mode == "interactive" else Mode.BATCH
     flint = Flint(
@@ -131,6 +164,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from repro.server.scenario import run_multitenant
 
+    _apply_executor(args)
     report = run_multitenant(
         policy=args.policy,
         num_workers=args.workers,
@@ -193,6 +227,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     # The scenario builders construct their own contexts; the env var is the
     # channel that reaches every one of them.
     os.environ["FLINT_TRACE"] = "1"
+    _apply_executor(args)
 
     captured = {}
 
@@ -369,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=["batch", "interactive"], default="batch")
     p.add_argument("--nodes", type=int, default=10)
     p.add_argument("--hours", type=float, default=2.0)
+    _add_executor(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("serve", help="multi-tenant job server scenario + SLO report")
@@ -388,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max concurrent interactive queries (default unlimited)")
     p.add_argument("--revoke", action="store_true",
                    help="revoke one worker mid-stream (replacement after 120s)")
+    _add_executor(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace", help="run a scenario traced; export a Chrome timeline")
@@ -408,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multitenant scenario: revoke one worker mid-stream")
     p.add_argument("--revoke-at", type=float, default=150.0,
                    help="storm scenario: simulated time of the revocation burst")
+    _add_executor(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("advise", help="what-if report: every market + both policies")

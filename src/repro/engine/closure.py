@@ -1,0 +1,62 @@
+"""Closure serialisation for the executor plane.
+
+Task kernels (see :mod:`repro.engine.executor`) carry plain-data records and
+pure Python closures to worker processes.  Workload code builds pipelines out
+of lambdas and locally-defined functions, which the stdlib pickler rejects —
+``cloudpickle`` serialises those by value.  We try the cheap stdlib pickler
+first (it handles module-level functions and all plain data) and fall back to
+cloudpickle only when needed; when neither can serialise a closure the caller
+gets :class:`UnpicklableClosureError` with the original reason attached.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+try:  # cloudpickle ships with the scientific-python stack; never required.
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _cloudpickle = None
+
+
+class UnpicklableClosureError(TypeError):
+    """A task closure cannot be serialised for out-of-process execution.
+
+    Raised when both the stdlib pickler and cloudpickle (if installed)
+    reject the object — typically a closure capturing a live resource
+    (socket, lock, file handle) or an engine object (RDDs and contexts are
+    driver-side by design and refuse pickling).  The executor plane treats
+    this as "run inline": correctness never depends on offload.
+    """
+
+    def __init__(self, obj: Any, reason: Exception):
+        detail = (
+            f"cannot pickle {type(obj).__name__!s} for the executor plane: "
+            f"{reason}. Task kernels must capture only plain data and pure "
+            f"functions — not RDDs, contexts, workers, or live OS resources."
+        )
+        super().__init__(detail)
+        self.reason = reason
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialise ``obj``, preferring the stdlib pickler.
+
+    Raises:
+        UnpicklableClosureError: when no available pickler can handle it.
+    """
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # noqa: BLE001 - pickling failures are varied
+        if _cloudpickle is None:
+            raise UnpicklableClosureError(obj, exc) from exc
+        try:
+            return _cloudpickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as cp_exc:  # noqa: BLE001
+            raise UnpicklableClosureError(obj, cp_exc) from cp_exc
+
+
+def loads(blob: bytes) -> Any:
+    """Inverse of :func:`dumps` (cloudpickle output loads via plain pickle)."""
+    return pickle.loads(blob)

@@ -39,6 +39,8 @@ class FlintContext:
         scheduler_mode: Optional[str] = None,
         obs: Optional[Observability] = None,
         fusion: Optional[bool] = None,
+        executor: Optional[str] = None,
+        executor_workers: Optional[int] = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -82,6 +84,13 @@ class FlintContext:
         self._rdds_by_id: Dict[int, "RDD"] = {}
         #: Pool new jobs land in when none is named (see :meth:`job_pool`).
         self.current_job_pool = "default"
+        #: Executor plane backend (``FLINT_EXECUTOR``, default ``inline``):
+        #: where the pure bodies of tasks physically run.  The simulated
+        #: clock, billing, and trace books are backend-invariant; resolved
+        #: before the scheduler so its dispatch loop can consult it.
+        from repro.engine.executor import resolve_backend
+
+        self.executor = resolve_backend(executor, executor_workers)
         # Import here to break the rdd <-> scheduler <-> context cycle.
         from repro.engine.scheduler import TaskScheduler
 
@@ -259,6 +268,17 @@ class FlintContext:
         return self.obs.metrics.snapshot()
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        """Contexts never cross a process boundary — refuse to pickle.
+
+        Same contract as :meth:`RDD.__reduce__`: an executor-plane closure
+        capturing the context would ship the entire live engine.
+        """
+        raise TypeError(
+            "FlintContext is driver-side state and cannot be pickled; executor "
+            "kernels must capture plain data and pure functions only"
+        )
+
     @property
     def now(self) -> float:
         return self.env.now

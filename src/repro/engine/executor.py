@@ -1,0 +1,400 @@
+"""Pluggable executor plane: run task kernels outside the dispatch loop.
+
+``FLINT_EXECUTOR`` selects where the *pure* body of a task — its fused
+narrow chain, reduce-side merge, or source read — physically executes:
+
+- ``inline`` (default): inside the driver's dispatch loop, exactly the seed
+  data plane.  The golden reference.
+- ``process``: a pool of forked worker processes (``FLINT_WORKERS``); kernels
+  ship as pickled closures + records and return a pickled
+  :class:`~repro.engine.task.TaskResult`.
+- ``async``: an in-process thread pool that still round-trips every kernel
+  through the pickle contract — the picklability canary without fork cost.
+
+The discrete-event clock stays authoritative no matter the backend.  A
+kernel is *speculative*: the scheduler stages one per ready task from
+side-effect-free peeks of current state (cache, shuffle outputs, checkpoint
+store), and at dispatch the :class:`~repro.engine.scheduler.TaskRuntime`
+*consumes* it by replaying every state-dependent step of the inline plane —
+cache reads, shuffle fetches, fault-injection hooks, simulated-time charges —
+in the original order, substituting only the pure record transforms with the
+kernel's precomputed output.  Partition data is a pure function of lineage,
+so a kernel keyed by its chain signature can never be *wrong*; it can only
+be inapplicable (the chain shape changed underneath it), in which case the
+runtime falls back to the inline path.  That is what keeps results, billing,
+and trace books bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from repro.engine.block_manager import block_id_for
+from repro.engine.dependencies import ShuffleDependency
+from repro.engine.lineage import fusion_edge
+from repro.engine.task import TaskKind, TaskResult, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import FlintContext
+
+#: Recognised ``FLINT_EXECUTOR`` values.
+EXECUTOR_BACKENDS = ("inline", "process", "async")
+
+
+def default_worker_count() -> int:
+    """Pool size when ``FLINT_WORKERS`` is unset: host cores, capped at 4."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+# ----------------------------------------------------------------------
+# The picklable unit of work and its executor-side evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class KernelTask:
+    """The pure, picklable body of one task.
+
+    ``boundary`` is ``("data", records)`` — the chain's input resolved
+    driver-side — or ``("call", thunk)`` — a zero-arg closure that rebuilds
+    it from shipped inputs (source generator, reduce merge over peeked
+    buckets, cogroup merge over peeked sides).  ``stages`` are
+    ``records -> records`` closures applied in order on top.
+    """
+
+    boundary: Tuple[str, Any]
+    stages: List[Callable[[Any], List[Any]]] = field(default_factory=list)
+    #: Return the materialised boundary records in the result (needed when
+    #: the driver will substitute the boundary node's own compute).
+    ship_boundary: bool = False
+
+
+def run_kernel(task: KernelTask) -> TaskResult:
+    """Evaluate one kernel; pure — runs identically in any process."""
+    started = time.perf_counter()
+    kind, payload = task.boundary
+    records = payload if kind == "data" else payload()
+    boundary_records = records if task.ship_boundary else None
+    counts: List[int] = []
+    for stage in task.stages:
+        records = stage(records)
+        counts.append(len(records))
+    return TaskResult(
+        records=records,
+        stage_counts=counts,
+        boundary_records=boundary_records,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Driver-side descriptors
+# ----------------------------------------------------------------------
+@dataclass
+class TaskPayload:
+    """A staged kernel plus the driver-side metadata to validate consumption.
+
+    Only :attr:`task` crosses a process boundary; the rest anchors the
+    result back to the task that requested it.
+
+    ``replay`` names the skeleton of state-dependent effects the runtime
+    must re-execute inline when substituting the boundary's compute:
+    ``data`` (boundary resolved via the normal iterator path — nothing to
+    substitute), ``shuffle`` / ``cogroup`` (real fetches re-run, merge
+    substituted), ``source`` (no runtime effects), ``narrow`` (parent
+    resolved via the iterator, transform substituted; fusion-off only).
+    """
+
+    key: Tuple
+    kind: str  # "chain" | "node"
+    target: Tuple[int, int]
+    stage_sig: Optional[Tuple]  # chain only: ((rdd_id, split), ...) head-first
+    boundary_id: Tuple[int, int]
+    replay: str
+    task: KernelTask
+
+
+@dataclass
+class TaskKernel:
+    """A completed kernel handed to the dispatching :class:`TaskRuntime`."""
+
+    kind: str
+    target: Tuple[int, int]
+    stage_sig: Optional[Tuple]
+    boundary_id: Tuple[int, int]
+    replay: str
+    records: List[Any]
+    stage_counts: List[int]
+    boundary_records: Optional[List[Any]]
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def from_result(cls, payload: TaskPayload, result: TaskResult) -> "TaskKernel":
+        return cls(
+            kind=payload.kind,
+            target=payload.target,
+            stage_sig=payload.stage_sig,
+            boundary_id=payload.boundary_id,
+            replay=payload.replay,
+            records=result.records,
+            stage_counts=result.stage_counts,
+            boundary_records=result.boundary_records,
+            wall_seconds=result.wall_seconds,
+        )
+
+
+# ----------------------------------------------------------------------
+# Payload construction (driver-side, side-effect free)
+# ----------------------------------------------------------------------
+def _peek_block_present(context: "FlintContext", rdd, partition: int) -> bool:
+    """Counter-free twin of ``context.block_exists`` (staging is invisible)."""
+    return bool(context.block_index.peek_holders(block_id_for(rdd.rdd_id, partition)))
+
+
+def _peek_partition(context: "FlintContext", rdd, partition: int) -> Optional[List[Any]]:
+    """A partition's records if already materialised somewhere, else None.
+
+    All reads are the counter-free peek variants: staging a payload must be
+    invisible to cache stats, LRU order, DFS read accounting, and the block
+    index's lookup counters.
+    """
+    block_id = block_id_for(rdd.rdd_id, partition)
+    for worker in context.block_index.peek_holders(block_id):
+        if worker.block_manager is not None:
+            data = worker.block_manager.peek(block_id)
+            if data is not None:
+                return data
+    return context.checkpoints.peek_partition(rdd, partition)
+
+
+def _boundary_payload(
+    context: "FlintContext", node, split: int
+) -> Optional[Tuple[str, Tuple[str, Any], bool]]:
+    """How to obtain ``(node, split)`` inside a kernel.
+
+    Returns ``(replay, boundary, ship_boundary)`` or None when the boundary
+    cannot be staged without side effects (it will be computed inline).
+    """
+    from repro.engine.transformations import (
+        CoGroupedRDD,
+        GeneratedRDD,
+        ShuffledRDD,
+    )
+
+    data = _peek_partition(context, node, split)
+    if data is not None:
+        return "data", ("data", data), False
+    if isinstance(node, ShuffledRDD):
+        dep = node.shuffle_dependency
+        buckets = context.shuffle_manager.peek_reduce_buckets(dep, split)
+        if buckets is None:
+            return None
+        merge = node.merge_kernel()
+
+        def thunk(merge=merge, buckets=buckets):
+            return merge(buckets)
+
+        return "shuffle", ("call", thunk), True
+    if isinstance(node, CoGroupedRDD):
+        sides: List[List[List[Any]]] = []
+        for dep in node.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                buckets = context.shuffle_manager.peek_reduce_buckets(dep, split)
+                if buckets is None:
+                    return None
+                sides.append(buckets)
+            else:
+                records = _peek_partition(context, dep.rdd, split)
+                if records is None:
+                    return None
+                sides.append([records])
+        merge = node.merge_kernel()
+
+        def thunk(merge=merge, sides=sides):
+            return merge(sides)
+
+        return "cogroup", ("call", thunk), True
+    if isinstance(node, GeneratedRDD):
+        return "source", ("call", node.source_kernel(split)), True
+    return None
+
+
+def build_task_payload(context: "FlintContext", spec: TaskSpec) -> Optional[TaskPayload]:
+    """Stage the pure body of a ready task, or None when nothing offloads.
+
+    Mirrors exactly what the dispatching :class:`TaskRuntime` will do:
+    under fusion it walks the same narrow chain ``_compute_fused`` walks
+    (same stop conditions, against current driver state) and records its
+    signature so the consumer can detect drift; without fusion (or for
+    non-fusable targets) it stages the target node's own compute.
+    """
+    if spec.kind == TaskKind.CHECKPOINT:
+        return None
+    target = spec.dep.rdd if spec.kind == TaskKind.SHUFFLE_MAP else spec.rdd
+    partition = spec.partition
+    # An already-available partition never reaches a compute branch.
+    if _peek_block_present(context, target, partition) or context.checkpoints.has_partition(
+        target, partition
+    ):
+        return None
+    if context.fusion_enabled and target.supports_fusion:
+        edge = fusion_edge(target, partition)
+        if edge is None:
+            return None
+        checkpoints = context.checkpoints
+        stages = [(target, partition)]
+        node, split = edge
+        while (
+            node.supports_fusion
+            and node.dependents == 1
+            and not node.persisted
+            and not _peek_block_present(context, node, split)
+            and not checkpoints.has_partition(node, split)
+        ):
+            edge = fusion_edge(node, split)
+            if edge is None:
+                break
+            stages.append((node, split))
+            node, split = edge
+        staged = _boundary_payload(context, node, split)
+        if staged is None:
+            return None
+        replay, boundary, ship = staged
+        closures = [
+            stages[i][0].fused_kernel(stages[i][1])
+            for i in range(len(stages) - 1, 0, -1)
+        ]
+        closures.append(target.fused_kernel(partition))
+        return TaskPayload(
+            key=spec.key,
+            kind="chain",
+            target=(target.rdd_id, partition),
+            stage_sig=tuple((s.rdd_id, sp) for s, sp in stages),
+            boundary_id=(node.rdd_id, split),
+            replay=replay,
+            task=KernelTask(boundary=boundary, stages=closures, ship_boundary=ship),
+        )
+    if target.supports_fusion:
+        # Fusion off: the inline plane computes this node alone, resolving
+        # its parent through the iterator.  Stage just the head transform.
+        edge = fusion_edge(target, partition)
+        if edge is None:
+            return None
+        parent, parent_split = edge
+        records = _peek_partition(context, parent, parent_split)
+        if records is None:
+            return None
+        return TaskPayload(
+            key=spec.key,
+            kind="node",
+            target=(target.rdd_id, partition),
+            stage_sig=None,
+            boundary_id=(parent.rdd_id, parent_split),
+            replay="narrow",
+            task=KernelTask(
+                boundary=("data", records),
+                stages=[target.fused_kernel(partition)],
+            ),
+        )
+    staged = _boundary_payload(context, target, partition)
+    if staged is None:
+        return None
+    replay, boundary, _ship = staged
+    if replay == "data":  # already cached — handled above; nothing to run
+        return None
+    return TaskPayload(
+        key=spec.key,
+        kind="node",
+        target=(target.rdd_id, partition),
+        stage_sig=None,
+        boundary_id=(target.rdd_id, partition),
+        replay=replay,
+        task=KernelTask(boundary=boundary),
+    )
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ExecutorBackend:
+    """Interface every executor backend implements."""
+
+    #: ``FLINT_EXECUTOR`` value this backend answers to.
+    name: str = "inline"
+    #: False disables speculative kernel staging entirely (the inline
+    #: plane's hot path must carry zero executor overhead).
+    speculative: bool = False
+
+    def __init__(self, worker_count: int = 1):
+        self.worker_count = max(1, int(worker_count))
+
+    def run_batch(self, payloads: List[TaskPayload]) -> List[Optional[TaskResult]]:
+        """Execute staged kernels; one result (or None on failure) each.
+
+        A None simply means "no kernel" — the task runs inline.  Backends
+        must never raise out of this method for a per-kernel failure.
+        """
+        raise NotImplementedError
+
+    def map_jobs(self, fn: Callable[[Any], Any], items: List[Any]) -> List[Any]:
+        """Coarse-grained fan-out of independent driver jobs (benchmarks).
+
+        Used by sweep harnesses to run whole simulations side by side —
+        ``fn`` and every item must be picklable for process backends.  The
+        base implementation is sequential.
+        """
+        return [fn(item) for item in items]
+
+    def shutdown(self) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class InlineExecutor(ExecutorBackend):
+    """The golden reference: no staging, no pools, the seed's exact plane."""
+
+    name = "inline"
+    speculative = False
+
+    def __init__(self, worker_count: int = 1):
+        super().__init__(1)
+
+    def run_batch(self, payloads: List[TaskPayload]) -> List[Optional[TaskResult]]:
+        # Never called by the scheduler (speculative=False); provided so the
+        # contract tests can exercise all backends uniformly.
+        out: List[Optional[TaskResult]] = []
+        for payload in payloads:
+            try:
+                out.append(run_kernel(payload.task))
+            except Exception:  # noqa: BLE001 - kernel loss is never fatal
+                out.append(None)
+        return out
+
+
+def resolve_backend(
+    name: Optional[str] = None, worker_count: Optional[int] = None
+) -> ExecutorBackend:
+    """Build the executor selected by arguments or environment.
+
+    Explicit arguments win over ``FLINT_EXECUTOR`` / ``FLINT_WORKERS``,
+    which win over the defaults (``inline``, host cores capped at 4).
+    """
+    if name is None:
+        name = os.environ.get("FLINT_EXECUTOR", "inline")
+    name = name.strip().lower()
+    if worker_count is None:
+        raw = os.environ.get("FLINT_WORKERS", "")
+        worker_count = int(raw) if raw.strip() else default_worker_count()
+    if name == "inline":
+        return InlineExecutor()
+    if name == "process":
+        from repro.engine.executor_process import ProcessExecutor
+
+        return ProcessExecutor(worker_count)
+    if name == "async":
+        from repro.engine.executor_async import AsyncExecutor
+
+        return AsyncExecutor(worker_count)
+    raise ValueError(
+        f"unknown FLINT_EXECUTOR {name!r} (expected one of {EXECUTOR_BACKENDS})"
+    )

@@ -1,0 +1,61 @@
+"""Thread-pool executor backend (``FLINT_EXECUTOR=async``).
+
+Runs kernels on an in-process :class:`~concurrent.futures.ThreadPoolExecutor`
+— no fork cost, shared memory — while still enforcing the full serialisation
+contract: every kernel and result round-trips through
+:func:`repro.engine.closure.dumps` / ``loads`` exactly as the process
+backend would ship them.  That makes ``async`` the cheap picklability canary
+(CI can prove closures are process-safe without paying for processes) and a
+usable speedup wherever kernels release the GIL.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Optional
+
+from repro.engine import closure
+from repro.engine.executor import ExecutorBackend, TaskPayload, run_kernel
+from repro.engine.task import TaskResult
+
+
+def _run_payload(payload: TaskPayload) -> Optional[TaskResult]:
+    try:
+        blob = closure.dumps(payload.task)
+        result = run_kernel(closure.loads(blob))
+        return closure.loads(closure.dumps(result))
+    except Exception:  # noqa: BLE001 - any failure degrades to inline
+        return None
+
+
+class AsyncExecutor(ExecutorBackend):
+    """Thread-pool kernels with a mandatory pickle round trip."""
+
+    name = "async"
+    speculative = True
+
+    def __init__(self, worker_count: int = 1):
+        super().__init__(worker_count)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.worker_count, thread_name_prefix="flint-exec"
+            )
+        return self._pool
+
+    def run_batch(self, payloads: List[TaskPayload]) -> List[Optional[TaskResult]]:
+        if not payloads:
+            return []
+        return list(self._ensure_pool().map(_run_payload, payloads))
+
+    def map_jobs(self, fn, items: List[Any]) -> List[Any]:
+        if not items:
+            return []
+        return list(self._ensure_pool().map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

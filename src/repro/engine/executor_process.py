@@ -1,0 +1,109 @@
+"""Process-pool executor backend (``FLINT_EXECUTOR=process``).
+
+Kernels cross the process boundary as pickled blobs (see
+:mod:`repro.engine.closure`): the driver serialises each
+:class:`~repro.engine.executor.KernelTask`, a forked worker deserialises,
+runs :func:`~repro.engine.executor.run_kernel`, and ships the pickled
+:class:`~repro.engine.task.TaskResult` back.  Any per-kernel failure —
+unpicklable closure, worker-side exception — degrades that one task to the
+inline path; the pool never takes the driver down.
+
+Pools are process-global and lazy: the first parallel batch forks them, and
+every subsequent context reuses them (a simulation suite builds thousands of
+contexts; forking per context would dominate wall clock).  ``fork`` start
+method keeps workers cheap and is available on every Linux CI host.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import closure
+from repro.engine.executor import ExecutorBackend, TaskPayload, run_kernel
+from repro.engine.task import TaskResult
+
+_POOLS: Dict[int, Any] = {}
+
+
+def _shared_pool(worker_count: int):
+    pool = _POOLS.get(worker_count)
+    if pool is None:
+        ctx = multiprocessing.get_context("fork")
+        pool = ctx.Pool(processes=worker_count)
+        _POOLS[worker_count] = pool
+    return pool
+
+
+@atexit.register
+def _drain_pools() -> None:  # pragma: no cover - interpreter shutdown
+    for pool in _POOLS.values():
+        pool.terminate()
+    _POOLS.clear()
+
+
+def _run_blob(blob: bytes) -> Tuple[bool, bytes]:
+    """Worker-side entry point: blob in, pickled result (or error repr) out.
+
+    Must stay module-level (the pool pickles it by reference) and must never
+    raise — a raising worker callable poisons ``map`` for the whole batch.
+    """
+    try:
+        result = run_kernel(closure.loads(blob))
+        return True, closure.dumps(result)
+    except Exception as exc:  # noqa: BLE001 - report, don't poison the batch
+        return False, repr(exc).encode("utf-8", "replace")
+
+
+def _run_job(blob: bytes) -> Tuple[bool, bytes]:
+    """Worker-side entry for coarse job fan-out (benchmark sweeps)."""
+    try:
+        fn, item = closure.loads(blob)
+        return True, closure.dumps(fn(item))
+    except Exception as exc:  # noqa: BLE001
+        return False, repr(exc).encode("utf-8", "replace")
+
+
+class ProcessExecutor(ExecutorBackend):
+    """Fan kernels across a shared pool of forked worker processes."""
+
+    name = "process"
+    speculative = True
+
+    def run_batch(self, payloads: List[TaskPayload]) -> List[Optional[TaskResult]]:
+        if not payloads:
+            return []
+        blobs: List[Optional[bytes]] = []
+        for payload in payloads:
+            try:
+                blobs.append(closure.dumps(payload.task))
+            except Exception:  # noqa: BLE001 - unpicklable kernel -> inline
+                blobs.append(None)
+        shippable = [b for b in blobs if b is not None]
+        replies = iter(
+            _shared_pool(self.worker_count).map(_run_blob, shippable)
+            if shippable
+            else []
+        )
+        out: List[Optional[TaskResult]] = []
+        for blob in blobs:
+            if blob is None:
+                out.append(None)
+                continue
+            ok, body = next(replies)
+            out.append(closure.loads(body) if ok else None)
+        return out
+
+    def map_jobs(self, fn, items: List[Any]) -> List[Any]:
+        if not items:
+            return []
+        blobs = [closure.dumps((fn, item)) for item in items]
+        results: List[Any] = []
+        for ok, body in _shared_pool(self.worker_count).map(_run_job, blobs):
+            if not ok:
+                raise RuntimeError(
+                    f"executor job failed in worker: {body.decode('utf-8', 'replace')}"
+                )
+            results.append(closure.loads(body))
+        return results

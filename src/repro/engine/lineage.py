@@ -9,10 +9,35 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Set
 
-from repro.engine.dependencies import ShuffleDependency
+from repro.engine.dependencies import NarrowDependency, ShuffleDependency
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.rdd import RDD
+
+
+def fusion_edge(node: "RDD", split: int):
+    """The sole contributing ``(parent, parent_partition)`` of a narrow node.
+
+    Returns None — a fusion boundary — when the node has no parents, any
+    shuffle input, or more than one contributing parent partition (e.g. a
+    cogroup with two narrow sides).  Range dependencies (union) contribute
+    at most one parent partition each, so a union fuses through whichever
+    side covers ``split``.
+
+    Shared by the scheduler's fused data plane and the executor plane's
+    payload builder, which must walk chains identically.
+    """
+    edge = None
+    for dep in node.dependencies:
+        if not isinstance(dep, NarrowDependency):
+            return None
+        parents_list = dep.parents_of(split)
+        if not parents_list:
+            continue
+        if edge is not None or len(parents_list) > 1:
+            return None
+        edge = (dep.rdd, parents_list[0])
+    return edge
 
 
 def parents(rdd: "RDD") -> List["RDD"]:

@@ -533,5 +533,20 @@ class RDD:
         return [v for k, v in self.collect() if k == key]
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        """RDDs never cross a process boundary — refuse to pickle.
+
+        A task kernel that (transitively) captures an RDD would otherwise
+        drag the whole driver object graph — context, cluster, event queue —
+        into its blob.  Executor-plane closures must capture plain data and
+        pure functions only: use ``fused_kernel()`` / ``merge_kernel()`` /
+        ``source_kernel()``, which extract exactly what the transform needs.
+        """
+        raise TypeError(
+            f"{type(self).__name__} (id={self.rdd_id}) is driver-side state and "
+            "cannot be pickled; ship work through fused_kernel()/merge_kernel()/"
+            "source_kernel() closures instead"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.name}(id={self.rdd_id}, partitions={self.num_partitions})"

@@ -88,6 +88,19 @@ class GeneratedRDD(RDD):
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         return list(self._generator(split))
 
+    def source_kernel(self, split: int) -> Callable[[], List[Any]]:
+        """Picklable zero-arg closure producing this partition's records.
+
+        Captures only the generator and the split — never ``self`` — so the
+        executor plane can run the source read out of process.
+        """
+        gen = self._generator
+
+        def kernel() -> List[Any]:
+            return list(gen(split))
+
+        return kernel
+
 
 class MappedRDD(RDD):
     """One-to-one record transformation."""
@@ -111,6 +124,20 @@ class MappedRDD(RDD):
     def compute_fused(self, records: Any, split: int) -> List[Any]:
         return [self._fn(x) for x in records]
 
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        """Picklable ``records -> records`` twin of :meth:`compute_fused`.
+
+        Every fusable class colocates its kernel with ``compute_fused`` so
+        any drift between the two bodies is visible in one diff hunk (and
+        caught by the pickling-parity tests).
+        """
+        fn = self._fn
+
+        def kernel(records: Any) -> List[Any]:
+            return [fn(x) for x in records]
+
+        return kernel
+
 
 class FilteredRDD(RDD):
     """Keeps records matching a predicate."""
@@ -130,6 +157,14 @@ class FilteredRDD(RDD):
 
     def compute_fused(self, records: Any, split: int) -> List[Any]:
         return [x for x in records if self._predicate(x)]
+
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        predicate = self._predicate
+
+        def kernel(records: Any) -> List[Any]:
+            return [x for x in records if predicate(x)]
+
+        return kernel
 
 
 class FlatMappedRDD(RDD):
@@ -159,6 +194,18 @@ class FlatMappedRDD(RDD):
             extend(fn(x))
         return out
 
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        fn = self._fn
+
+        def kernel(records: Any) -> List[Any]:
+            out: List[Any] = []
+            extend = out.extend
+            for x in records:
+                extend(fn(x))
+            return out
+
+        return kernel
+
 
 class MapPartitionsRDD(RDD):
     """Applies a function to an entire partition at once."""
@@ -187,6 +234,14 @@ class MapPartitionsRDD(RDD):
         # partition the block manager still owns.
         return list(self._fn(list(records)))
 
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        fn = self._fn
+
+        def kernel(records: Any) -> List[Any]:
+            return list(fn(list(records)))
+
+        return kernel
+
 
 class PartitionIndexedRDD(RDD):
     """Tags each record with a deterministic ``(partition, index)`` key.
@@ -210,6 +265,12 @@ class PartitionIndexedRDD(RDD):
     def compute_fused(self, records: Any, split: int) -> List[Any]:
         return [((split, i), x) for i, x in enumerate(records)]
 
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        def kernel(records: Any) -> List[Any]:
+            return [((split, i), x) for i, x in enumerate(records)]
+
+        return kernel
+
 
 class ZipWithIndexRDD(RDD):
     """Pairs records with global indices from precomputed partition offsets."""
@@ -232,6 +293,14 @@ class ZipWithIndexRDD(RDD):
     def compute_fused(self, records: Any, split: int) -> List[Any]:
         base = self._offsets[split]
         return [(x, base + i) for i, x in enumerate(records)]
+
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        base = self._offsets[split]
+
+        def kernel(records: Any) -> List[Any]:
+            return [(x, base + i) for i, x in enumerate(records)]
+
+        return kernel
 
 
 class SampledRDD(RDD):
@@ -263,6 +332,21 @@ class SampledRDD(RDD):
         mask = rng.random(len(records)) < self._fraction
         return [x for x, keep in zip(records, mask) if keep]
 
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        fraction = self._fraction
+        seed = self._seed
+
+        def kernel(records: Any) -> List[Any]:
+            rng = SeededRNG(seed, f"sample-{split}")
+            if type(records) is not list:
+                records = list(records)
+            if not records:
+                return []
+            mask = rng.random(len(records)) < fraction
+            return [x for x, keep in zip(records, mask) if keep]
+
+        return kernel
+
 
 class UnionRDD(RDD):
     """Concatenation of several RDDs via range dependencies.
@@ -293,6 +377,12 @@ class UnionRDD(RDD):
 
     def compute_fused(self, records: Any, split: int) -> List[Any]:
         return list(records)
+
+    def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
+        def kernel(records: Any) -> List[Any]:
+            return list(records)
+
+        return kernel
 
 
 class ShuffledRDD(RDD):
@@ -348,6 +438,44 @@ class ShuffledRDD(RDD):
                     )
         return sorted(merged.items(), key=_record_hash_key)
 
+    def merge_kernel(self) -> Callable[[List[List[Any]]], List[Any]]:
+        """Picklable ``buckets -> records`` twin of the merge in :meth:`compute`.
+
+        Captures the aggregator functions and the combine flag — not the
+        dependency or ``self`` — so the reduce-side merge can run out of
+        process over driver-peeked buckets.
+        """
+        dep = self.shuffle_dependency
+        aggregator = dep.aggregator
+        map_side_combine = dep.map_side_combine
+
+        def kernel(buckets: List[List[Any]]) -> List[Any]:
+            if aggregator is None:
+                out: List[Any] = []
+                for bucket in buckets:
+                    out.extend(bucket)
+                return out
+            create, merge_value, merge_combiners = aggregator
+            merged: Dict[Any, Any] = {}
+            get = merged.get
+            if map_side_combine:
+                for bucket in buckets:
+                    for key, value in bucket:
+                        prev = get(key, _ABSENT)
+                        merged[key] = (
+                            value if prev is _ABSENT else merge_combiners(prev, value)
+                        )
+            else:
+                for bucket in buckets:
+                    for key, value in bucket:
+                        prev = get(key, _ABSENT)
+                        merged[key] = (
+                            create(value) if prev is _ABSENT else merge_value(prev, value)
+                        )
+            return sorted(merged.items(), key=_record_hash_key)
+
+        return kernel
+
 
 class CoGroupedRDD(RDD):
     """Groups two (or more) keyed RDDs by key: ``(k, ([vs_0], [vs_1], ...))``.
@@ -399,3 +527,35 @@ class CoGroupedRDD(RDD):
                             groups = table[key] = tuple([] for _ in range(n))
                         groups[side].append(value)
         return sorted(table.items(), key=_record_hash_key)
+
+    def merge_kernel(self) -> Callable[[List[List[List[Any]]]], List[Any]]:
+        """Picklable twin of :meth:`compute`'s merge over pre-fetched sides.
+
+        Takes ``sides``: one list of record-lists per dependency, in
+        dependency order (a narrow side contributes a single record list, a
+        shuffle side one list per map output) — exactly the ``sources``
+        sequence the inline merge walks.
+        """
+        n = len(self.dependencies)
+
+        def kernel(sides: List[List[List[Any]]]) -> List[Any]:
+            table: Dict[Any, Tuple[List[Any], ...]] = {}
+            get = table.get
+            for side, sources in enumerate(sides):
+                if n == 2:
+                    for records in sources:
+                        for key, value in records:
+                            groups = get(key)
+                            if groups is None:
+                                groups = table[key] = ([], [])
+                            groups[side].append(value)
+                else:
+                    for records in sources:
+                        for key, value in records:
+                            groups = get(key)
+                            if groups is None:
+                                groups = table[key] = tuple([] for _ in range(n))
+                            groups[side].append(value)
+            return sorted(table.items(), key=_record_hash_key)
+
+        return kernel

@@ -1,0 +1,192 @@
+"""Golden equivalence: parallel executor backends vs the inline plane.
+
+``FLINT_EXECUTOR`` moves the *pure* bodies of tasks — fused narrow chains,
+reduce-side merges, source reads — onto a process pool or thread pool.  The
+discrete-event clock stays authoritative: at identical seeds every backend
+must reproduce the inline plane bit-for-bit — same simulated runtimes, same
+action results, same task counts, same accrued billing — with and without
+concurrent revocations, under fusion on and off, across the batch,
+streaming, and multi-tenant workloads.  The parallel backends must also
+actually offload (the equivalence would be vacuous otherwise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import build_engine_context
+from repro.core.ftmanager import FaultToleranceManager
+from repro.simulation.clock import HOUR
+from repro.workloads import ALSWorkload, KMeansWorkload, PageRankWorkload
+from repro.workloads.streaming import StreamingWorkload
+
+_MARKET = "od/r3.large"
+_BACKENDS = ("inline", "process", "async")
+
+WORKLOADS = {
+    "pagerank": lambda ctx: PageRankWorkload(
+        ctx, data_gb=0.5, num_edges=3_000, num_vertices=600,
+        partitions=8, iterations=4, seed=7,
+    ),
+    "kmeans": lambda ctx: KMeansWorkload(
+        ctx, data_gb=0.5, num_points=2_000, k=4, dim=4,
+        partitions=8, iterations=4, seed=7,
+    ),
+    "als": lambda ctx: ALSWorkload(
+        ctx, data_gb=0.5, num_ratings=2_000, num_users=300, num_items=120,
+        partitions=8, iterations=3, seed=7,
+    ),
+}
+
+
+def _run(monkeypatch, executor, factory, failures=0, failure_at=None, fusion="on"):
+    """One measured run; returns (runtime, result, task_counts, billing, stats)."""
+    monkeypatch.setenv("FLINT_FUSION", fusion)
+    monkeypatch.setenv("FLINT_EXECUTOR", executor)
+    monkeypatch.setenv("FLINT_WORKERS", "2")
+    ctx = build_engine_context(num_workers=6, seed=0)
+    assert ctx.executor.name == executor
+    manager = FaultToleranceManager(ctx, lambda: 1 * HOUR, min_tau=30.0)
+    manager.start()
+    workload = factory(ctx)
+    workload.load()
+    if failures:
+
+        def inject(event):
+            victims = ctx.cluster.live_workers()[:failures]
+            ctx.cluster.force_revoke(victims)
+            ctx.cluster.launch(_MARKET, 0.175, count=len(victims), delay=120.0)
+
+        ctx.env.schedule_in(failure_at, "inject-failures", callback=inject)
+    t0 = ctx.now
+    result = workload.run()
+    runtime = ctx.now - t0
+    manager.stop()
+    billing = ctx.env.provider.total_cost(ctx.now)
+    stats = ctx.scheduler.stats
+    return runtime, result, stats.task_counts(), billing, stats
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_backends_bit_identical(monkeypatch, name):
+    factory = WORKLOADS[name]
+    base_runtime, _, _, _, _ = _run(monkeypatch, "inline", factory)
+    for failures in (0, 2):
+        failure_at = base_runtime * 0.5 if failures else None
+        runs = {
+            backend: _run(monkeypatch, backend, factory, failures, failure_at)
+            for backend in _BACKENDS
+        }
+        inline = runs["inline"]
+        assert inline[4].kernels_offloaded == 0  # inline never stages
+        for backend in ("process", "async"):
+            other = runs[backend]
+            for label, a, b in zip(
+                ("simulated runtime", "result", "task counts", "billing"),
+                inline, other,
+            ):
+                assert a == b, f"{name}/{failures}/{backend}: {label} diverged"
+            # The parallel plane must actually run kernels, consume them,
+            # and agree with the inline plane's fusion books.
+            assert other[4].kernels_offloaded > 0
+            assert other[4].kernels_consumed > 0
+            assert other[4].fused_chains == inline[4].fused_chains
+            assert other[4].fused_stages == inline[4].fused_stages
+
+
+def test_fusion_off_plane_bit_identical(monkeypatch):
+    """Node kernels (no chains): executor equivalence with fusion disabled."""
+    factory = WORKLOADS["pagerank"]
+    inline = _run(monkeypatch, "inline", factory, fusion="off")
+    proc = _run(monkeypatch, "process", factory, fusion="off")
+    assert inline[:4] == proc[:4]
+    assert proc[4].kernels_consumed > 0
+    assert proc[4].fused_chains == 0  # fusion stays off on both planes
+
+
+def test_streaming_bit_identical(monkeypatch):
+    """Micro-batch state folding with persist/unpersist cycling per batch."""
+
+    def run(executor, failures):
+        monkeypatch.setenv("FLINT_FUSION", "on")
+        monkeypatch.setenv("FLINT_EXECUTOR", executor)
+        monkeypatch.setenv("FLINT_WORKERS", "2")
+        ctx = build_engine_context(num_workers=6, seed=0)
+        workload = StreamingWorkload(
+            ctx, batch_records=1_200, num_keys=50, partitions=8, seed=11
+        )
+        if failures:
+
+            def inject(event):
+                victims = ctx.cluster.live_workers()[:failures]
+                ctx.cluster.force_revoke(victims)
+                ctx.cluster.launch(_MARKET, 0.175, count=len(victims), delay=120.0)
+
+            ctx.env.schedule_in(150.0, "inject-failures", callback=inject)
+        t0 = ctx.now
+        result = workload.run(num_batches=5)
+        runtime = ctx.now - t0
+        return runtime, result, ctx.env.provider.total_cost(ctx.now)
+
+    for failures in (0, 1):
+        inline = run("inline", failures)
+        assert run("process", failures) == inline
+        assert run("async", failures) == inline
+
+
+def test_multitenant_bit_identical(monkeypatch):
+    """Job-server multiplexing: kernels engage on the TPC-H narrow chains."""
+    from repro.server.scenario import run_multitenant
+
+    def run(executor):
+        monkeypatch.setenv("FLINT_FUSION", "on")
+        monkeypatch.setenv("FLINT_EXECUTOR", executor)
+        monkeypatch.setenv("FLINT_WORKERS", "2")
+        report = run_multitenant(policy="fair", num_workers=4, seed=1234, queries=2)
+        stats = report.pop("scheduler_stats")
+        report.pop("sizing")
+        return report, stats
+
+    inline_report, inline_stats = run("inline")
+    process_report, process_stats = run("process")
+    assert inline_report == process_report
+    assert process_stats["kernels_consumed"] > 0
+    assert inline_stats["kernels_offloaded"] == 0
+    for key in ("tasks_completed", "result_tasks", "map_tasks",
+                "scheduling_rounds", "fused_chains"):
+        assert inline_stats[key] == process_stats[key]
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("FLINT_EXECUTOR", "process")
+    monkeypatch.setenv("FLINT_WORKERS", "3")
+    ctx = build_engine_context(num_workers=2)
+    assert ctx.executor.name == "process"
+    assert ctx.executor.worker_count == 3
+    monkeypatch.delenv("FLINT_EXECUTOR")
+    monkeypatch.delenv("FLINT_WORKERS")
+    assert build_engine_context(num_workers=2).executor.name == "inline"
+    # The constructor parameters win over the environment.
+    monkeypatch.setenv("FLINT_EXECUTOR", "process")
+    monkeypatch.setenv("FLINT_WORKERS", "7")
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.environment import Environment
+    from repro.engine.context import FlintContext
+    from repro.market.market import OnDemandMarket
+    from repro.market.provider import CloudProvider
+
+    provider = CloudProvider([OnDemandMarket(_MARKET, 0.175)])
+    env = Environment(provider, seed=0)
+    ctx = FlintContext(env, Cluster(env), executor="async", executor_workers=2)
+    assert ctx.executor.name == "async"
+    assert ctx.executor.worker_count == 2
+
+
+def test_unknown_backend_rejected(monkeypatch):
+    from repro.engine.executor import resolve_backend
+
+    with pytest.raises(ValueError, match="unknown FLINT_EXECUTOR"):
+        resolve_backend("threads")
+    monkeypatch.setenv("FLINT_EXECUTOR", "gpu")
+    with pytest.raises(ValueError, match="unknown FLINT_EXECUTOR"):
+        resolve_backend()

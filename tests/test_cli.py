@@ -104,3 +104,52 @@ def test_advise_command(capsys):
     assert "market quotes" in out
     assert "batch pick" in out
     assert "savings" in out
+
+
+def test_executor_flags_publish_env(monkeypatch, capsys):
+    """--executor/--executor-workers mirror FLINT_EXECUTOR/FLINT_WORKERS."""
+    import os
+
+    monkeypatch.delenv("FLINT_EXECUTOR", raising=False)
+    monkeypatch.delenv("FLINT_WORKERS", raising=False)
+    assert main(_SERVE_SMALL + ["--executor", "process", "--executor-workers", "2"]) == 0
+    assert os.environ["FLINT_EXECUTOR"] == "process"
+    assert os.environ["FLINT_WORKERS"] == "2"
+    capsys.readouterr()
+
+
+def test_executor_flag_wins_over_env(monkeypatch, capsys):
+    """Precedence: flag > environment > default."""
+    import os
+
+    monkeypatch.setenv("FLINT_EXECUTOR", "async")
+    assert main(_SERVE_SMALL + ["--executor", "inline"]) == 0
+    assert os.environ["FLINT_EXECUTOR"] == "inline"
+    capsys.readouterr()
+
+
+def test_executor_env_survives_when_flag_absent(monkeypatch, capsys):
+    import os
+
+    monkeypatch.setenv("FLINT_EXECUTOR", "async")
+    monkeypatch.setenv("FLINT_WORKERS", "2")
+    assert main(_SERVE_SMALL) == 0
+    assert os.environ["FLINT_EXECUTOR"] == "async"
+    assert os.environ["FLINT_WORKERS"] == "2"
+    capsys.readouterr()
+
+
+def test_executor_backend_is_report_invariant(monkeypatch, capsys):
+    """The serve report is bit-identical whichever backend runs the bodies."""
+    monkeypatch.delenv("FLINT_EXECUTOR", raising=False)
+    monkeypatch.delenv("FLINT_WORKERS", raising=False)
+    assert main(_SERVE_SMALL + ["--executor", "inline"]) == 0
+    inline_out = capsys.readouterr().out
+    assert main(_SERVE_SMALL + ["--executor", "process", "--executor-workers", "2"]) == 0
+    process_out = capsys.readouterr().out
+    assert inline_out == process_out
+
+
+def test_parser_rejects_unknown_executor():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--executor", "gpu"])
