@@ -14,6 +14,12 @@ Runs the engine perf smoke and compares it against the checked-in
 - **Determinism gate** — the *simulated* runtimes must match the baseline
   exactly: they are pure outputs of the discrete-event engine and may not
   drift with the host.  Any mismatch means an unintended behaviour change.
+- **Columnar gate** — the data-plane microbench (row closures vs columnar
+  batch kernels) must keep each workload's speedup above an absolute floor
+  (``--min-columnar-speedup``) and its columnar tasks/second within the
+  regression threshold of the baseline.  Gated counters missing from a
+  stale baseline are failures with the re-baseline command in the message,
+  never silent skips.
 
 The fresh run replays the committed baseline's configuration — scheduler
 mode, fusion, **and executor backend + worker count** — so the gate always
@@ -40,7 +46,7 @@ for path in (_ROOT, os.path.join(_ROOT, "src")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-from benchmarks.perf_smoke import run_smoke  # noqa: E402
+from benchmarks.perf_smoke import columnar_comparison, run_smoke  # noqa: E402
 
 #: Relative tolerance for "exact" simulated-time comparison: simulated
 #: runtimes are deterministic floats, but give repr/round-tripping through
@@ -49,7 +55,10 @@ _SIM_RTOL = 1e-9
 
 
 #: The command that rebuilds the committed baseline from scratch.
-_REBASELINE = "PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_engine.json"
+_REBASELINE = (
+    "PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_engine.json "
+    "--compare-columnar --compare-executors"
+)
 
 
 def _sim_runtimes(entry: dict) -> dict:
@@ -116,9 +125,14 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
         base_tps = base_entry.get("tasks_per_second")
         fresh_tps = fresh_entry.get("tasks_per_second")
         if base_tps is None:
-            notes.append(
-                f"{name}: baseline has no tasks_per_second; throughput not "
-                f"gated (re-baseline with: {_REBASELINE})"
+            # A gated counter missing from the committed baseline is a
+            # failure, not a shrug: silently skipping it would let a
+            # regression in that counter ride in on the stale file.
+            failures.append(
+                f"{name}: gated counter tasks_per_second is missing from the "
+                f"committed baseline (observed fresh value: {fresh_tps}) — "
+                f"the baseline predates this gate; re-baseline with: "
+                f"{_REBASELINE}"
             )
         elif fresh_tps:
             tps_ratio = fresh_tps / base_tps
@@ -159,6 +173,78 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
     return failures, notes
 
 
+def compare_columnar(baseline: dict, fresh: dict, threshold: float,
+                     min_speedup: float):
+    """Gate the columnar data-plane microbench (``--compare-columnar``).
+
+    Two checks per workload: the columnar-vs-row speedup may not fall below
+    the absolute ``min_speedup`` floor, and columnar tasks/second may not
+    regress more than ``threshold`` below the committed baseline.  A
+    baseline without the ``columnar_comparison`` section fails — it
+    predates this gate and must be regenerated.
+    """
+    failures = []
+    notes = []
+    base_cmp = baseline.get("columnar_comparison")
+    fresh_cmp = fresh.get("columnar_comparison", {})
+    if base_cmp is None:
+        observed = {
+            name: entry.get("speedup") for name, entry in fresh_cmp.items()
+        }
+        failures.append(
+            "columnar_comparison: gated section is missing from the "
+            f"committed baseline (observed fresh speedups: {observed}) — "
+            f"the baseline predates the columnar gate; re-baseline with: "
+            f"{_REBASELINE}"
+        )
+        return failures, notes
+    for name, base_entry in base_cmp.items():
+        fresh_entry = fresh_cmp.get(name)
+        if fresh_entry is None:
+            failures.append(
+                f"columnar {name}: present in baseline but missing from the "
+                f"fresh run — if the microbench workload was removed on "
+                f"purpose, re-baseline with: {_REBASELINE}"
+            )
+            continue
+        speedup = fresh_entry.get("speedup")
+        base_speedup = base_entry.get("speedup")
+        line = (
+            f"columnar {name}: speedup {speedup}x vs baseline "
+            f"{base_speedup}x (floor {min_speedup}x)"
+        )
+        if speedup is None or speedup < min_speedup:
+            failures.append(
+                line + " — the columnar plane no longer pays for itself on "
+                "this workload"
+            )
+        else:
+            notes.append(line)
+        base_tps = base_entry.get("columnar_tasks_per_second")
+        fresh_tps = fresh_entry.get("columnar_tasks_per_second")
+        if base_tps is None:
+            failures.append(
+                f"columnar {name}: gated counter columnar_tasks_per_second "
+                f"is missing from the committed baseline (observed fresh "
+                f"value: {fresh_tps}) — re-baseline with: {_REBASELINE}"
+            )
+        elif fresh_tps:
+            tps_ratio = fresh_tps / base_tps
+            line = (
+                f"columnar {name}: throughput {fresh_tps}/s vs baseline "
+                f"{base_tps}/s ({(tps_ratio - 1.0) * 100.0:+.1f}%)"
+            )
+            if tps_ratio < 1.0 / (1.0 + threshold):
+                failures.append(
+                    line + f" falls below the {threshold * 100.0:.0f}% "
+                    f"throughput gate (if intentional, re-baseline with: "
+                    f"{_REBASELINE})"
+                )
+            else:
+                notes.append(line)
+    return failures, notes
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -172,6 +258,12 @@ def main() -> int:
                         help="relative wall-clock regression allowed per workload")
     parser.add_argument("--min-wall", type=float, default=0.2,
                         help="baseline walls below this are reported, not gated")
+    parser.add_argument(
+        "--min-columnar-speedup", type=float, default=2.5,
+        help="absolute floor for the columnar microbench speedup per "
+        "workload (the committed baseline sits above 3x; the floor leaves "
+        "slack for noisy shared runners)",
+    )
     args = parser.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -188,9 +280,11 @@ def main() -> int:
         return 2
     executor = baseline.get("executor", "inline")
     workers = baseline.get("worker_count")
+    columnar = baseline.get("columnar", "on")
     print(
         f"perf gate: baseline config scheduler={baseline.get('scheduler_mode', 'incremental')} "
-        f"fusion={baseline.get('fusion', 'on')} executor={executor}"
+        f"fusion={baseline.get('fusion', 'on')} columnar={columnar} "
+        f"executor={executor}"
         + (f" workers={workers}" if workers else "")
     )
     fresh = run_smoke(
@@ -199,8 +293,21 @@ def main() -> int:
         fusion=baseline.get("fusion", "on"),
         executor=executor,
         workers=workers,
+        columnar=columnar,
     )
+    # The columnar microbench rides along on every gate run: it is cheap
+    # (a few seconds) and it is the only evidence that the batch kernels
+    # still pay for themselves.
+    fresh["columnar_comparison"] = columnar_comparison()
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(fresh, fh, indent=2)
+        fh.write("\n")
     failures, notes = compare(baseline, fresh, args.threshold, args.min_wall)
+    col_failures, col_notes = compare_columnar(
+        baseline, fresh, args.threshold, args.min_columnar_speedup
+    )
+    failures.extend(col_failures)
+    notes.extend(col_notes)
     for note in notes:
         print(f"ok: {note}")
     for failure in failures:

@@ -16,12 +16,14 @@ every other ``FLINT_EXECUTOR`` backend and embeds per-backend wall seconds.
 Usage:
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_engine.json]
         [--executor inline|process|async] [--executor-workers N]
-        [--compare-fusion] [--compare-executors]
+        [--columnar on|off] [--compare-fusion] [--compare-executors]
+        [--compare-columnar]
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -54,6 +56,9 @@ _COUNTER_FIELDS = (
     "kernels_offloaded",
     "kernels_consumed",
     "kernels_fallback",
+    "columnar_chains",
+    "columnar_stages",
+    "columnar_fallbacks",
 )
 
 
@@ -132,6 +137,13 @@ def _counters_payload(agg):
         "kernels_offloaded": agg.get("kernels_offloaded", 0),
         "kernels_consumed": agg.get("kernels_consumed", 0),
         "kernels_fallback": agg.get("kernels_fallback", 0),
+        # Columnar plane: fused chains lowered to vectorised batch kernels
+        # (all zero under FLINT_COLUMNAR=off or FLINT_FUSION=off; fallbacks
+        # count chains whose records or kernels refused lowering and which
+        # re-ran on the row plane).
+        "columnar_chains": agg.get("columnar_chains", 0),
+        "columnar_stages": agg.get("columnar_stages", 0),
+        "columnar_fallbacks": agg.get("columnar_fallbacks", 0),
         "record_size_memo_hits": memo_hits,
         "record_size_memo_misses": memo_misses,
         # Memoised per-RDD sizing: repeat record-size consults are dict
@@ -229,9 +241,11 @@ def run_smoke(
     fusion: str = "on",
     executor: str = "inline",
     workers: "int | None" = None,
+    columnar: str = "on",
 ) -> dict:
     os.environ["FLINT_SCHEDULER"] = mode
     os.environ["FLINT_FUSION"] = fusion
+    os.environ["FLINT_COLUMNAR"] = columnar
     # Executor plane under test.  The env var is the channel that reaches
     # every context the scenarios build; resolving here also validates the
     # name and pins the effective pool size into the report, so the gate can
@@ -253,6 +267,7 @@ def run_smoke(
         "benchmark": "engine_perf_smoke",
         "scheduler_mode": mode,
         "fusion": fusion,
+        "columnar": columnar,
         "executor": backend.name,
         "worker_count": backend.worker_count,
         # Wall timings only mean anything relative to the host's core count:
@@ -308,6 +323,7 @@ def fusion_comparison(report: dict, unfused_out: str) -> dict:
         fusion="off",
         executor=report.get("executor", "inline"),
         workers=report.get("worker_count"),
+        columnar=report.get("columnar", "on"),
     )
     comparison = {}
     pairs = list(report["workloads"].items()) + [("totals", report["totals"])]
@@ -351,6 +367,7 @@ def executor_comparison(report: dict, out_for, workers: "int | None" = None) -> 
                 fusion=report["fusion"],
                 executor=name,
                 workers=workers,
+                columnar=report.get("columnar", "on"),
             )
         comparison[name] = {
             "worker_count": entry["worker_count"],
@@ -364,6 +381,163 @@ def executor_comparison(report: dict, out_for, workers: "int | None" = None) -> 
     return comparison
 
 
+def columnar_comparison(passes: int = 6) -> dict:
+    """Data-plane microbench: row closures vs columnar batch kernels.
+
+    The full smoke's wall clock is scheduler-dominated, so it understates
+    what the columnar plane does to the *data plane*.  This bench isolates
+    it: the same partitions are pushed through the row-plane closures and
+    through ``from_records -> batch kernel -> to_records`` (conversion cost
+    included — that is what a fused chain actually pays), asserting the
+    outputs are identical.  One task = one partition-pass, mirroring how the
+    engine charges fused chains.
+    """
+    from repro.engine.columnar import from_records
+    from repro.engine.scheduler import _combine_sort_key
+    from repro.engine.transformations import _ABSENT, _record_hash_key
+    from repro.workloads.datagen import generate_clustered_points, initial_centroids
+    from repro.workloads.kmeans import _assign_batch, _closest
+    from repro.workloads.pagerank import (
+        _accumulate_batch,
+        _contributions_batch,
+        _rank_update_batch,
+    )
+
+    comparison = {}
+
+    def bench(name, partitions, row_fn, col_fn):
+        row_fn(partitions[0])  # warm both paths outside the timed region
+        col_fn(partitions[0])
+
+        def best_pass(fn):
+            # Best-of-N passes, one full sweep over the partitions per
+            # pass: the minimum excludes GC pauses and allocator noise
+            # (the same convention pyperf uses), which would otherwise
+            # swamp a millisecond-scale per-task comparison.
+            best = None
+            out = None
+            for _ in range(passes):
+                gc.collect()
+                t0 = time.perf_counter()
+                out = [fn(part) for part in partitions]
+                wall = time.perf_counter() - t0
+                if best is None or wall < best:
+                    best = wall
+            return best, out
+
+        row_wall, row_out = best_pass(row_fn)
+        col_wall, col_out = best_pass(col_fn)
+        assert row_out == col_out, f"{name}: columnar output diverged from row plane"
+        tasks = len(partitions)
+        comparison[name] = {
+            "tasks_per_pass": tasks,
+            "passes": passes,
+            "records_per_task": len(partitions[0]),
+            "row_wall_seconds": round(row_wall, 4),
+            "columnar_wall_seconds": round(col_wall, 4),
+            "row_tasks_per_second": round(tasks / row_wall, 1) if row_wall else None,
+            "columnar_tasks_per_second": (
+                round(tasks / col_wall, 1) if col_wall else None
+            ),
+            "speedup": round(row_wall / col_wall, 2) if col_wall else None,
+        }
+
+    # KMeans assignment: the per-record _closest map vs its batch twin.
+    k, dim = 12, 8
+    centroids = initial_centroids(23, k, dim)
+    km_parts = [
+        generate_clustered_points(23, p, 2_500, k, dim) for p in range(8)
+    ]
+    km_assign = lambda p, cs=centroids: (_closest(p, cs), (p, 1))  # noqa: E731
+    bench(
+        "KMeans",
+        km_parts,
+        # MappedRDD.compute_fused's literal loop: one closure call per record.
+        lambda part: [km_assign(pt) for pt in part],
+        lambda part, cs=centroids: _assign_batch(from_records(part), cs).to_records(),
+    )
+
+    # PageRank iteration data plane: contribution fan-out, per-destination
+    # rank accumulation, and the damping update, over cogroup-shaped
+    # records (src, ([dsts-list], [rank])).  The row side is the closure /
+    # combiner work the engine streams per record; the columnar side runs
+    # the three batch kernels with one conversion in and one out.
+    def pr_partition(p, vertices=2_500, fanout=32, universe=5_000):
+        return [
+            (
+                p * vertices + v,
+                (
+                    [[(v * 31 + j * 7 + p) % universe for j in range(fanout)]],
+                    [1.0 + (v % 17) / 16.0],
+                ),
+            )
+            for v in range(vertices)
+        ]
+
+    def pr_contributions(kv):
+        # Same body as PageRankWorkload.run's per-record closure.
+        _src, (link_groups, rank_values) = kv
+        if not link_groups or not rank_values:
+            return []
+        dsts = link_groups[0]
+        rank = rank_values[0]
+        share = rank / len(dsts)
+        return [(d, share) for d in dsts]
+
+    pr_create = lambda v: v  # noqa: E731 - reduce_by_key's create_combiner
+    pr_combine = lambda a, b: a + b  # noqa: E731 - the reduce_by_key lambda
+    pr_damp = lambda total: 0.15 + 0.85 * total  # noqa: E731
+    # map_values wraps the value fn in a per-record pair lambda; the row
+    # plane pays both calls per record, so the bench must too.
+    pr_damp_record = lambda kv: (kv[0], pr_damp(kv[1]))  # noqa: E731
+    pr_buckets = 8  # the workload's reduce partition count
+
+    def pr_row(part):
+        # The row plane's per-iteration sequence, verbatim from the engine:
+        # flat_map (FlatMappedRDD.compute_fused's extend loop), map-side
+        # combine (_execute_map's sentinel-get + create/merge per record),
+        # bucket distribution + per-bucket hash sort (the shuffle write),
+        # the reduce-side combiner merge, hash-ordered output, and the
+        # damping map.  The columnar side produces the identical output
+        # with batch kernels, so the aggregate machinery collapses into
+        # two bincounts.
+        contribs = []
+        extend = contribs.extend
+        for kv in part:
+            extend(pr_contributions(kv))
+        combined = {}
+        get = combined.get
+        for key, value in contribs:
+            prev = get(key, _ABSENT)
+            combined[key] = (
+                pr_create(value) if prev is _ABSENT else pr_combine(prev, value)
+            )
+        tables = [[] for _ in range(pr_buckets)]
+        for item in combined.items():
+            tables[(item[0] & 0x7FFFFFFF) % pr_buckets].append(item)
+        buckets = [
+            sorted(t, key=_combine_sort_key) if len(t) > 1 else t for t in tables
+        ]
+        merged = {}
+        get = merged.get
+        for bucket in buckets:
+            for key, value in bucket:
+                prev = get(key, _ABSENT)
+                merged[key] = (
+                    value if prev is _ABSENT else pr_combine(prev, value)
+                )
+        reduced = sorted(merged.items(), key=_record_hash_key)
+        return [pr_damp_record(kv) for kv in reduced]
+
+    def pr_col(part):
+        batch = _contributions_batch(from_records(part))
+        return _rank_update_batch(_accumulate_batch(batch)).to_records()
+
+    pr_parts = [pr_partition(p) for p in range(8)]
+    bench("PageRank", pr_parts, pr_row, pr_col)
+    return comparison
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_engine.json"))
@@ -371,6 +545,10 @@ def main() -> int:
         "--mode", default="incremental", choices=["incremental", "legacy"]
     )
     parser.add_argument("--fusion", default="on", choices=["on", "off"])
+    parser.add_argument(
+        "--columnar", default="on", choices=["on", "off"],
+        help="columnar batch-kernel plane for fused chains (FLINT_COLUMNAR)",
+    )
     parser.add_argument(
         "--executor", default="inline", choices=list(EXECUTOR_BACKENDS),
         help="executor backend the measured runs use (FLINT_EXECUTOR)",
@@ -388,12 +566,18 @@ def main() -> int:
         help="also run under every other executor backend and record "
         "per-backend wall seconds in the report",
     )
+    parser.add_argument(
+        "--compare-columnar", action="store_true",
+        help="also run the data-plane microbench (row closures vs columnar "
+        "batch kernels) and record per-workload speedups in the report",
+    )
     args = parser.parse_args()
     if args.compare_fusion and args.fusion != "on":
         parser.error("--compare-fusion requires --fusion on (the fused side)")
     report = run_smoke(
         args.out, args.mode, fusion=args.fusion,
         executor=args.executor, workers=args.executor_workers,
+        columnar=args.columnar,
     )
     stem, ext = os.path.splitext(args.out)
     if args.compare_fusion:
@@ -404,7 +588,9 @@ def main() -> int:
             report, lambda name: f"{stem}.{name}{ext}",
             workers=args.executor_workers,
         )
-    if args.compare_fusion or args.compare_executors:
+    if args.compare_columnar:
+        report["columnar_comparison"] = columnar_comparison()
+    if args.compare_fusion or args.compare_executors or args.compare_columnar:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")
@@ -448,6 +634,12 @@ def main() -> int:
             f"executor {name} (workers={cmp['worker_count']}, "
             f"host_cpus={report['host_cpus']}): "
             f"{cmp['wall_seconds']}s wall, {cmp['tasks_per_second']} tasks/s"
+        )
+    for name, cmp in report.get("columnar_comparison", {}).items():
+        print(
+            f"columnar {name}: {cmp['row_tasks_per_second']} tasks/s row vs "
+            f"{cmp['columnar_tasks_per_second']} tasks/s columnar "
+            f"({cmp['speedup']}x, {cmp['records_per_task']} records/task)"
         )
     print(f"wrote {args.out}")
     return 0

@@ -57,6 +57,9 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
                         help="where task bodies run (default: $FLINT_EXECUTOR or inline)")
     parser.add_argument("--executor-workers", type=int, default=None,
                         help="executor pool size (default: $FLINT_WORKERS or host cores)")
+    parser.add_argument("--columnar", choices=["on", "off"], default=None,
+                        help="vectorised batch kernels for fused chains "
+                             "(default: $FLINT_COLUMNAR or on)")
 
 
 def _apply_executor(args: argparse.Namespace) -> None:
@@ -73,6 +76,8 @@ def _apply_executor(args: argparse.Namespace) -> None:
         os.environ["FLINT_EXECUTOR"] = args.executor
     if args.executor_workers is not None:
         os.environ["FLINT_WORKERS"] = str(args.executor_workers)
+    if args.columnar is not None:
+        os.environ["FLINT_COLUMNAR"] = args.columnar
 
 
 def cmd_markets(args: argparse.Namespace) -> int:

@@ -21,9 +21,17 @@ Key pieces, mirroring Spark's architecture:
 * :class:`~repro.engine.context.FlintContext` — the user-facing entry point.
 """
 
+from repro.engine.columnar import ColumnarBatch, ColumnarUnsupported
 from repro.engine.context import FlintContext
 from repro.engine.costs import CostModel
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.rdd import RDD
 
-__all__ = ["FlintContext", "CostModel", "HashPartitioner", "RDD"]
+__all__ = [
+    "ColumnarBatch",
+    "ColumnarUnsupported",
+    "FlintContext",
+    "CostModel",
+    "HashPartitioner",
+    "RDD",
+]

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
+from repro.engine.columnar import ColumnarBatch
 from repro.storage.local_disk import DiskFullError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -98,6 +99,14 @@ class BlockManager:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if isinstance(data, ColumnarBatch):
+            # Plane-boundary rule: blocks, shuffle buckets, checkpoints and
+            # action results are always row-form.  A batch reaching the
+            # cache means a kernel leaked its internal representation.
+            raise TypeError(
+                "ColumnarBatch must not cross the block-manager boundary; "
+                "convert with to_records() first"
+            )
         self.stats.puts += 1
         if self.obs is not None and self.obs.enabled:
             self.obs.metrics.inc("blocks.puts")

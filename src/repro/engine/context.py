@@ -39,6 +39,7 @@ class FlintContext:
         scheduler_mode: Optional[str] = None,
         obs: Optional[Observability] = None,
         fusion: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         executor: Optional[str] = None,
         executor_workers: Optional[int] = None,
     ):
@@ -54,6 +55,18 @@ class FlintContext:
                 "off", "0", "false",
             )
         self.fusion_enabled = bool(fusion)
+        #: Columnar fused-chain execution (``FLINT_COLUMNAR``, default on).
+        #: Rides the fused plane only: a chain whose stages all carry batch
+        #: kernels and whose boundary records columnarise runs as vectorised
+        #: NumPy passes instead of per-record closures, bit-identical by
+        #: contract.  Inert when fusion is off (there are no chains to
+        #: lower) — the effective switch is ``fusion_enabled and
+        #: columnar_enabled``.
+        if columnar is None:
+            from repro.engine.columnar import columnar_enabled_by_env
+
+            columnar = columnar_enabled_by_env()
+        self.columnar_enabled = bool(columnar)
         #: Bumped by :meth:`RDD.set_record_size`; versions every RDD's
         #: memoised inherited record size (see ``RDD.record_size``).
         self.sizing_epoch = 0

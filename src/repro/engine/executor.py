@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 from repro.engine.block_manager import block_id_for
+from repro.engine.columnar import ColumnarUnsupported, from_records
 from repro.engine.dependencies import ShuffleDependency
 from repro.engine.lineage import fusion_edge
 from repro.engine.task import TaskKind, TaskResult, TaskSpec
@@ -68,6 +69,12 @@ class KernelTask:
     #: Return the materialised boundary records in the result (needed when
     #: the driver will substitute the boundary node's own compute).
     ship_boundary: bool = False
+    #: Columnar twins of ``stages`` (same order), staged only when the
+    #: context's columnar plane is on and every stage has a batch kernel.
+    #: ``run_kernel`` tries them first and falls back to the row closures on
+    #: conversion refusal or ``ColumnarUnsupported`` — mirroring exactly
+    #: what the inline plane would have done with the same records.
+    batch_stages: Optional[List[Callable]] = None
 
 
 def run_kernel(task: KernelTask) -> TaskResult:
@@ -77,14 +84,32 @@ def run_kernel(task: KernelTask) -> TaskResult:
     records = payload if kind == "data" else payload()
     boundary_records = records if task.ship_boundary else None
     counts: List[int] = []
-    for stage in task.stages:
-        records = stage(records)
-        counts.append(len(records))
+    used_columnar = False
+    if task.batch_stages:
+        batch = from_records(records)
+        if batch is not None:
+            try:
+                out = batch
+                batch_counts: List[int] = []
+                for stage in task.batch_stages:
+                    out = stage(out)
+                    batch_counts.append(out.length)
+            except ColumnarUnsupported:
+                pass
+            else:
+                records = out.to_records()
+                counts = batch_counts
+                used_columnar = True
+    if not used_columnar:
+        for stage in task.stages:
+            records = stage(records)
+            counts.append(len(records))
     return TaskResult(
         records=records,
         stage_counts=counts,
         boundary_records=boundary_records,
         wall_seconds=time.perf_counter() - started,
+        used_columnar=used_columnar,
     )
 
 
@@ -128,6 +153,7 @@ class TaskKernel:
     stage_counts: List[int]
     boundary_records: Optional[List[Any]]
     wall_seconds: float = 0.0
+    used_columnar: bool = False
 
     @classmethod
     def from_result(cls, payload: TaskPayload, result: TaskResult) -> "TaskKernel":
@@ -141,6 +167,7 @@ class TaskKernel:
             stage_counts=result.stage_counts,
             boundary_records=result.boundary_records,
             wall_seconds=result.wall_seconds,
+            used_columnar=result.used_columnar,
         )
 
 
@@ -266,6 +293,19 @@ def build_task_payload(context: "FlintContext", spec: TaskSpec) -> Optional[Task
             for i in range(len(stages) - 1, 0, -1)
         ]
         closures.append(target.fused_kernel(partition))
+        batch_stages = None
+        if context.columnar_enabled:
+            # Stage the columnar twins in the same (deepest-first) order as
+            # the row closures; only when every stage has one — a partially
+            # columnar chain runs entirely on the row plane, matching the
+            # inline runtime's all-or-nothing lowering.
+            batch = [
+                stages[i][0].batch_kernel(stages[i][1])
+                for i in range(len(stages) - 1, 0, -1)
+            ]
+            batch.append(target.batch_kernel(partition))
+            if all(kernel is not None for kernel in batch):
+                batch_stages = batch
         return TaskPayload(
             key=spec.key,
             kind="chain",
@@ -273,7 +313,12 @@ def build_task_payload(context: "FlintContext", spec: TaskSpec) -> Optional[Task
             stage_sig=tuple((s.rdd_id, sp) for s, sp in stages),
             boundary_id=(node.rdd_id, split),
             replay=replay,
-            task=KernelTask(boundary=boundary, stages=closures, ship_boundary=ship),
+            task=KernelTask(
+                boundary=boundary,
+                stages=closures,
+                ship_boundary=ship,
+                batch_stages=batch_stages,
+            ),
         )
     if target.supports_fusion:
         # Fusion off: the inline plane computes this node alone, resolving

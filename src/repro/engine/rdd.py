@@ -102,6 +102,21 @@ class RDD:
         """
         raise NotImplementedError
 
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        """Vectorised ``ColumnarBatch -> ColumnarBatch`` twin, or None.
+
+        The columnar plane lowers a fused chain to batch kernels only when
+        *every* stage provides one; None (the default) keeps the stage — and
+        therefore any chain through it — on the row plane.  A kernel must be
+        picklable (it ships with executor-plane payloads) and must satisfy
+        the bit-identity contract: applied to the columnarised parent
+        records it produces exactly ``compute_fused``'s records, in order,
+        with the same record count (charges replay from batch lengths).  It
+        may raise :class:`~repro.engine.columnar.ColumnarUnsupported` when
+        the runtime schema does not fit — the chain falls back to rows.
+        """
+        return None
+
     @property
     def is_source(self) -> bool:
         """True for lineage roots backed by stable input."""
@@ -190,29 +205,66 @@ class RDD:
     # ------------------------------------------------------------------
     # Transformations (lazy)
     # ------------------------------------------------------------------
-    def map(self, fn: Callable[[Any], Any], compute_multiplier: float = 1.0) -> "RDD":
-        """Apply ``fn`` to every record."""
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        compute_multiplier: float = 1.0,
+        batch_fn: Optional[Callable] = None,
+    ) -> "RDD":
+        """Apply ``fn`` to every record.
+
+        ``batch_fn``, when given, is the columnar plane's vectorised twin
+        (``ColumnarBatch -> ColumnarBatch``); it must produce exactly the
+        records ``fn`` would, in order (see :meth:`batch_kernel`).
+        """
         from repro.engine import transformations as t
 
-        return t.MappedRDD(self, fn, compute_multiplier)
+        return t.MappedRDD(self, fn, compute_multiplier, batch_fn=batch_fn)
 
-    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
-        """Keep records where ``predicate`` is true."""
+    def filter(
+        self,
+        predicate: Callable[[Any], bool],
+        batch_fn: Optional[Callable] = None,
+    ) -> "RDD":
+        """Keep records where ``predicate`` is true.
+
+        ``batch_fn``, when given, maps a ``ColumnarBatch`` to a boolean
+        NumPy mask (True = keep) that must agree with ``predicate`` on
+        every record.
+        """
         from repro.engine import transformations as t
 
-        return t.FilteredRDD(self, predicate)
+        return t.FilteredRDD(self, predicate, batch_fn=batch_fn)
 
-    def flat_map(self, fn: Callable[[Any], Any], compute_multiplier: float = 1.0) -> "RDD":
-        """Apply ``fn`` and flatten the resulting iterables."""
+    def flat_map(
+        self,
+        fn: Callable[[Any], Any],
+        compute_multiplier: float = 1.0,
+        batch_fn: Optional[Callable] = None,
+    ) -> "RDD":
+        """Apply ``fn`` and flatten the resulting iterables.
+
+        ``batch_fn`` is the vectorised twin over whole batches (output
+        length is free — flattening is the kernel's business).
+        """
         from repro.engine import transformations as t
 
-        return t.FlatMappedRDD(self, fn, compute_multiplier)
+        return t.FlatMappedRDD(self, fn, compute_multiplier, batch_fn=batch_fn)
 
-    def map_partitions(self, fn: Callable[[List[Any]], List[Any]], compute_multiplier: float = 1.0) -> "RDD":
-        """Apply ``fn`` to each whole partition."""
+    def map_partitions(
+        self,
+        fn: Callable[[List[Any]], List[Any]],
+        compute_multiplier: float = 1.0,
+        batch_fn: Optional[Callable] = None,
+    ) -> "RDD":
+        """Apply ``fn`` to each whole partition.
+
+        ``batch_fn`` is the vectorised twin over the columnarised
+        partition.
+        """
         from repro.engine import transformations as t
 
-        return t.MapPartitionsRDD(self, fn, compute_multiplier)
+        return t.MapPartitionsRDD(self, fn, compute_multiplier, batch_fn=batch_fn)
 
     def union(self, other: "RDD") -> "RDD":
         """Concatenate two RDDs (no dedup), preserving partition counts."""
@@ -244,11 +296,18 @@ class RDD:
     def values(self) -> "RDD":
         return self.map(lambda kv: kv[1])
 
-    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
-        """Map over pair values, preserving keys and partitioning."""
+    def map_values(
+        self, fn: Callable[[Any], Any], batch_fn: Optional[Callable] = None
+    ) -> "RDD":
+        """Map over pair values, preserving keys and partitioning.
+
+        ``batch_fn`` is a full ``ColumnarBatch -> ColumnarBatch`` twin of
+        the *pair* transform (it sees keys too — preserving them is its
+        contract, mirroring the row lambda below).
+        """
         from repro.engine import transformations as t
 
-        rdd = t.MappedRDD(self, lambda kv: (kv[0], fn(kv[1])))
+        rdd = t.MappedRDD(self, lambda kv: (kv[0], fn(kv[1])), batch_fn=batch_fn)
         rdd.partitioner = self.partitioner
         return rdd
 

@@ -41,6 +41,7 @@ from repro.cluster.cluster import ClusterListener
 from repro.engine.block_index import parse_block_id
 from repro.engine.block_manager import BlockManager, block_id_for
 from repro.engine.checkpoint import CheckpointWriteError
+from repro.engine.columnar import ColumnarUnsupported, from_records
 from repro.engine.dependencies import NarrowDependency, ShuffleDependency
 from repro.engine.executor import TaskKernel, build_task_payload
 from repro.engine.lineage import fusion_edge
@@ -128,6 +129,17 @@ class SchedulerStats:
     kernels_offloaded: int = 0
     kernels_consumed: int = 0
     kernels_fallback: int = 0
+    #: Columnar plane: fused chains lowered to vectorised batch kernels
+    #: (and the stages they covered), plus chains that *attempted* the
+    #: lowering and fell back to rows (records refused columnarisation, or
+    #: a kernel raised ``ColumnarUnsupported`` on the runtime schema).
+    #: Chains/stages are backend-invariant (a consumed executor kernel that
+    #: ran columnar counts too); fallbacks are plane-local diagnostics —
+    #: like the ``kernels_*`` counters they are excluded from
+    #: :meth:`task_counts`.
+    columnar_chains: int = 0
+    columnar_stages: int = 0
+    columnar_fallbacks: int = 0
 
     def task_counts(self) -> Dict[str, int]:
         """The counters that must agree across scheduler modes."""
@@ -166,6 +178,9 @@ class TaskRuntime:
         self.computed: List[ComputedPartition] = []
         self._memo: Dict[Tuple[int, int], List[Any]] = {}
         self._fusion = context.fusion_enabled
+        #: Columnar lowering rides the fused plane only: with fusion off
+        #: there are no chains to lower, so the flag is inert by design.
+        self._columnar = self._fusion and context.columnar_enabled
         #: Speculatively precomputed task body from the executor plane, if
         #: the backend staged one for this task's target.  Consumed at most
         #: once: the data plane validates it against the chain it is about
@@ -281,6 +296,10 @@ class TaskRuntime:
             # counts no longer describe the charges this plane owes.  Drop
             # it and compute inline.
             ctx.scheduler.stats.kernels_fallback += 1
+        if self._columnar:
+            data = self._compute_columnar(stages, node, split)
+            if data is not None:
+                return data
         if len(stages) == 1:
             return rdd.compute(partition, self)
         stream: List[Any] = self.iterator(node, split)
@@ -296,6 +315,64 @@ class TaskRuntime:
         stats.fused_chains += 1
         stats.fused_stages += len(stages)
         return rdd.compute_fused(stream, partition)
+
+    def _compute_columnar(
+        self, stages: List[Tuple["RDD", int]], node: "RDD", split: int
+    ) -> Optional[List[Any]]:
+        """Lower a walked chain to batch kernels; None means "use rows".
+
+        Lowering applies only when every stage carries a batch kernel and
+        the boundary records columnarise; a kernel may still refuse the
+        runtime schema (``ColumnarUnsupported``).  Either way the row plane
+        takes over with nothing double-charged: the boundary resolve below
+        went through the normal :meth:`iterator` (same charges, memo,
+        pending puts as the row path's own resolve), so the fallback's
+        re-resolve is a memo hit.
+
+        Charges are bit-identical to the row plane by construction: batch
+        lengths equal the row plane's per-stage record counts (the kernel
+        contract), and they are charged in the same deepest-first order
+        *after* all kernels ran — pure accumulation onto ``time_charged``,
+        so applying them post hoc changes nothing.  The head stage is
+        charged by the caller from the returned records, as always.
+        """
+        kernels = []
+        for stage, stage_split in stages:
+            kernel = stage.batch_kernel(stage_split)
+            if kernel is None:
+                return None
+            kernels.append(kernel)
+        stream = self.iterator(node, split)
+        stats = self.context.scheduler.stats
+        batch = from_records(stream)
+        if batch is None:
+            # Empty boundaries are trivially row-plane (nothing to
+            # vectorise); only real refusals count as fallbacks.
+            if stream:
+                stats.columnar_fallbacks += 1
+            return None
+        counts: List[int] = []
+        try:
+            for i in range(len(stages) - 1, -1, -1):
+                batch = kernels[i](batch)
+                counts.append(batch.length)
+        except ColumnarUnsupported:
+            stats.columnar_fallbacks += 1
+            return None
+        cost = self.cost
+        charge = self.charge
+        last = len(stages) - 1
+        for i in range(last, 0, -1):
+            inner = stages[i][0]
+            charge(cost.compute_time(
+                counts[last - i] * inner.record_size, inner.compute_multiplier
+            ))
+        stats.columnar_chains += 1
+        stats.columnar_stages += len(stages)
+        if last >= 1:
+            stats.fused_chains += 1
+            stats.fused_stages += len(stages)
+        return batch.to_records()
 
     def _consume_chain(
         self,
@@ -332,6 +409,12 @@ class TaskRuntime:
             ))
         stats = self.context.scheduler.stats
         stats.kernels_consumed += 1
+        if kernel.used_columnar:
+            # The offloaded kernel ran the same columnar lowering the inline
+            # plane would have (same boundary records, same batch kernels),
+            # so the chain/stage counters stay backend-invariant.
+            stats.columnar_chains += 1
+            stats.columnar_stages += len(stages)
         if len(stages) > 1:
             stats.fused_chains += 1
             stats.fused_stages += len(stages)

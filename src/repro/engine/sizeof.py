@@ -17,6 +17,8 @@ from __future__ import annotations
 import sys
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.engine.partitioner import stable_hash
 
 _SAMPLE_LIMIT = 20
@@ -31,6 +33,13 @@ def _stable_sample_key(item: Any):
 def deep_sizeof(obj: Any, depth: int = _DEPTH_LIMIT) -> int:
     """Approximate recursive in-memory size of ``obj`` in bytes."""
     size = sys.getsizeof(obj)
+    if isinstance(obj, np.ndarray):
+        # getsizeof covers an owning array's buffer; a view's buffer lives
+        # in its base, so charge it here — an estimate must not depend on
+        # whether a batch column arrived as a slice or a copy.
+        if obj.base is not None:
+            size += obj.nbytes
+        return size
     if depth <= 0:
         return size
     if isinstance(obj, dict):

@@ -80,6 +80,11 @@ class TaskResult:
     stage_counts: List[int] = field(default_factory=list)
     boundary_records: Optional[List[Any]] = None
     wall_seconds: float = 0.0
+    #: True when the kernel ran its staged *batch* stages (columnar plane)
+    #: instead of the row closures.  Records and stage counts are identical
+    #: either way (the batch-kernel contract); the flag only keeps the
+    #: driver's columnar chain/stage counters backend-invariant.
+    used_columnar: bool = False
 
 
 @dataclass

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.engine.columnar import ColumnarBatch
 from repro.engine.dependencies import (
     OneToOneDependency,
     RangeDependency,
@@ -107,7 +110,13 @@ class MappedRDD(RDD):
 
     supports_fusion = True
 
-    def __init__(self, parent: RDD, fn: Callable[[Any], Any], compute_multiplier: float = 1.0):
+    def __init__(
+        self,
+        parent: RDD,
+        fn: Callable[[Any], Any],
+        compute_multiplier: float = 1.0,
+        batch_fn: Optional[Callable] = None,
+    ):
         super().__init__(
             parent.context,
             [OneToOneDependency(parent)],
@@ -116,6 +125,7 @@ class MappedRDD(RDD):
             name="map",
         )
         self._fn = fn
+        self._batch_fn = batch_fn
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
@@ -123,6 +133,9 @@ class MappedRDD(RDD):
 
     def compute_fused(self, records: Any, split: int) -> List[Any]:
         return [self._fn(x) for x in records]
+
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        return self._batch_fn
 
     def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
         """Picklable ``records -> records`` twin of :meth:`compute_fused`.
@@ -144,11 +157,17 @@ class FilteredRDD(RDD):
 
     supports_fusion = True
 
-    def __init__(self, parent: RDD, predicate: Callable[[Any], bool]):
+    def __init__(
+        self,
+        parent: RDD,
+        predicate: Callable[[Any], bool],
+        batch_fn: Optional[Callable] = None,
+    ):
         super().__init__(
             parent.context, [OneToOneDependency(parent)], parent.num_partitions, name="filter"
         )
         self._predicate = predicate
+        self._batch_fn = batch_fn
         self.partitioner = parent.partitioner
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
@@ -166,13 +185,31 @@ class FilteredRDD(RDD):
 
         return kernel
 
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        if self._batch_fn is None:
+            return None
+        mask_fn = self._batch_fn
+
+        def kernel(batch: ColumnarBatch) -> ColumnarBatch:
+            # select() validates the mask (bool, batch-length) and raises
+            # ColumnarUnsupported itself on a shape mismatch.
+            return batch.select(np.asarray(mask_fn(batch)))
+
+        return kernel
+
 
 class FlatMappedRDD(RDD):
     """Maps each record to an iterable and flattens."""
 
     supports_fusion = True
 
-    def __init__(self, parent: RDD, fn: Callable[[Any], Any], compute_multiplier: float = 1.0):
+    def __init__(
+        self,
+        parent: RDD,
+        fn: Callable[[Any], Any],
+        compute_multiplier: float = 1.0,
+        batch_fn: Optional[Callable] = None,
+    ):
         super().__init__(
             parent.context,
             [OneToOneDependency(parent)],
@@ -181,6 +218,7 @@ class FlatMappedRDD(RDD):
             name="flatMap",
         )
         self._fn = fn
+        self._batch_fn = batch_fn
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
@@ -206,6 +244,9 @@ class FlatMappedRDD(RDD):
 
         return kernel
 
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        return self._batch_fn
+
 
 class MapPartitionsRDD(RDD):
     """Applies a function to an entire partition at once."""
@@ -213,7 +254,11 @@ class MapPartitionsRDD(RDD):
     supports_fusion = True
 
     def __init__(
-        self, parent: RDD, fn: Callable[[List[Any]], List[Any]], compute_multiplier: float = 1.0
+        self,
+        parent: RDD,
+        fn: Callable[[List[Any]], List[Any]],
+        compute_multiplier: float = 1.0,
+        batch_fn: Optional[Callable] = None,
     ):
         super().__init__(
             parent.context,
@@ -223,6 +268,7 @@ class MapPartitionsRDD(RDD):
             name="mapPartitions",
         )
         self._fn = fn
+        self._batch_fn = batch_fn
 
     def compute(self, split: int, runtime: "TaskRuntime") -> List[Any]:
         parent = self.dependencies[0].rdd
@@ -241,6 +287,9 @@ class MapPartitionsRDD(RDD):
             return list(fn(list(records)))
 
         return kernel
+
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        return self._batch_fn
 
 
 class PartitionIndexedRDD(RDD):
@@ -268,6 +317,21 @@ class PartitionIndexedRDD(RDD):
     def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
         def kernel(records: Any) -> List[Any]:
             return [((split, i), x) for i, x in enumerate(records)]
+
+        return kernel
+
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        # Built-in: prepend a ((split, i), ·) key column pair — pure array
+        # construction, valid for any columnarisable payload schema.
+        def kernel(batch: ColumnarBatch) -> ColumnarBatch:
+            n = batch.length
+            part = np.full(n, split, dtype=np.int64)
+            idx = np.arange(n, dtype=np.int64)
+            return ColumnarBatch(
+                ("tuple", (("tuple", ("i8", "i8")), batch.schema)),
+                ((part, idx), batch.data),
+                n,
+            )
 
         return kernel
 
@@ -299,6 +363,17 @@ class ZipWithIndexRDD(RDD):
 
         def kernel(records: Any) -> List[Any]:
             return [(x, base + i) for i, x in enumerate(records)]
+
+        return kernel
+
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        base = self._offsets[split]
+
+        def kernel(batch: ColumnarBatch) -> ColumnarBatch:
+            idx = np.arange(base, base + batch.length, dtype=np.int64)
+            return ColumnarBatch(
+                ("tuple", (batch.schema, "i8")), (batch.data, idx), batch.length
+            )
 
         return kernel
 
@@ -347,6 +422,19 @@ class SampledRDD(RDD):
 
         return kernel
 
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        # Built-in: the same seeded RNG draws the same mask over the same
+        # record count, so the selected subset is identical to the row plane.
+        fraction = self._fraction
+        seed = self._seed
+
+        def kernel(batch: ColumnarBatch) -> ColumnarBatch:
+            rng = SeededRNG(seed, f"sample-{split}")
+            mask = np.asarray(rng.random(batch.length) < fraction)
+            return batch.select(mask)
+
+        return kernel
+
 
 class UnionRDD(RDD):
     """Concatenation of several RDDs via range dependencies.
@@ -381,6 +469,15 @@ class UnionRDD(RDD):
     def fused_kernel(self, split: int) -> Callable[[Any], List[Any]]:
         def kernel(records: Any) -> List[Any]:
             return list(records)
+
+        return kernel
+
+    def batch_kernel(self, split: int) -> Optional[Callable]:
+        # Identity: columns are immutable by convention, so the same batch
+        # passes through (the row twin's list() copy exists only to protect
+        # cached rows from downstream mutation, which columns cannot see).
+        def kernel(batch: ColumnarBatch) -> ColumnarBatch:
+            return batch
 
         return kernel
 

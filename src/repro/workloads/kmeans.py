@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.columnar import ColumnarBatch
 from repro.engine.context import FlintContext
 from repro.engine.rdd import RDD
 from repro.workloads.datagen import generate_clustered_points, initial_centroids
@@ -46,21 +47,35 @@ def _add_vectors(a: Tuple[float, ...], b: Tuple[float, ...]) -> Tuple[float, ...
     return tuple(map(operator.add, a, b))
 
 
-def _assign_partition(
-    points: List[Tuple[float, ...]], centroids: List[Tuple[float, ...]]
-) -> List[Tuple[int, Tuple[Tuple[float, ...], int]]]:
-    """Vectorised closest-centroid assignment over a whole partition.
+def _assign_batch(batch: ColumnarBatch, centroids: List[Tuple[float, ...]]) -> ColumnarBatch:
+    """Columnar twin of the per-record ``_closest`` assignment map.
 
-    One (n, k, dim) broadcast replaces n*k Python-level distance loops.
-    ``argmin`` keeps the earliest index on ties, matching :func:`_closest`.
+    Per element the float-operation order matches ``_closest`` exactly:
+    distances accumulate one dimension at a time (left-to-right from 0.0)
+    and the running minimum uses the same strict ``<`` (ties keep the
+    earlier centroid).  ``_closest``'s early exit never changes its answer
+    (the full sum only grows), so computing full sums here is equivalent.
     """
-    if not points:
-        return []
-    pts = np.asarray(points, dtype=np.float64)
-    cen = np.asarray(centroids, dtype=np.float64)
-    d2 = ((pts[:, None, :] - cen[None, :, :]) ** 2).sum(axis=2)
-    idx = d2.argmin(axis=1)
-    return [(int(i), (p, 1)) for i, p in zip(idx, points)]
+    dim = len(centroids[0])
+    point_schema = ("tuple", ("f8",) * dim)
+    cols = batch.require(point_schema)
+    n = len(batch)
+    best = np.zeros(n, dtype=np.int64)
+    best_d = np.full(n, np.inf)
+    for i, c in enumerate(centroids):
+        d = np.zeros(n)
+        for j in range(dim):
+            diff = cols[j] - c[j]
+            d += diff * diff
+        better = d < best_d
+        best[better] = i
+        best_d[better] = d[better]
+    counts = np.ones(n, dtype=np.int64)
+    return ColumnarBatch(
+        ("tuple", ("i8", ("tuple", (point_schema, "i8")))),
+        (best, (cols, counts)),
+        n,
+    )
 
 
 class KMeansWorkload:
@@ -125,9 +140,10 @@ class KMeansWorkload:
         for _ in range(iters):
             frozen = list(centroids)
             stats = (
-                points.map_partitions(
-                    lambda part, cs=frozen: _assign_partition(part, cs),
+                points.map(
+                    lambda p, cs=frozen: (_closest(p, cs), (p, 1)),
                     compute_multiplier=self.distance_cost,
+                    batch_fn=lambda batch, cs=frozen: _assign_batch(batch, cs),
                 )
                 .reduce_by_key(
                     lambda a, b: (_add_vectors(a[0], b[0]), a[1] + b[1]),

@@ -11,11 +11,122 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
+from repro.engine.columnar import ColumnarBatch, ColumnarUnsupported
 from repro.engine.context import FlintContext
 from repro.engine.rdd import RDD
 from repro.workloads.datagen import generate_graph_partition
 
 GB = 10**9
+
+#: Schema of a cached adjacency partition: ``(src, [dsts])``.
+_LINKS_SCHEMA = ("tuple", ("i8", ("list", "i8")))
+#: Schema of a rank partition: ``(vertex, rank)``.
+_RANKS_SCHEMA = ("tuple", ("i8", "f8"))
+#: Schema of a cogrouped ``(src, ([group, ...], [rank, ...]))`` partition —
+#: the link side is doubly ragged (list of adjacency lists).
+_COGROUP_SCHEMA = ("tuple", ("i8", ("tuple", (("list", ("list", "i8")), ("list", "f8")))))
+
+
+def _init_ranks_batch(batch: ColumnarBatch) -> ColumnarBatch:
+    """Columnar twin of ``map_values(lambda _dsts: 1.0)`` over links."""
+    src, _dsts = batch.require(_LINKS_SCHEMA)
+    n = len(batch)
+    return ColumnarBatch(_RANKS_SCHEMA, (src, np.full(n, 1.0)), n)
+
+
+def _rank_update_batch(batch: ColumnarBatch) -> ColumnarBatch:
+    """Columnar twin of ``map_values(lambda total: 0.15 + 0.85 * total)``."""
+    vertex, total = batch.require(_RANKS_SCHEMA)
+    return ColumnarBatch(_RANKS_SCHEMA, (vertex, 0.15 + 0.85 * total), len(batch))
+
+
+def _accumulate_batch(batch: ColumnarBatch) -> ColumnarBatch:
+    """Vectorised twin of the reduce-side ``lambda a, b: a + b`` merge.
+
+    Matches the shuffle merge loop in ``ShuffledRDD.compute`` exactly:
+    per-key accumulation in stream order (``np.bincount`` adds
+    sequentially, matching repeated ``a + b`` merges that start from the
+    first value — ``0.0 + v`` is bit-identical to ``v`` for the positive
+    shares PageRank produces, and ``-0.0`` contributions are refused
+    because the implicit zero seed would flip their sign bit), and output
+    in ``sorted(merged.items(), key=_record_hash_key)`` order.  For
+    non-negative int keys below 2**31 the hash fast path ``k & 0x7FFFFFFF``
+    is the identity, so that order is simply ascending key; anything else
+    is refused.  The engine's shuffle merge itself stays on the row plane;
+    this kernel is the columnar plane's aggregate shape, exercised by the
+    perf-smoke columnar microbench.
+    """
+    vertex, contrib = batch.require(_RANKS_SCHEMA)
+    n = len(batch)
+    if n == 0:
+        return batch
+    if int(vertex.min()) < 0 or int(vertex.max()) >= 2**31:
+        raise ColumnarUnsupported("keys outside the int hash fast path")
+    if (np.signbit(contrib) & (contrib == 0.0)).any():
+        raise ColumnarUnsupported("-0.0 contribution would lose its sign")
+    occupancy = np.bincount(vertex)
+    sums = np.bincount(vertex, weights=contrib)
+    keys = np.flatnonzero(occupancy)
+    return ColumnarBatch(_RANKS_SCHEMA, (keys, sums[keys]), len(keys))
+
+
+def _contributions_batch(batch: ColumnarBatch) -> ColumnarBatch:
+    """Columnar twin of the per-record ``contributions`` flat map.
+
+    A ragged gather: each record with one link group and one rank value
+    fans out to ``len(dsts)`` ``(dst, rank / len(dsts))`` pairs, preserving
+    record order then in-list order — exactly the row plane's emission
+    order.  All arithmetic (one f8/i8 division per record, broadcast to
+    its fan-out) is IEEE-identical to the scalar ``rank / len(dsts)``.
+    """
+    _src, (link_col, rank_col) = batch.require(_COGROUP_SCHEMA)
+    group_counts, (dst_counts, dst_vals) = link_col
+    rank_counts, rank_vals = rank_col
+    if (group_counts > 1).any() or (rank_counts > 1).any():
+        # The row plane reads only element [0] of each side; refuse rather
+        # than silently dropping the extras (cogroup of pre-grouped links
+        # with unique ranks never produces them in practice).
+        raise ColumnarUnsupported("multiple cogroup values for one key")
+    valid = (group_counts > 0) & (rank_counts > 0)
+    if valid.all():
+        # Dense fast path: every record has exactly one group and one rank
+        # (counts are all 1 after the >1 refusal), so the flat axes are
+        # already in record order and the gather below is the identity.
+        fanout = dst_counts
+        if (fanout == 0).any():
+            raise ColumnarUnsupported("empty adjacency list")
+        share = rank_vals / fanout
+        return ColumnarBatch(
+            _RANKS_SCHEMA,
+            (dst_vals, np.repeat(share, fanout)),
+            int(fanout.sum()),
+        )
+    if not valid.any():
+        return ColumnarBatch(
+            _RANKS_SCHEMA, (np.empty(0, dtype=np.int64), np.empty(0)), 0
+        )
+    # Flat-axis index of each valid record's single adjacency list.
+    group_offsets = np.concatenate(([0], np.cumsum(group_counts)))
+    flat_group = group_offsets[:-1][valid]
+    fanout = dst_counts[flat_group]
+    if (fanout == 0).any():
+        # ``rank / len(dsts)`` would raise ZeroDivisionError on the row
+        # plane; fall back so the error surfaces there, not here.
+        raise ColumnarUnsupported("empty adjacency list")
+    rank_offsets = np.concatenate(([0], np.cumsum(rank_counts)))
+    rank = rank_vals[rank_offsets[:-1][valid]]
+    share = rank / fanout
+    # Gather every valid record's dsts: start of its list in the flat dst
+    # axis, plus a within-list ramp.
+    dst_offsets = np.concatenate(([0], np.cumsum(dst_counts)))
+    starts = dst_offsets[:-1][flat_group]
+    total = int(fanout.sum())
+    out_offsets = np.concatenate(([0], np.cumsum(fanout)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(out_offsets, fanout)
+    out_dst = dst_vals[np.repeat(starts, fanout) + within]
+    return ColumnarBatch(_RANKS_SCHEMA, (out_dst, np.repeat(share, fanout)), total)
 
 
 class PageRankWorkload:
@@ -89,7 +200,7 @@ class PageRankWorkload:
         links = self.links
         iters = iterations or self.iterations
         ranks = (
-            links.map_values(lambda _dsts: 1.0)
+            links.map_values(lambda _dsts: 1.0, batch_fn=_init_ranks_batch)
             .set_record_size(self.rank_record_size)
             .set_name("ranks-0")
         )
@@ -107,12 +218,12 @@ class PageRankWorkload:
         for i in range(iters):
             contribs = (
                 links.cogroup(ranks, self.partitions)
-                .flat_map(contributions)
+                .flat_map(contributions, batch_fn=_contributions_batch)
                 .set_record_size(self.contrib_record_size)
             )
             new_ranks = (
                 contribs.reduce_by_key(lambda a, b: a + b, self.partitions)
-                .map_values(lambda total: 0.15 + 0.85 * total)
+                .map_values(lambda total: 0.15 + 0.85 * total, batch_fn=_rank_update_batch)
                 .set_record_size(self.rank_record_size)
                 .persist()
                 .set_name(f"ranks-{i + 1}")

@@ -153,3 +153,40 @@ def test_executor_backend_is_report_invariant(monkeypatch, capsys):
 def test_parser_rejects_unknown_executor():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--executor", "gpu"])
+
+
+def test_columnar_flag_publishes_env(monkeypatch, capsys):
+    """--columnar mirrors FLINT_COLUMNAR; flag > environment > default."""
+    import os
+
+    monkeypatch.delenv("FLINT_COLUMNAR", raising=False)
+    assert main(_SERVE_SMALL + ["--columnar", "off"]) == 0
+    assert os.environ["FLINT_COLUMNAR"] == "off"
+    monkeypatch.setenv("FLINT_COLUMNAR", "off")
+    assert main(_SERVE_SMALL + ["--columnar", "on"]) == 0
+    assert os.environ["FLINT_COLUMNAR"] == "on"
+    capsys.readouterr()
+
+
+def test_columnar_env_survives_when_flag_absent(monkeypatch, capsys):
+    import os
+
+    monkeypatch.setenv("FLINT_COLUMNAR", "off")
+    assert main(_SERVE_SMALL) == 0
+    assert os.environ["FLINT_COLUMNAR"] == "off"
+    capsys.readouterr()
+
+
+def test_columnar_plane_is_report_invariant(monkeypatch, capsys):
+    """The serve report is bit-identical whichever plane runs fused chains."""
+    monkeypatch.delenv("FLINT_COLUMNAR", raising=False)
+    assert main(_SERVE_SMALL + ["--columnar", "on"]) == 0
+    on_out = capsys.readouterr().out
+    assert main(_SERVE_SMALL + ["--columnar", "off"]) == 0
+    off_out = capsys.readouterr().out
+    assert on_out == off_out
+
+
+def test_parser_rejects_unknown_columnar_mode():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--columnar", "maybe"])

@@ -1,0 +1,109 @@
+"""The perf gate's comparison logic, including stale-baseline failures.
+
+These tests drive ``compare``/``compare_columnar`` on synthetic reports —
+no smoke run — so they pin the *shape* of the gate: what fails, what is
+merely noted, and that every failure about a stale baseline names the
+missing counter, shows the observed value, and carries the re-baseline
+command.
+"""
+
+from benchmarks.perf_gate import _REBASELINE, compare, compare_columnar
+
+
+def _workload_entry(wall=1.0, tps=100.0, sim=2.5):
+    return {
+        "wall_seconds": wall,
+        "tasks_per_second": tps,
+        "fig7": {"baseline_runtime": sim, "revoked_runtime": sim * 2},
+    }
+
+
+def _columnar_entry(speedup=3.2, col_tps=140.0):
+    return {
+        "speedup": speedup,
+        "columnar_tasks_per_second": col_tps,
+        "row_tasks_per_second": col_tps / speedup,
+    }
+
+
+def test_healthy_reports_pass():
+    baseline = {"workloads": {"PageRank": _workload_entry()}}
+    fresh = {"workloads": {"PageRank": _workload_entry(wall=1.05, tps=98.0)}}
+    failures, notes = compare(baseline, fresh, threshold=0.30, min_wall=0.2)
+    assert failures == []
+    assert any("PageRank" in n for n in notes)
+
+
+def test_wall_regression_fails():
+    baseline = {"workloads": {"PageRank": _workload_entry(wall=1.0)}}
+    fresh = {"workloads": {"PageRank": _workload_entry(wall=1.5)}}
+    failures, _ = compare(baseline, fresh, threshold=0.30, min_wall=0.2)
+    assert any("regression gate" in f for f in failures)
+
+
+def test_missing_tasks_per_second_is_an_actionable_failure():
+    """A gated counter absent from a stale baseline fails, never skips."""
+    stale = _workload_entry()
+    del stale["tasks_per_second"]
+    baseline = {"workloads": {"PageRank": stale}}
+    fresh = {"workloads": {"PageRank": _workload_entry(tps=123.4)}}
+    failures, _ = compare(baseline, fresh, threshold=0.30, min_wall=0.2)
+    [failure] = [f for f in failures if "tasks_per_second" in f]
+    assert "123.4" in failure  # the observed fresh value
+    assert _REBASELINE in failure  # how to fix it
+
+
+def test_simulated_runtime_drift_fails():
+    baseline = {"workloads": {"PageRank": _workload_entry(sim=2.5)}}
+    fresh = {"workloads": {"PageRank": _workload_entry(sim=2.6)}}
+    failures, _ = compare(baseline, fresh, threshold=0.30, min_wall=0.2)
+    assert any("behaviour-identical" in f for f in failures)
+
+
+def test_columnar_healthy_passes():
+    baseline = {"columnar_comparison": {"PageRank": _columnar_entry()}}
+    fresh = {"columnar_comparison": {"PageRank": _columnar_entry(3.3, 145.0)}}
+    failures, notes = compare_columnar(
+        baseline, fresh, threshold=0.30, min_speedup=2.5
+    )
+    assert failures == []
+    assert any("speedup" in n for n in notes)
+
+
+def test_columnar_section_missing_from_baseline_fails_actionably():
+    baseline = {"workloads": {}}
+    fresh = {"columnar_comparison": {"PageRank": _columnar_entry(3.3)}}
+    failures, _ = compare_columnar(
+        baseline, fresh, threshold=0.30, min_speedup=2.5
+    )
+    [failure] = failures
+    assert "columnar_comparison" in failure
+    assert "3.3" in failure  # observed fresh speedup
+    assert _REBASELINE in failure
+
+
+def test_columnar_speedup_below_floor_fails():
+    baseline = {"columnar_comparison": {"PageRank": _columnar_entry(3.2)}}
+    fresh = {"columnar_comparison": {"PageRank": _columnar_entry(1.4)}}
+    failures, _ = compare_columnar(
+        baseline, fresh, threshold=0.30, min_speedup=2.5
+    )
+    assert any("no longer pays for itself" in f for f in failures)
+
+
+def test_columnar_throughput_regression_fails():
+    baseline = {"columnar_comparison": {"PageRank": _columnar_entry(3.2, 140.0)}}
+    fresh = {"columnar_comparison": {"PageRank": _columnar_entry(3.2, 80.0)}}
+    failures, _ = compare_columnar(
+        baseline, fresh, threshold=0.30, min_speedup=2.5
+    )
+    assert any("throughput gate" in f for f in failures)
+
+
+def test_columnar_workload_missing_from_fresh_fails():
+    baseline = {"columnar_comparison": {"PageRank": _columnar_entry()}}
+    fresh = {"columnar_comparison": {}}
+    failures, _ = compare_columnar(
+        baseline, fresh, threshold=0.30, min_speedup=2.5
+    )
+    assert any("missing from the fresh run" in f for f in failures)
