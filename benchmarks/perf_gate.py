@@ -14,6 +14,11 @@ Runs the engine perf smoke and compares it against the checked-in
 - **Determinism gate** — the *simulated* runtimes must match the baseline
   exactly: they are pure outputs of the discrete-event engine and may not
   drift with the host.  Any mismatch means an unintended behaviour change.
+- **Streaming gate** — the micro-batch plane's wall-based ingest
+  ``records_per_second`` must stay above an absolute floor
+  (``--min-stream-rps``) and within the regression threshold of the
+  committed baseline; its simulated batch latencies and recovery metrics
+  ride the determinism gate like every other simulated time.
 - **Columnar gate** — the data-plane microbench (row closures vs columnar
   batch kernels) must keep each workload's speedup above an absolute floor
   (``--min-columnar-speedup``) and its columnar tasks/second within the
@@ -77,6 +82,8 @@ def _sim_runtimes(entry: dict) -> dict:
         out[f"fig8_{k}"] = v
     for k, v in entry.get("multitenant", {}).get("simulated_seconds", {}).items():
         out[f"multitenant_{k}"] = v
+    for k, v in entry.get("streaming", {}).get("simulated_seconds", {}).items():
+        out[f"streaming_{k}"] = v
     return out
 
 
@@ -84,7 +91,8 @@ def _close(a: float, b: float) -> bool:
     return abs(a - b) <= _SIM_RTOL * max(abs(a), abs(b), 1.0)
 
 
-def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
+def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float,
+            min_stream_rps: float = 0.0):
     """Returns (failures, notes): gate violations and informational lines."""
     failures = []
     notes = []
@@ -150,6 +158,40 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float):
                 )
             else:
                 notes.append(line)
+        # Streaming floor: wall-based ingest records/second may neither fall
+        # below the absolute floor nor regress more than the threshold
+        # against the committed baseline.
+        fresh_rps = fresh_entry.get("records_per_second")
+        if fresh_rps is not None:
+            base_rps = base_entry.get("records_per_second")
+            if base_rps is None:
+                failures.append(
+                    f"{name}: gated counter records_per_second is missing "
+                    f"from the committed baseline (observed fresh value: "
+                    f"{fresh_rps}) — the baseline predates the streaming "
+                    f"gate; re-baseline with: {_REBASELINE}"
+                )
+            else:
+                rps_ratio = fresh_rps / base_rps
+                line = (
+                    f"{name}: streaming ingest {fresh_rps} records/s vs "
+                    f"baseline {base_rps} records/s "
+                    f"({(rps_ratio - 1.0) * 100.0:+.1f}%, "
+                    f"floor {min_stream_rps})"
+                )
+                if fresh_rps < min_stream_rps:
+                    failures.append(
+                        line + " falls below the streaming records/s floor "
+                        f"(if intentional, re-baseline with: {_REBASELINE})"
+                    )
+                elif rps_ratio < 1.0 / (1.0 + threshold):
+                    failures.append(
+                        line + f" falls below the {threshold * 100.0:.0f}% "
+                        f"throughput gate (if intentional, re-baseline "
+                        f"with: {_REBASELINE})"
+                    )
+                else:
+                    notes.append(line)
         base_sim = _sim_runtimes(base_entry)
         fresh_sim = _sim_runtimes(fresh_entry)
         for key in sorted(base_sim.keys() & fresh_sim.keys()):
@@ -259,6 +301,12 @@ def main() -> int:
     parser.add_argument("--min-wall", type=float, default=0.2,
                         help="baseline walls below this are reported, not gated")
     parser.add_argument(
+        "--min-stream-rps", type=float, default=50_000.0,
+        help="absolute floor for streaming ingest records/second (the "
+        "committed baseline sits far above it; the floor catches gross "
+        "micro-batch-plane regressions even on slow shared runners)",
+    )
+    parser.add_argument(
         "--min-columnar-speedup", type=float, default=2.5,
         help="absolute floor for the columnar microbench speedup per "
         "workload (the committed baseline sits above 3x; the floor leaves "
@@ -302,7 +350,10 @@ def main() -> int:
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(fresh, fh, indent=2)
         fh.write("\n")
-    failures, notes = compare(baseline, fresh, args.threshold, args.min_wall)
+    failures, notes = compare(
+        baseline, fresh, args.threshold, args.min_wall,
+        min_stream_rps=args.min_stream_rps,
+    )
     col_failures, col_notes = compare_columnar(
         baseline, fresh, args.threshold, args.min_columnar_speedup
     )

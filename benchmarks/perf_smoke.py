@@ -235,6 +235,78 @@ def _smoke_multitenant():
     return entry, agg
 
 
+def _smoke_streaming():
+    """The micro-batch plane: throughput, state, windows, and recovery.
+
+    Runs the streaming workload trio (identity pass-through, τ-checkpointed
+    stateful wordcount, sliding-window aggregation) plus the revocation
+    recovery benchmark.  Wall-based ``records_per_second`` is the streaming
+    throughput floor the perf gate holds; the simulated per-batch latencies,
+    sustained ingest rates, and recovery metrics are deterministic outputs
+    of the engine and go through the determinism gate like fig7/fig8 times.
+    """
+    import statistics
+
+    from repro.streaming import (
+        StreamingIdentityWorkload,
+        StreamingWindowWorkload,
+        StreamingWordCountWorkload,
+        run_recovery_benchmark,
+    )
+
+    entry = {}
+    agg: dict = {}
+    sims = {}
+    total_records = 0
+    wall_start = time.perf_counter()
+
+    workload_factories = {
+        "identity": lambda ctx: StreamingIdentityWorkload(
+            ctx, records_per_batch=4_000, partitions=8, num_batches=8,
+        ),
+        "wordcount": lambda ctx: StreamingWordCountWorkload(
+            ctx, lines_per_batch=1_600, partitions=8, num_batches=8, seed=23,
+            checkpointing=True, initial_delta=20.0, max_tau=60.0,
+        ),
+        "window": lambda ctx: StreamingWindowWorkload(
+            ctx, records_per_batch=2_000, partitions=8, num_batches=9,
+            window=3, slide=2, num_keys=40, seed=31,
+        ),
+    }
+    for name, factory in workload_factories.items():
+        ctx = build_engine_context(num_workers=CLUSTER_SIZE)
+        workload = factory(ctx)
+        workload.load()
+        workload.run()
+        ssc = workload.ssc
+        sims[f"{name}_median_batch_latency"] = statistics.median(ssc.latencies())
+        sims[f"{name}_records_per_second"] = ssc.sustained_records_per_second()
+        total_records += ssc.total_records()
+        _accumulate(agg, ctx)
+    trio_wall = time.perf_counter() - wall_start
+
+    # Revoke the whole pool late in the stream; τ-periodic state
+    # checkpointing must keep the recovery batch bounded.
+    recovery = run_recovery_benchmark(checkpointing=True)
+    for key, value in recovery.items():
+        sims[f"recovery_{key}"] = value
+
+    wall = round(time.perf_counter() - wall_start, 3)
+    entry["wall_seconds"] = wall
+    entry["streaming"] = {"simulated_seconds": sims}
+    entry["tasks_completed"] = agg["tasks_completed"]
+    entry["tasks_per_second"] = round(agg["tasks_completed"] / wall, 1) if wall else None
+    entry["records_processed"] = total_records
+    # The gate's streaming floor: ingest records pushed through the engine
+    # per wall-clock second across the trio (the recovery run's wall is
+    # excluded — it deliberately pays a revocation recomputation).
+    entry["records_per_second"] = (
+        round(total_records / trio_wall, 1) if trio_wall else None
+    )
+    entry["scheduler_counters"] = _counters_payload(agg)
+    return entry, agg
+
+
 def run_smoke(
     out_path: str,
     mode: str = "incremental",
@@ -286,6 +358,7 @@ def run_smoke(
     smokes = [(name, lambda f=factory: _smoke_one_workload(f))
               for name, factory in BATCH_WORKLOADS.items()]
     smokes.append(("MultiTenant", _smoke_multitenant))
+    smokes.append(("Streaming", _smoke_streaming))
     for name, smoke in smokes:
         entry, agg = smoke()
         report["workloads"][name] = entry
@@ -601,11 +674,18 @@ def main() -> int:
                 f"(fig7 {entry['fig7']['wall_seconds']}s, "
                 f"fig8 {entry['fig8']['wall_seconds']}s), "
             )
-        else:
+        elif "multitenant" in entry:
             sims = entry["multitenant"]["simulated_seconds"]
             breakdown = (
                 f"(interactive p95 fifo {sims['fifo_interactive_p95']:.2f}s "
                 f"vs fair {sims['fair_interactive_p95']:.2f}s), "
+            )
+        else:
+            sims = entry["streaming"]["simulated_seconds"]
+            breakdown = (
+                f"(ingest {entry['records_per_second']} records/s wall, "
+                f"recovery batch {sims['recovery_recovery_batch_latency']:.2f}s "
+                f"sim), "
             )
         print(
             f"{name}: {entry['wall_seconds']}s wall "

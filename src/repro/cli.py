@@ -62,6 +62,59 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
                              "(default: $FLINT_COLUMNAR or on)")
 
 
+def _add_streaming(parser: argparse.ArgumentParser) -> None:
+    """Micro-batch flags for subcommands that can run the streaming plane."""
+    parser.add_argument("--batch-interval", type=float, default=30.0,
+                        help="streaming: simulated seconds between micro-batches")
+    parser.add_argument("--window", type=int, default=1,
+                        help="streaming: window size in batches (>1 runs the "
+                             "windowed aggregation instead of stateful wordcount)")
+    parser.add_argument("--slide", type=int, default=None,
+                        help="streaming: window slide in batches (default: window)")
+    parser.add_argument("--batches", type=int, default=8,
+                        help="streaming: how many micro-batches to run")
+
+
+def _build_streaming_workload(ctx, args: argparse.Namespace, partitions: int):
+    """The CLI's streaming scenario: windowed aggregation when ``--window``
+    exceeds one batch, τ-checkpointed stateful wordcount otherwise."""
+    from repro.streaming import StreamingWindowWorkload, StreamingWordCountWorkload
+
+    if args.window > 1:
+        return StreamingWindowWorkload(
+            ctx,
+            partitions=partitions,
+            num_batches=args.batches,
+            window=args.window,
+            slide=args.slide,
+            batch_interval=args.batch_interval,
+        )
+    return StreamingWordCountWorkload(
+        ctx,
+        partitions=partitions,
+        num_batches=args.batches,
+        batch_interval=args.batch_interval,
+        checkpointing=True,
+        initial_delta=20.0,
+        max_tau=2 * args.batch_interval,
+    )
+
+
+def _print_streaming_summary(workload) -> None:
+    import statistics
+
+    ssc = workload.ssc
+    latencies = ssc.latencies()
+    print(
+        f"batches: {len(ssc.batches)}  "
+        f"median batch latency: {statistics.median(latencies):.2f}s  "
+        f"sustained: {ssc.sustained_records_per_second():.0f} records/s"
+    )
+    if ssc.policy is not None:
+        print(f"state checkpoints: {ssc.policy.stats.marks} "
+              f"(tau={ssc.policy.tau:.0f}s)")
+
+
 def _apply_executor(args: argparse.Namespace) -> None:
     """Publish the executor flags to the environment.
 
@@ -146,6 +199,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     elif args.workload == "als":
         workload = ALSWorkload(ctx, partitions=2 * args.nodes)
         report = flint.run(lambda _ctx: workload.run(), name="als")
+    elif args.workload == "streaming":
+        workload = _build_streaming_workload(ctx, args, partitions=2 * args.nodes)
+        report = flint.run(lambda _ctx: workload.run(), name="streaming")
     else:  # tpch
         session = TPCHSession(ctx, partitions=2 * args.nodes)
         session.load()
@@ -153,6 +209,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                            name="tpch")
     print(f"runtime: {report.runtime:.1f}s (simulated)")
     print(f"revocations during run: {report.revocations}")
+    if args.workload == "streaming":
+        _print_streaming_summary(workload)
     summary = flint.cost_summary()
     print(f"cost: ${summary['total_cost']:.4f} "
           f"(instances ${summary['instance_cost']:.4f} "
@@ -255,6 +313,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
     elif args.scenario == "storm":
         _run_storm_scenario(args, _capture)
+    elif args.scenario == "streaming":
+        _run_streaming_scenario(args, _capture)
     else:
         _run_workload_scenario(args, _capture)
 
@@ -326,6 +386,18 @@ def _run_storm_scenario(args: argparse.Namespace, context_hook) -> None:
             ctx.cluster.force_revoke(victims)
 
     ctx.env.schedule_at(args.revoke_at, "storm_revocation", callback=_revoke)
+    workload.run()
+
+
+def _run_streaming_scenario(args: argparse.Namespace, context_hook) -> None:
+    """Trace the micro-batch plane: ``stream-batch`` spans on the
+    driver/streaming lane over the usual task/job/cache books."""
+    from repro.analysis.experiments import build_engine_context
+
+    ctx = build_engine_context(num_workers=args.workers, seed=args.seed)
+    context_hook(ctx)
+    workload = _build_streaming_workload(ctx, args, partitions=2 * args.workers)
+    workload.load()
     workload.run()
 
 
@@ -404,11 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run a workload under Flint")
     _add_common(p)
-    p.add_argument("--workload", choices=["pagerank", "kmeans", "als", "tpch"],
+    p.add_argument("--workload",
+                   choices=["pagerank", "kmeans", "als", "tpch", "streaming"],
                    default="pagerank")
     p.add_argument("--mode", choices=["batch", "interactive"], default="batch")
     p.add_argument("--nodes", type=int, default=10)
     p.add_argument("--hours", type=float, default=2.0)
+    _add_streaming(p)
     _add_executor(p)
     p.set_defaults(func=cmd_run)
 
@@ -435,7 +509,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace", help="run a scenario traced; export a Chrome timeline")
     _add_common(p)
     p.add_argument("scenario",
-                   choices=["multitenant", "storm", "pagerank", "kmeans", "als"],
+                   choices=["multitenant", "storm", "streaming",
+                            "pagerank", "kmeans", "als"],
                    help="what to run under FLINT_TRACE=1")
     p.add_argument("--out", default="trace.json",
                    help="Chrome trace_event JSON output path")
@@ -450,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multitenant scenario: revoke one worker mid-stream")
     p.add_argument("--revoke-at", type=float, default=150.0,
                    help="storm scenario: simulated time of the revocation burst")
+    _add_streaming(p)
     _add_executor(p)
     p.set_defaults(func=cmd_trace)
 

@@ -44,8 +44,10 @@ MTTF = 1800.0
 
 FAMILIES = ("revocation", "io")
 #: Opt-in families outside the default matrix (kept stable at 120 plans);
-#: ``multijob`` stresses the scheduler with >=2 jobs in flight per fault.
-EXTRA_FAMILIES = ("multijob",)
+#: ``multijob`` stresses the scheduler with >=2 jobs in flight per fault,
+#: ``streaming`` lands revocations mid-window and mid-state-checkpoint on
+#: the micro-batch plane (paired with the ``Streaming`` workload).
+EXTRA_FAMILIES = ("multijob", "streaming")
 MODES = ("incremental", "legacy")
 
 
@@ -102,6 +104,67 @@ class _MultiJobWorkload:
         return ranks, background
 
 
+class _StreamingChaosWorkload:
+    """Stateful wordcount + a sliding window on one micro-batch driver.
+
+    Faults land while operator state is live: a ``ckpt:N`` revocation hits
+    mid-state-checkpoint (the policy's write tasks are in flight), a
+    ``time:T`` one lands mid-window (the unioned parent batches are cached
+    and unreplicated, so killing their holder is last-replica state-block
+    loss), and the stream must still converge to the failure-free result.
+    """
+
+    BATCHES = 8
+
+    def __init__(self, ctx: FlintContext):
+        from repro.streaming import StreamingContext
+        from repro.streaming.workloads import (
+            VOCABULARY,
+            _add,
+            _sorted_collect,
+            _split_words,
+            _sum_update,
+            _word_one,
+        )
+
+        self.ctx = ctx
+        self.ssc = StreamingContext(ctx, batch_interval=30.0)
+        text = self.ssc.text_stream(
+            800, PARTITIONS, VOCABULARY, seed=WORKLOAD_SEED, record_size=100_000
+        )
+        counts = (
+            text.flat_map(_split_words)
+            .map(_word_one)
+            .reduce_by_key(_add, PARTITIONS)
+        )
+        self.state = counts.update_state_by_key(
+            _sum_update, PARTITIONS, record_size=25_000
+        )
+        self.state.count_per_batch("keys")
+        events = self.ssc.event_stream(
+            600, PARTITIONS, 30, seed=WORKLOAD_SEED,
+            record_size=100_000, value_range=(1, 5), label="ev", name="ev",
+        )
+        events.persist()
+        windowed = events.reduce_by_key_and_window(
+            _add, window=3, slide=2, num_partitions=PARTITIONS
+        )
+        windowed.foreach_rdd(_sorted_collect, "window")
+        self.ssc.enable_state_checkpointing(MTTF, initial_delta=10.0, max_tau=60.0)
+
+    def load(self) -> None:
+        pass
+
+    def run(self):
+        self.ssc.run(self.BATCHES)
+        final = tuple(sorted(self.state.latest_rdd.collect()))
+        return (
+            tuple(self.ssc.results("keys")),
+            tuple(self.ssc.results("window")),
+            final,
+        )
+
+
 CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
     "PageRank": _pagerank,
     "KMeans": _kmeans,
@@ -111,6 +174,7 @@ CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
 #: Workloads outside the default matrix, runnable via ``--workload``.
 EXTRA_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
     "MultiJob": _MultiJobWorkload,
+    "Streaming": _StreamingChaosWorkload,
 }
 
 
@@ -128,6 +192,8 @@ def generate_spec(seed: int, family: str, master_seed: int = 0) -> str:
         return _revocation_spec(rng)
     if family == "multijob":
         return _multijob_spec(rng)
+    if family == "streaming":
+        return _streaming_spec(rng)
     return _io_spec(rng)
 
 
@@ -201,6 +267,41 @@ def _multijob_spec(rng: random.Random) -> str:
         clauses.append(f"revoke at=time:{rng.randint(20, 300)} replace=120")
     if rng.random() < 0.3:
         clauses.append(f"fetch-kill at=fetch:{rng.randint(21, 40)}")
+    return "; ".join(clauses)
+
+
+def _streaming_spec(rng: random.Random) -> str:
+    """Streaming faults: revocations mid-window, mid-state-checkpoint, and
+    last-replica cached-state loss (streaming caches are unreplicated, so
+    revoking a state partition's holder always kills the last copy).
+
+    Every revocation carries ``replace=`` — the stream is long-lived and
+    must keep meeting batch deadlines on a replenished pool.
+    """
+    clauses: List[str] = [
+        rng.choice(
+            [
+                # Mid-state-checkpoint: the Nth checkpoint write dispatch
+                # has the policy's state write tasks in flight.
+                f"revoke at=ckpt:{rng.randint(1, 4)} replace={rng.choice([60, 90])}",
+                # Mid-window / mid-state: time-triggered kill while window
+                # parents and the state generation sit in cache.
+                f"revoke at=time:{rng.randint(40, 220)} replace={rng.choice([60, 120])}",
+            ]
+        )
+    ]
+    if rng.random() < 0.6:
+        count = rng.randint(1, 2)
+        parts = [f"revoke at=task:{rng.randint(10, 90)}", f"replace={rng.choice([90, 120])}"]
+        if count > 1:
+            parts.insert(1, f"count={count}")
+        clauses.append(" ".join(parts))
+    if rng.random() < 0.4:
+        clauses.append(
+            f"ckpt-fail at=ckpt:{rng.randint(1, 3)} count={rng.randint(1, 2)}"
+        )
+    if rng.random() < 0.4:
+        clauses.append(f"fetch-kill at=fetch:{rng.randint(1, 25)}")
     return "; ".join(clauses)
 
 

@@ -31,6 +31,7 @@ EVENT_KINDS = (
     "worker",         # worker lifecycle (joined/warned/revoked/terminated)
     "instance",       # one billed instance, launch -> termination/revocation
     "market",         # a market-level fact (revocation draw at acquisition)
+    "stream-batch",   # one micro-batch, scheduled deadline -> outputs done
 )
 
 

@@ -1,0 +1,217 @@
+"""Unbounded seeded stream sources for the micro-batch plane.
+
+A :class:`StreamSource` describes an infinite discretised input: batch ``b``
+of the stream is a deterministic pure function of ``(source config, b)``, so
+every backend — inline, process, async executors; row or columnar data
+plane — regenerates byte-identical batches, and a revoked partition can
+always be recomputed from the source alone (the transient-server property
+the whole engine is built around).
+
+Three concrete sources mirror the identity/wordcount/window suite of the
+Flink-vs-Spark reproducibility study (PAPERS.md):
+
+* :class:`RateSource` — monotonically increasing integers, the pass-through
+  identity benchmark's input;
+* :class:`EventSource` — seeded ``(key, value)`` pairs over a bounded key
+  space, the windowed-aggregation input (and, with ``value_range=None``,
+  a drop-in for the legacy ``StreamingWorkload`` batch generator);
+* :class:`TextSource` — seeded lines of words from a fixed vocabulary, the
+  stateful-wordcount input.
+
+The per-partition generators returned by :meth:`StreamSource.generator_for`
+capture only plain data (ints, strings, tuples) so the executor plane can
+ship them out-of-process; they must never close over the source object,
+an RDD, or the context.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simulation.rng import SeededRNG
+
+GB = 10**9
+
+#: Default virtual bytes per record when a source does not override it.
+DEFAULT_RECORD_SIZE = 250_000
+
+
+class StreamSource:
+    """One unbounded, replayable input stream (batch-indexed).
+
+    Subclasses implement :meth:`generator_for`, returning a *picklable*
+    per-partition generator for one batch.  Everything else — record
+    counts, reference materialisation for tests — derives from it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        records_per_batch: int,
+        num_partitions: int,
+        record_size: int = DEFAULT_RECORD_SIZE,
+        compute_multiplier: float = 2.0,
+    ):
+        if records_per_batch <= 0:
+            raise ValueError("records_per_batch must be positive")
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if record_size <= 0:
+            raise ValueError("record_size must be positive")
+        self.name = name
+        self.records_per_batch = records_per_batch
+        self.num_partitions = num_partitions
+        self.record_size = record_size
+        self.compute_multiplier = compute_multiplier
+
+    @property
+    def per_partition(self) -> int:
+        """Records each partition emits per batch (floor division, so the
+        actual batch size is ``per_partition * num_partitions``)."""
+        return self.records_per_batch // self.num_partitions
+
+    def records_in_batch(self, batch: int) -> int:
+        """How many records batch ``batch`` carries (throughput accounting)."""
+        return self.per_partition * self.num_partitions
+
+    def generator_for(self, batch: int) -> Callable[[int], List[Any]]:
+        """A pure, picklable ``partition -> records`` function for one batch."""
+        raise NotImplementedError
+
+    def reference_records(self, batch: int) -> List[Any]:
+        """Driver-side materialisation of one whole batch (test oracle)."""
+        gen = self.generator_for(batch)
+        out: List[Any] = []
+        for p in range(self.num_partitions):
+            out.extend(gen(p))
+        return out
+
+
+class RateSource(StreamSource):
+    """Consecutive integers at a fixed rate — the identity benchmark input.
+
+    Batch ``b``, partition ``p`` emits
+    ``start + b*batch_size + p*per_partition + i`` for ``i`` in range — pure
+    arithmetic, no RNG, so recomputation is trivially deterministic.
+    """
+
+    def __init__(
+        self,
+        records_per_batch: int,
+        num_partitions: int,
+        record_size: int = DEFAULT_RECORD_SIZE,
+        start: int = 0,
+        name: str = "rate",
+    ):
+        super().__init__(name, records_per_batch, num_partitions, record_size)
+        self.start = int(start)
+
+    def generator_for(self, batch: int) -> Callable[[int], List[int]]:
+        per_part = self.per_partition
+        base = self.start + batch * per_part * self.num_partitions
+
+        def generate(p: int) -> List[int]:
+            lo = base + p * per_part
+            return list(range(lo, lo + per_part))
+
+        return generate
+
+
+class EventSource(StreamSource):
+    """Seeded ``(key, value)`` pairs over ``num_keys`` keys.
+
+    With ``value_range=None`` every value is the literal ``1`` and the
+    per-partition RNG draws exactly one ``integers`` call — the same stream
+    the legacy ``StreamingWorkload`` generator consumed, which is what lets
+    the DStream port stay bit-identical to the hand-rolled loop.  With a
+    ``(low, high)`` range, a second draw supplies the values (the windowed
+    aggregation input).
+    """
+
+    def __init__(
+        self,
+        records_per_batch: int,
+        num_partitions: int,
+        num_keys: int,
+        seed: int,
+        record_size: int = DEFAULT_RECORD_SIZE,
+        value_range: Optional[Tuple[int, int]] = None,
+        label: str = "batch",
+        name: str = "events",
+    ):
+        super().__init__(name, records_per_batch, num_partitions, record_size)
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+        self.seed = seed
+        self.value_range = value_range
+        self.label = label
+
+    def generator_for(self, batch: int) -> Callable[[int], List[Tuple[int, int]]]:
+        per_part = self.per_partition
+        seed = self.seed
+        keys = self.num_keys
+        label = self.label
+        value_range = self.value_range
+
+        def generate(p: int) -> List[Tuple[int, int]]:
+            rng = SeededRNG(seed, f"{label}-{batch}-{p}")
+            if value_range is None:
+                return [
+                    (int(k), 1)
+                    for k in rng.integers(0, keys, size=per_part)
+                ]
+            drawn = rng.integers(0, keys, size=per_part)
+            values = rng.integers(value_range[0], value_range[1], size=per_part)
+            return [(int(k), int(v)) for k, v in zip(drawn, values)]
+
+        return generate
+
+
+class TextSource(StreamSource):
+    """Seeded lines of words from a fixed vocabulary — wordcount's input.
+
+    Each record is one line of ``words_per_line`` space-joined words drawn
+    uniformly from ``vocabulary``.  Strings keep this stream on the row
+    plane (the columnar boundary refuses non-numeric leaves), which is
+    exactly the point: wordcount exercises closure-based flat_map under
+    every executor backend.
+    """
+
+    def __init__(
+        self,
+        lines_per_batch: int,
+        num_partitions: int,
+        vocabulary: Tuple[str, ...],
+        seed: int,
+        words_per_line: int = 4,
+        record_size: int = DEFAULT_RECORD_SIZE,
+        label: str = "text",
+        name: str = "text",
+    ):
+        super().__init__(name, lines_per_batch, num_partitions, record_size)
+        if not vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        if words_per_line <= 0:
+            raise ValueError("words_per_line must be positive")
+        self.vocabulary = tuple(vocabulary)
+        self.seed = seed
+        self.words_per_line = words_per_line
+        self.label = label
+
+    def generator_for(self, batch: int) -> Callable[[int], List[str]]:
+        per_part = self.per_partition
+        seed = self.seed
+        vocab = self.vocabulary
+        wpl = self.words_per_line
+        label = self.label
+
+        def generate(p: int) -> List[str]:
+            rng = SeededRNG(seed, f"{label}-{batch}-{p}")
+            picks = rng.integers(0, len(vocab), size=per_part * wpl)
+            return [
+                " ".join(vocab[int(w)] for w in picks[i * wpl:(i + 1) * wpl])
+                for i in range(per_part)
+            ]
+
+        return generate

@@ -8,17 +8,32 @@ RDD via ``updateStateByKey``-style cogroups.  The state's lineage grows with
 every batch, so without checkpoint truncation a revocation late in the
 stream forces recomputation across the entire history — the exact failure
 mode Flint's τ-periodic frontier checkpoints bound.
+
+Since the streaming subsystem landed this workload is a thin veneer over
+``repro.streaming``: an :class:`~repro.streaming.sources.EventSource` feeds
+a ``reduce_by_key`` → ``merge_state_by_key`` DStream chain under
+``fixed-delay`` pacing.  The lowering is *bit-identical* to the hand-rolled
+loop this file used to contain — same RDD graph, same op order, same
+persist/unpersist points, same simulated time and billing — which the
+golden-equivalence test in ``tests/streaming/test_legacy_port.py`` holds
+against an embedded copy of the legacy loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.engine.context import FlintContext
 from repro.engine.rdd import RDD
 from repro.simulation.rng import SeededRNG
+from repro.streaming.context import StreamingContext
+from repro.streaming.sources import EventSource
 
 GB = 10**9
+
+
+def _add(a, b):
+    return a + b
 
 
 class StreamingWorkload:
@@ -49,59 +64,47 @@ class StreamingWorkload:
         self.batch_interval = batch_interval
         self.seed = seed
         self.record_size = max(1, int(batch_gb * GB / batch_records))
-        self.state: Optional[RDD] = None
-        self.batches_processed = 0
-
-    def _batch_rdd(self, batch_index: int) -> RDD:
-        per_part = self.batch_records // self.partitions
-        seed = self.seed
-        keys = self.num_keys
-
-        def generate(p: int) -> List[Tuple[int, int]]:
-            rng = SeededRNG(seed, f"batch-{batch_index}-{p}")
-            return [
-                (int(k), 1)
-                for k in rng.integers(0, keys, size=per_part)
-            ]
-
-        return self.ctx.generate(
-            generate, self.partitions, record_size=self.record_size,
-            name=f"batch-{batch_index}",
+        # The DStream lowering of the legacy loop: seeded events, a per-batch
+        # shuffle aggregation, and an adopt-then-merge state fold.
+        self.ssc = StreamingContext(ctx, batch_interval, pacing="fixed-delay")
+        source = self.ssc.source(
+            EventSource(
+                batch_records,
+                self.partitions,
+                num_keys,
+                seed,
+                record_size=self.record_size,
+                label="batch",
+                name="batch",
+            )
         )
+        counts = source.reduce_by_key(_add, self.partitions)
+        self._state_stream = counts.merge_state_by_key(
+            _add,
+            zero=0,
+            num_partitions=self.partitions,
+            record_size=max(1, self.record_size // 4),
+            name="state",
+        )
+        self._state_stream.count_per_batch("total")
+
+    @property
+    def state(self) -> Optional[RDD]:
+        """The current state generation (None before the first batch)."""
+        return self._state_stream.latest_rdd
+
+    @property
+    def batches_processed(self) -> int:
+        return len(self.ssc.batches)
 
     def process_batch(self) -> int:
         """Ingest one micro-batch and fold it into the running state."""
-        batch = self._batch_rdd(self.batches_processed)
-        counts = batch.reduce_by_key(lambda a, b: a + b, self.partitions)
-        if self.state is None:
-            new_state = counts
-        else:
-
-            def merge(kv):
-                _key, (olds, news) = kv
-                total = (olds[0] if olds else 0) + (news[0] if news else 0)
-                return total
-
-            new_state = (
-                self.state.cogroup(counts, self.partitions)
-                .map(lambda kv: (kv[0], merge(kv)))
-                .set_record_size(max(1, self.record_size // 4))
-            )
-        old_state = self.state
-        self.state = new_state.persist().set_name(
-            f"state-{self.batches_processed}"
-        )
-        total = self.state.count()
-        if old_state is not None and old_state.persisted:
-            old_state.unpersist()
-        self.batches_processed += 1
-        return total
+        info = self.ssc.run_batch()
+        return info.results["total"]
 
     def run(self, num_batches: int = 10) -> Dict[int, int]:
         """Process a stream of batches with arrival gaps; returns final state."""
-        for _ in range(num_batches):
-            self.process_batch()
-            self.ctx.env.run_until(self.ctx.now + self.batch_interval)
+        self.ssc.run(num_batches)
         return dict(self.state.collect())
 
     def expected_state(self, num_batches: int) -> Dict[int, int]:

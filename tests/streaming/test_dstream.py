@@ -1,0 +1,131 @@
+"""DStream semantics: transformations, memoisation, retention, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming import StreamingContext
+from repro.streaming.dstream import _action_collect
+
+
+def _double(x):
+    return 2 * x
+
+
+def _even(x):
+    return x % 2 == 0
+
+
+def _twice(x):
+    return [x, x]
+
+
+def _key_one(x):
+    return (x % 4, 1)
+
+
+def _add(a, b):
+    return a + b
+
+
+def test_map_filter_flat_map_lower_to_rdds(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(40, 4, record_size=1000)
+    out = source.map(_double).filter(_even).flat_map(_twice)
+    name = out.collect_per_batch("vals")
+    assert name == "vals"
+    infos = ssc.run(2)
+    for info in infos:
+        base = [2 * r for r in source.source.reference_records(info.index)]
+        expected = sorted(v for v in base for _ in range(2) if v % 2 == 0)
+        assert sorted(info.results["vals"]) == expected
+
+
+def test_reduce_by_key_per_batch(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(40, 4)
+    counts = source.map(_key_one).reduce_by_key(_add, 4)
+    counts.collect_per_batch("counts")
+    info = ssc.run(1)[0]
+    assert sorted(info.results["counts"]) == [(0, 10), (1, 10), (2, 10), (3, 10)]
+
+
+def test_transform_runs_driver_side_builder(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    # The builder may capture anything (it never leaves the driver).
+    offset = 100
+    shifted = source.transform(lambda rdd: rdd.map(lambda x: x + offset))
+    shifted.collect_per_batch("vals")
+    info = ssc.run(1)[0]
+    assert sorted(info.results["vals"]) == [100 + r for r in range(20)]
+
+
+def test_rdds_are_memoised_per_batch(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    a = source.rdd(0)
+    b = source.rdd(0)
+    assert a is b
+
+
+def test_release_retires_batches_outside_horizon(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    source.count_per_batch("n")
+    assert source.keep == 1
+    ssc.run(3)
+    # keep=1: only the current batch's RDD survives each release.
+    assert list(source._rdds) == [2]
+    # The permanent id map still remembers every batch (recovery probes).
+    assert sorted(source.rdd_ids) == [0, 1, 2]
+
+
+def test_persisted_stream_unpersists_on_release(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4).persist()
+    source.count_per_batch("n")
+    ssc.run_batch()
+    first = source.rdd(0)
+    assert first.persisted
+    ssc.run_batch()  # batch 1 releases batch 0
+    assert not first.persisted
+
+
+def test_state_stream_without_output_is_rejected(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    source.map(_key_one).update_state_by_key(lambda new, old: (old or 0) + len(new))
+    # Another stream has an output, but the state stream is unreachable.
+    source.count_per_batch("n")
+    with pytest.raises(ValueError, match="no registered output"):
+        ssc.run_batch()
+
+
+def test_duplicate_output_names_are_rejected(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    source.count_per_batch("n")
+    with pytest.raises(ValueError, match="duplicate output name"):
+        source.count_per_batch("n")
+
+
+def test_auto_output_names_are_unique(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    names = {source.count_per_batch(), source.foreach_rdd(_action_collect)}
+    assert len(names) == 2
+
+
+def test_context_validation():
+    with pytest.raises(ValueError):
+        StreamingContext(None, 0.0)
+    with pytest.raises(ValueError):
+        StreamingContext(None, 10.0, pacing="adaptive")
+
+
+def test_run_requires_positive_batches(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    ssc.rate_stream(20, 4).count_per_batch("n")
+    with pytest.raises(ValueError):
+        ssc.run(0)

@@ -1,0 +1,124 @@
+"""Golden port: the DStream-based ``StreamingWorkload`` vs the legacy loop.
+
+``src/repro/workloads/streaming.py`` used to drive micro-batches by hand;
+it is now a veneer over ``repro.streaming``.  This suite freezes the old
+loop verbatim and holds the port to it bit-for-bit: same results, same
+simulated time, same task books, same billing.  If the DStream lowering
+ever drifts (an extra RDD, a different persist point, a reordered
+unpersist), these assertions catch it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.rdd import RDD
+from repro.faults.harness import build_fault_context
+from repro.simulation.rng import SeededRNG
+from repro.workloads.streaming import StreamingWorkload
+
+
+class LegacyStreaming:
+    """The pre-DStream hand-rolled micro-batch loop, frozen verbatim."""
+
+    def __init__(
+        self,
+        ctx,
+        batch_records: int = 2_000,
+        batch_gb: float = 0.5,
+        num_keys: int = 100,
+        partitions: Optional[int] = None,
+        batch_interval: float = 60.0,
+        seed: int = 47,
+    ):
+        self.ctx = ctx
+        self.partitions = partitions or max(8, ctx.default_parallelism)
+        self.batch_records = batch_records
+        self.num_keys = num_keys
+        self.batch_interval = batch_interval
+        self.seed = seed
+        self.record_size = max(1, int(batch_gb * 10**9 / batch_records))
+        self.state: Optional[RDD] = None
+        self.batches_processed = 0
+
+    def _batch_rdd(self, batch_index: int) -> RDD:
+        per_part = self.batch_records // self.partitions
+        seed = self.seed
+        keys = self.num_keys
+
+        def generate(p: int) -> List[Tuple[int, int]]:
+            rng = SeededRNG(seed, f"batch-{batch_index}-{p}")
+            return [(int(k), 1) for k in rng.integers(0, keys, size=per_part)]
+
+        return self.ctx.generate(
+            generate, self.partitions, record_size=self.record_size,
+            name=f"batch-{batch_index}",
+        )
+
+    def process_batch(self) -> int:
+        batch = self._batch_rdd(self.batches_processed)
+        counts = batch.reduce_by_key(lambda a, b: a + b, self.partitions)
+        if self.state is None:
+            new_state = counts
+        else:
+
+            def merge(kv):
+                _key, (olds, news) = kv
+                return (olds[0] if olds else 0) + (news[0] if news else 0)
+
+            new_state = (
+                self.state.cogroup(counts, self.partitions)
+                .map(lambda kv: (kv[0], merge(kv)))
+                .set_record_size(max(1, self.record_size // 4))
+            )
+        old_state = self.state
+        self.state = new_state.persist().set_name(
+            f"state-{self.batches_processed}"
+        )
+        total = self.state.count()
+        if old_state is not None and old_state.persisted:
+            old_state.unpersist()
+        self.batches_processed += 1
+        return total
+
+    def run(self, num_batches: int = 10) -> Dict[int, int]:
+        for _ in range(num_batches):
+            self.process_batch()
+            self.ctx.env.run_until(self.ctx.now + self.batch_interval)
+        return dict(self.state.collect())
+
+
+def _measure(workload_cls, num_batches):
+    ctx = build_fault_context(6, seed=0)
+    workload = workload_cls(
+        ctx, batch_records=800, num_keys=50, partitions=8, seed=11
+    )
+    result = workload.run(num_batches)
+    return {
+        "result": tuple(sorted(result.items())),
+        "now": ctx.now,
+        "tasks": ctx.scheduler.stats.task_counts(),
+        "billing": ctx.env.provider.total_cost(ctx.now),
+    }
+
+
+def test_port_is_bit_identical_to_legacy_loop():
+    ported = _measure(StreamingWorkload, 5)
+    legacy = _measure(LegacyStreaming, 5)
+    assert ported == legacy
+
+
+def test_port_preserves_incremental_api():
+    ctx = build_fault_context(4, seed=0)
+    workload = StreamingWorkload(
+        ctx, batch_records=400, num_keys=20, partitions=8, seed=11
+    )
+    assert workload.state is None
+    assert workload.batches_processed == 0
+    total = workload.process_batch()
+    assert workload.batches_processed == 1
+    assert workload.state is not None and workload.state.persisted
+    assert total == workload.state.count()
+    # Incremental and whole-run drivers agree with the oracle.
+    workload.process_batch()
+    assert dict(workload.state.collect()) == workload.expected_state(2)

@@ -1,0 +1,97 @@
+"""Window semantics: emission grid, sums, sharing, retention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming import StreamingContext, StreamingWindowWorkload
+from repro.streaming.dstream import WindowedDStream
+from tests.conftest import build_on_demand_context
+
+
+def _add(a, b):
+    return a + b
+
+
+@pytest.mark.parametrize(
+    "window,slide,emitting",
+    [
+        (3, 3, [2, 5, 8]),       # tumbling
+        (3, 2, [2, 4, 6, 8]),    # sliding
+        (4, 1, [3, 4, 5, 6, 7, 8]),
+        (1, 1, list(range(9))),  # degenerate: every batch
+    ],
+)
+def test_emission_grid(window, slide, emitting):
+    w = WindowedDStream.__new__(WindowedDStream)  # emits_at is pure
+    w.window_batches, w.slide_batches = window, slide
+    assert [b for b in range(9) if w.emits_at(b)] == emitting
+
+
+def test_window_validation(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    with pytest.raises(ValueError):
+        source.window(0)
+    with pytest.raises(ValueError):
+        source.window(3, 0)
+
+
+def test_tumbling_window_sums_match_oracle(ctx):
+    workload = StreamingWindowWorkload(
+        ctx, records_per_batch=800, partitions=8, num_batches=6,
+        window=3, num_keys=20, seed=31,
+    )
+    assert workload.run() == workload.expected()
+
+
+def test_sliding_window_sums_match_oracle(ctx):
+    workload = StreamingWindowWorkload(
+        ctx, records_per_batch=800, partitions=8, num_batches=7,
+        window=3, slide=2, num_keys=20, seed=31,
+    )
+    result = workload.run()
+    assert [b for b, _ in result] == [2, 4, 6]
+    assert result == workload.expected()
+
+
+def test_window_raises_parent_retention(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    source.window(4, 1)
+    assert source.keep == 4
+
+
+def test_overlapping_windows_share_parent_rdds(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.event_stream(80, 4, 8, seed=2, value_range=(1, 5))
+    windowed = source.reduce_by_key_and_window(_add, 3, 1, 4)
+    windowed.collect_per_batch("w")
+    ssc.run(4)
+    # Batches 2 and 3 both windowed over source batches 2 and 3: the source
+    # produced exactly one RDD per batch (same id reused, not re-derived).
+    assert sorted(source.rdd_ids) == [0, 1, 2, 3]
+    assert len(set(source.rdd_ids.values())) == 4
+
+
+def test_window_of_one_is_the_parent_rdd(ctx):
+    ssc = StreamingContext(ctx, 10.0)
+    source = ssc.rate_stream(20, 4)
+    windowed = source.window(1)
+    windowed.count_per_batch("n")
+    ssc.run_batch()
+    assert windowed.rdd(0) is source.rdd(0)
+
+
+def test_persisted_source_windows_are_deterministic():
+    # Persisting the source (the Spark Streaming default for windowed jobs)
+    # must not change any result.
+    results = []
+    for persist in (True, False):
+        ctx = build_on_demand_context(num_workers=4, seed=0)
+        workload = StreamingWindowWorkload(
+            ctx, records_per_batch=800, partitions=8, num_batches=5,
+            window=2, num_keys=16, seed=31, persist_source=persist,
+        )
+        results.append(workload.run())
+    assert results[0] == results[1] == workload.expected()

@@ -190,3 +190,73 @@ def test_columnar_plane_is_report_invariant(monkeypatch, capsys):
 def test_parser_rejects_unknown_columnar_mode():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--columnar", "maybe"])
+
+
+_STREAM_SMALL = ["run", "--workload", "streaming", "--nodes", "4",
+                 "--batches", "3", "--batch-interval", "20", "--seed", "3"]
+
+
+def test_run_streaming_wordcount(capsys):
+    """Default streaming scenario: τ-checkpointed stateful wordcount."""
+    assert main(_STREAM_SMALL) == 0
+    out = capsys.readouterr().out
+    assert "batches: 3" in out
+    assert "records/s" in out
+    assert "state checkpoints:" in out
+
+
+def test_run_streaming_windowed(capsys):
+    """--window > 1 switches to the windowed aggregation."""
+    assert main(["run", "--workload", "streaming", "--nodes", "4",
+                 "--batches", "5", "--window", "3", "--slide", "2",
+                 "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "batches: 5" in out
+    assert "state checkpoints:" not in out
+
+
+def test_trace_streaming_scenario(tmp_path, monkeypatch, capsys):
+    """trace streaming exports stream-batch spans on their own lane."""
+    import json
+
+    monkeypatch.setenv("FLINT_TRACE", "0")  # scope cmd_trace's override
+    out = tmp_path / "stream.json"
+    assert main(["trace", "streaming", "--workers", "4", "--batches", "2",
+                 "--out", str(out), "--seed", "3"]) == 0
+    trace = json.loads(out.read_text())
+    batch_rows = [r for r in trace["traceEvents"]
+                  if r.get("cat") == "stream-batch"]
+    assert len(batch_rows) == 2
+    text = capsys.readouterr().out
+    assert "stream-batch=2" in text
+    assert "span/book reconciliation: OK" in text
+
+
+def test_streaming_executor_flags_publish_env(monkeypatch, capsys):
+    """The streaming scenario honours the same flag > env precedence."""
+    import os
+
+    monkeypatch.setenv("FLINT_EXECUTOR", "async")
+    monkeypatch.delenv("FLINT_WORKERS", raising=False)
+    monkeypatch.setenv("FLINT_COLUMNAR", "on")
+    assert main(_STREAM_SMALL + ["--executor", "process",
+                                 "--executor-workers", "2",
+                                 "--columnar", "off"]) == 0
+    assert os.environ["FLINT_EXECUTOR"] == "process"
+    assert os.environ["FLINT_WORKERS"] == "2"
+    assert os.environ["FLINT_COLUMNAR"] == "off"
+    capsys.readouterr()
+
+
+def test_streaming_report_is_plane_invariant(monkeypatch, capsys):
+    """Same streaming report whichever executor/data plane runs it."""
+    monkeypatch.delenv("FLINT_EXECUTOR", raising=False)
+    monkeypatch.delenv("FLINT_WORKERS", raising=False)
+    monkeypatch.delenv("FLINT_COLUMNAR", raising=False)
+    assert main(_STREAM_SMALL + ["--executor", "inline", "--columnar", "off"]) == 0
+    inline_out = capsys.readouterr().out
+    assert main(_STREAM_SMALL + ["--executor", "process",
+                                 "--executor-workers", "2",
+                                 "--columnar", "on"]) == 0
+    process_out = capsys.readouterr().out
+    assert inline_out == process_out

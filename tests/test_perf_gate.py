@@ -107,3 +107,65 @@ def test_columnar_workload_missing_from_fresh_fails():
         baseline, fresh, threshold=0.30, min_speedup=2.5
     )
     assert any("missing from the fresh run" in f for f in failures)
+
+
+def _streaming_entry(wall=1.0, tps=100.0, rps=300_000.0, recovery=19.8):
+    return {
+        "wall_seconds": wall,
+        "tasks_per_second": tps,
+        "records_per_second": rps,
+        "streaming": {
+            "simulated_seconds": {"recovery_recovery_batch_latency": recovery}
+        },
+    }
+
+
+def test_streaming_healthy_passes():
+    baseline = {"workloads": {"Streaming": _streaming_entry()}}
+    fresh = {"workloads": {"Streaming": _streaming_entry(rps=290_000.0)}}
+    failures, notes = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2, min_stream_rps=50_000.0
+    )
+    assert failures == []
+    assert any("streaming ingest" in n for n in notes)
+
+
+def test_streaming_rps_below_floor_fails():
+    baseline = {"workloads": {"Streaming": _streaming_entry()}}
+    fresh = {"workloads": {"Streaming": _streaming_entry(rps=30_000.0)}}
+    failures, _ = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2, min_stream_rps=50_000.0
+    )
+    [failure] = [f for f in failures if "records/s floor" in f]
+    assert _REBASELINE in failure
+
+
+def test_streaming_rps_regression_fails_even_above_floor():
+    baseline = {"workloads": {"Streaming": _streaming_entry(rps=300_000.0)}}
+    fresh = {"workloads": {"Streaming": _streaming_entry(rps=150_000.0)}}
+    failures, _ = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2, min_stream_rps=50_000.0
+    )
+    assert any("throughput gate" in f and "streaming ingest" in f for f in failures)
+
+
+def test_streaming_rps_missing_from_baseline_fails_actionably():
+    stale = _streaming_entry()
+    del stale["records_per_second"]
+    baseline = {"workloads": {"Streaming": stale}}
+    fresh = {"workloads": {"Streaming": _streaming_entry(rps=123_456.0)}}
+    failures, _ = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2, min_stream_rps=50_000.0
+    )
+    [failure] = [f for f in failures if "records_per_second" in f]
+    assert "123456" in failure
+    assert _REBASELINE in failure
+
+
+def test_streaming_recovery_latency_drift_fails():
+    baseline = {"workloads": {"Streaming": _streaming_entry(recovery=19.8)}}
+    fresh = {"workloads": {"Streaming": _streaming_entry(recovery=25.0)}}
+    failures, _ = compare(baseline, fresh, threshold=0.30, min_wall=0.2)
+    assert any(
+        "behaviour-identical" in f and "recovery" in f for f in failures
+    )
