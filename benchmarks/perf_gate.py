@@ -84,6 +84,8 @@ def _sim_runtimes(entry: dict) -> dict:
         out[f"multitenant_{k}"] = v
     for k, v in entry.get("streaming", {}).get("simulated_seconds", {}).items():
         out[f"streaming_{k}"] = v
+    for k, v in entry.get("saturation", {}).get("simulated_seconds", {}).items():
+        out[f"saturation_{k}"] = v
     return out
 
 

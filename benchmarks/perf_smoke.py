@@ -235,6 +235,55 @@ def _smoke_multitenant():
     return entry, agg
 
 
+def _smoke_saturation():
+    """Open-loop saturation sweep: 1000 seeded clients vs a capped pool.
+
+    Drives the job server's front door at four offered rates spanning the
+    knee (capacity is ~11 q/s at 4 workers / pool cap 8): well under, near,
+    2x over, and 4x over.  The throughput-vs-p95 curve is the published
+    artifact; per-rate p95 and goodput are deterministic simulated outputs
+    and ride the determinism gate, so an admission-path or drain-loop
+    regression that shifts the knee fails CI.
+    """
+    from repro.server.loadgen import saturation_curve
+
+    OFFERED = (6.0, 12.0, 24.0, 48.0)
+    entry = {}
+    agg: dict = {}
+    sims = {}
+    wall_start = time.perf_counter()
+    points = saturation_curve(
+        OFFERED, num_clients=1000, queries_per_client=2,
+        num_workers=4, seed=7, pool_cap=8, max_queue=512,
+    )
+    for point in points:
+        tag = f"rate{point.offered_rps:g}"
+        sims[f"{tag}_p95"] = point.p95_response
+        sims[f"{tag}_throughput"] = point.throughput_rps
+        stats = point.scheduler_stats
+        for field in _COUNTER_FIELDS:
+            agg[field] = agg.get(field, 0) + stats[field]
+        agg["tasks_completed"] = (
+            agg.get("tasks_completed", 0) + stats["tasks_completed"]
+        )
+        agg["ready_queue_peak"] = max(
+            agg.get("ready_queue_peak", 0), stats["ready_queue_peak"]
+        )
+        for field, value in point.sizing.items():
+            agg[field] = agg.get(field, 0) + value
+    wall = round(time.perf_counter() - wall_start, 3)
+    entry["wall_seconds"] = wall
+    entry["saturation"] = {
+        "simulated_seconds": sims,
+        "clients": points[0].clients,
+        "curve": [point.as_dict() for point in points],
+    }
+    entry["tasks_completed"] = agg["tasks_completed"]
+    entry["tasks_per_second"] = round(agg["tasks_completed"] / wall, 1) if wall else None
+    entry["scheduler_counters"] = _counters_payload(agg)
+    return entry, agg
+
+
 def _smoke_streaming():
     """The micro-batch plane: throughput, state, windows, and recovery.
 
@@ -358,6 +407,7 @@ def run_smoke(
     smokes = [(name, lambda f=factory: _smoke_one_workload(f))
               for name, factory in BATCH_WORKLOADS.items()]
     smokes.append(("MultiTenant", _smoke_multitenant))
+    smokes.append(("MultiTenantSaturation", _smoke_saturation))
     smokes.append(("Streaming", _smoke_streaming))
     for name, smoke in smokes:
         entry, agg = smoke()
@@ -679,6 +729,16 @@ def main() -> int:
             breakdown = (
                 f"(interactive p95 fifo {sims['fifo_interactive_p95']:.2f}s "
                 f"vs fair {sims['fair_interactive_p95']:.2f}s), "
+            )
+        elif "saturation" in entry:
+            curve = entry["saturation"]["curve"]
+            knee = " ".join(
+                f"{p['offered_rps']:g}->{p['throughput_rps']:.1f}q/s"
+                f"@p95={p['p95_response']:.2f}s"
+                for p in curve
+            )
+            breakdown = (
+                f"({entry['saturation']['clients']} clients, {knee}), "
             )
         else:
             sims = entry["streaming"]["simulated_seconds"]

@@ -171,7 +171,7 @@ class SystemCheckpointManager:
                     self.stats.blocks_written += 1
                     self.stats.bytes_written += inflated
         if queued:
-            scheduler._schedule_round()
+            scheduler.pump()
         return queued
 
     # ------------------------------------------------------------------

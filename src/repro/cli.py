@@ -226,8 +226,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     scripted runs can gate on serving health.
     """
     from repro.server.scenario import run_multitenant
+    from repro.server.tenancy import RetryPolicy, TenancyConfig, TenantPolicy
 
     _apply_executor(args)
+    tenancy = None
+    if (args.tenant_quota is not None or args.tenant_rate is not None
+            or args.breaker_threshold is not None):
+        tenancy = TenancyConfig(default=TenantPolicy(
+            max_in_flight=args.tenant_quota,
+            rate=args.tenant_rate,
+            burst=args.tenant_burst,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
+        ))
+    retry = (
+        RetryPolicy(max_attempts=args.retry_attempts)
+        if args.retry_attempts else None
+    )
     report = run_multitenant(
         policy=args.policy,
         num_workers=args.workers,
@@ -238,6 +253,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.queue_cap,
         interactive_cap=args.interactive_cap,
         clients=args.clients,
+        tenancy=tenancy,
+        retry=retry,
+        journal_path=args.journal,
+        result_cache=args.result_cache,
     )
     rows = []
     for pool_name, pool in report["pools"].items():
@@ -263,6 +282,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"failed: {report['failed']}  rejected: {report['rejected']}  "
           f"queued peak: {report['queued_peak']}")
     print(f"revocations: {report['revocations']}")
+    if report.get("rejected_by_reason"):
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            sorted(report["rejected_by_reason"].items()))
+        print(f"rejections by reason: {reasons}  "
+              f"client retries: {report.get('client_retries', 0)}")
+    if report.get("tenants"):
+        t_rows = [[t["tenant"], t["submitted"], t["admitted"], t["completed"],
+                   t["failed"], t["cache_hits"],
+                   sum(t["rejections"].values()),
+                   t["breaker_state"] or "-"]
+                  for t in report["tenants"].values()]
+        print(format_table(
+            ["tenant", "submitted", "admitted", "done", "failed",
+             "cache hits", "shed", "breaker"],
+            t_rows, title="per-tenant admission",
+        ))
+    if report.get("result_cache"):
+        cache = report["result_cache"]
+        print(f"result cache: entries={cache['entries']} hits={cache['hits']} "
+              f"misses={cache['misses']} evictions={cache['evictions']} "
+              f"validated={cache['validated']}")
+    if args.journal:
+        print(f"journal: {args.journal}")
     if report["failed"] or report["rejected"]:
         print("UNHEALTHY: queries failed or were rejected", file=sys.stderr)
         return 1
@@ -503,6 +545,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max concurrent interactive queries (default unlimited)")
     p.add_argument("--revoke", action="store_true",
                    help="revoke one worker mid-stream (replacement after 120s)")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="per-tenant max queued+running queries")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="per-tenant admission rate limit (queries/sim s)")
+    p.add_argument("--tenant-burst", type=float, default=4.0,
+                   help="token-bucket burst capacity (with --tenant-rate)")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   help="consecutive failures that open a tenant's circuit")
+    p.add_argument("--breaker-reset", type=float, default=60.0,
+                   help="simulated seconds an open circuit sheds before probing")
+    p.add_argument("--retry-attempts", type=int, default=0,
+                   help="client retries for shed queries (seeded backoff)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="append query lifecycle JSONL journal at PATH")
+    p.add_argument("--result-cache", action="store_true",
+                   help="share query results across sessions by lineage key")
     _add_executor(p)
     p.set_defaults(func=cmd_serve)
 

@@ -1004,6 +1004,18 @@ class TaskScheduler(ClusterListener):
     # ------------------------------------------------------------------
     # Scheduling rounds
     # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Public pump: run scheduling rounds until the frontier is drained.
+
+        The supported surface for drivers that interleave event stepping
+        with scheduling (the job server's blocking ``run_query``, client
+        drive loops, system baselines, tests).  Safe to call at any time:
+        re-entrant calls coalesce into the innermost active round exactly
+        like internal ``_schedule_round`` callers, and a pump with nothing
+        ready is a cheap no-op round.
+        """
+        self._schedule_round()
+
     def _schedule_round(self) -> None:
         if self._in_round:
             self._round_pending = True

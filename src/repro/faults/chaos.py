@@ -46,8 +46,11 @@ FAMILIES = ("revocation", "io")
 #: Opt-in families outside the default matrix (kept stable at 120 plans);
 #: ``multijob`` stresses the scheduler with >=2 jobs in flight per fault,
 #: ``streaming`` lands revocations mid-window and mid-state-checkpoint on
-#: the micro-batch plane (paired with the ``Streaming`` workload).
-EXTRA_FAMILIES = ("multijob", "streaming")
+#: the micro-batch plane (paired with the ``Streaming`` workload), and
+#: ``tenancy`` drops revocations and fetch-kills on the hardened job server
+#: while the journal and the invariant-checked result cache are live
+#: (paired with the ``Tenancy`` workload).
+EXTRA_FAMILIES = ("multijob", "streaming", "tenancy")
 MODES = ("incremental", "legacy")
 
 
@@ -165,6 +168,107 @@ class _StreamingChaosWorkload:
         )
 
 
+class _TenancyChaosWorkload:
+    """The hardened multi-tenant job server under engine faults.
+
+    Three retry-enabled analyst tenants issue TPC-H Q3 through the result
+    cache (``validate=True``: every hit recomputes and asserts equality)
+    while a batch tenant runs PageRank, all journalled to a scratch JSONL
+    file.  Tenancy limits are generous on purpose — admission decisions must
+    not depend on fault-perturbed timing, so the faulted run and the
+    failure-free reference shed nothing and their results stay bit-identical.
+    ``run()`` returns only timing-independent values: each query's result
+    digest and the final admission counts (which are exact because nothing
+    is shed).
+    """
+
+    QUERIES_PER_ANALYST = 2
+    ANALYSTS = 3
+
+    def __init__(self, ctx: FlintContext):
+        import tempfile
+
+        from repro.server.clients import ClosedLoopClient
+        from repro.server.jobserver import JobServer, PoolConfig, ServerConfig
+        from repro.server.result_cache import ResultCache, lineage_fingerprint
+        from repro.server.tenancy import RetryPolicy, TenancyConfig, TenantPolicy
+        from repro.workloads import TPCHSession
+
+        self.ctx = ctx
+        fd, self.journal_path = tempfile.mkstemp(
+            prefix="chaos-tenancy-", suffix=".jsonl"
+        )
+        os.close(fd)
+        self.server = JobServer(ctx, ServerConfig(
+            scheduling_policy="fair",
+            max_queue=64,
+            pools=(
+                PoolConfig("interactive", policy="fifo", weight=4.0,
+                           priority="interactive"),
+                PoolConfig("batch", policy="fifo", weight=1.0,
+                           priority="batch"),
+            ),
+            tenancy=TenancyConfig(default=TenantPolicy(
+                max_in_flight=64, breaker_threshold=50,
+            )),
+            journal_path=self.journal_path,
+            result_cache=ResultCache(validate=True),
+        ))
+        self.session = TPCHSession(
+            ctx, data_gb=1.0, lineitem_rows=2_000, orders_rows=500,
+            customer_rows=200, partitions=PARTITIONS, seed=WORKLOAD_SEED,
+        )
+        self.pagerank = _pagerank(ctx)
+        self._q3_key: Optional[str] = None
+        self._retry = RetryPolicy(max_attempts=3)
+        self._make_client = ClosedLoopClient
+        self._fingerprint = lineage_fingerprint
+
+    def load(self) -> None:
+        self.session.load()
+        self.pagerank.load()
+        self._q3_key = self._fingerprint(
+            self.session.q3_plan(), action="collect", params=("q3-top10",)
+        )
+
+    def run(self):
+        analysts = [
+            self._make_client(
+                self.server, self.session.q3, pool="interactive",
+                name=f"analyst-{i}", think_time=20.0,
+                max_queries=self.QUERIES_PER_ANALYST, master_seed=WORKLOAD_SEED,
+                tenant=f"analyst-{i}", cache_key=self._q3_key,
+                retry_policy=self._retry,
+            )
+            for i in range(self.ANALYSTS)
+        ]
+        for i, analyst in enumerate(analysts):
+            analyst.start(delay=5.0 + i)
+        ranks = self.server.run_query(
+            self.pagerank.run, pool="batch", name="pagerank", tenant="batch"
+        )
+        env = self.ctx.env
+        while not all(a.finished for a in analysts):
+            if not env.events:
+                raise RuntimeError("tenancy chaos workload stalled")
+            env.step()
+            self.ctx.scheduler.pump()
+        queries = tuple(
+            (r.name, repr(r.result))
+            for r in sorted(self.server.records, key=lambda r: r.name)
+            if r.pool == "interactive"
+        )
+        stats = self.server.stats
+        counts = (stats.submitted, stats.completed, stats.failed,
+                  stats.rejected, sum(a.retries for a in analysts))
+        self.server.close()
+        try:
+            os.unlink(self.journal_path)
+        except OSError:
+            pass
+        return tuple(sorted(ranks)), queries, counts
+
+
 CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
     "PageRank": _pagerank,
     "KMeans": _kmeans,
@@ -175,6 +279,7 @@ CHAOS_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
 EXTRA_WORKLOADS: Dict[str, Callable[[FlintContext], object]] = {
     "MultiJob": _MultiJobWorkload,
     "Streaming": _StreamingChaosWorkload,
+    "Tenancy": _TenancyChaosWorkload,
 }
 
 
@@ -194,6 +299,8 @@ def generate_spec(seed: int, family: str, master_seed: int = 0) -> str:
         return _multijob_spec(rng)
     if family == "streaming":
         return _streaming_spec(rng)
+    if family == "tenancy":
+        return _tenancy_spec(rng)
     return _io_spec(rng)
 
 
@@ -302,6 +409,36 @@ def _streaming_spec(rng: random.Random) -> str:
         )
     if rng.random() < 0.4:
         clauses.append(f"fetch-kill at=fetch:{rng.randint(1, 25)}")
+    return "; ".join(clauses)
+
+
+def _tenancy_spec(rng: random.Random) -> str:
+    """Serving-plane faults: revocations and fetch-kills while the hardened
+    job server multiplexes analyst queries, cache validations, and a batch
+    job.  Every revocation carries ``replace=`` — the server is long-lived
+    and admitted queries must eventually finish on a replenished pool.
+    """
+    clauses: List[str] = [
+        rng.choice(
+            [
+                f"revoke at=task:{rng.randint(2, 80)} replace={rng.choice([60, 120])}",
+                f"revoke at=time:{rng.randint(20, 400)} replace={rng.choice([60, 120])}",
+                f"revoke at=dispatch:{rng.randint(2, 80)} replace=120",
+            ]
+        )
+    ]
+    if rng.random() < 0.5:
+        clauses.append(f"fetch-kill at=fetch:{rng.randint(1, 25)}")
+    if rng.random() < 0.4:
+        clauses.append(
+            f"revoke at=time:{rng.randint(400, 900)} replace={rng.choice([60, 120])}"
+        )
+    if rng.random() < 0.3:
+        clauses.append(
+            f"slow at=dispatch:{rng.randint(1, 60)} "
+            f"factor={round(rng.uniform(2.0, 5.0), 1)} "
+            f"worker={rng.randint(0, NUM_WORKERS - 1)}"
+        )
     return "; ".join(clauses)
 
 

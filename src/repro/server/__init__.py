@@ -2,9 +2,12 @@
 
 The engine's scheduler multiplexes concurrent jobs and shares slots across
 pools; this package is the serving layer on top of it: admission control
-(bounded queue, per-pool concurrency caps, rejection stats), named sessions
-holding shared cached RDDs, per-query SLO metrics in simulated seconds, and
-seeded open/closed-loop client generators for driving it.
+(bounded queue, per-pool concurrency caps, rejection stats), per-tenant
+isolation (quotas, token-bucket rate limits, circuit breakers), a durable
+job-state journal for restart recovery, a shared result cache keyed by
+lineage fingerprint, named sessions holding shared cached RDDs, per-query
+SLO metrics in simulated seconds, seeded open/closed-loop client
+generators, and an open-loop saturation load generator.
 """
 
 from repro.server.clients import ClosedLoopClient, OpenLoopClient
@@ -16,16 +19,46 @@ from repro.server.jobserver import (
     ServerConfig,
     ServerStats,
 )
+from repro.server.journal import JobJournal, pending_queries, replay
+from repro.server.loadgen import LoadPoint, run_load_point, saturation_curve
+from repro.server.result_cache import (
+    CacheInvariantError,
+    ResultCache,
+    lineage_fingerprint,
+)
 from repro.server.session import Session
+from repro.server.tenancy import (
+    CircuitBreaker,
+    RetryPolicy,
+    TenancyConfig,
+    TenantPolicy,
+    TenantState,
+    TokenBucket,
+)
 
 __all__ = [
+    "CacheInvariantError",
+    "CircuitBreaker",
     "ClosedLoopClient",
+    "JobJournal",
     "JobRejected",
     "JobServer",
+    "LoadPoint",
     "OpenLoopClient",
     "PoolConfig",
     "QueryRecord",
+    "ResultCache",
+    "RetryPolicy",
     "ServerConfig",
     "ServerStats",
     "Session",
+    "TenancyConfig",
+    "TenantPolicy",
+    "TenantState",
+    "TokenBucket",
+    "lineage_fingerprint",
+    "pending_queries",
+    "replay",
+    "run_load_point",
+    "saturation_curve",
 ]

@@ -13,6 +13,12 @@ Both are deterministic given ``master_seed``: interarrival draws come from a
 name, and arrivals ride the simulation's event queue via ``schedule_in``.
 Clients never pump the event loop themselves — they submit with a completion
 callback, so any number of them can interleave with batch jobs in flight.
+
+A closed-loop client given a :class:`~repro.server.tenancy.RetryPolicy`
+treats a *rejected* query as retryable: it backs off (seeded exponential
+delay with jitter) and re-submits the same logical query instead of
+silently burning one of its ``max_queries`` — the behaviour of any real
+client library in front of a load-shedding server.
 """
 
 from __future__ import annotations
@@ -23,10 +29,17 @@ from repro.simulation.rng import SeededRNG
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.server.jobserver import JobServer, QueryRecord
+    from repro.server.tenancy import RetryPolicy
 
 
 class ClosedLoopClient:
-    """Issues the next query only after the previous one completes."""
+    """Issues the next query only after the previous one completes.
+
+    With ``retry_policy`` set, a rejection triggers a seeded backoff and a
+    re-submission of the *same* logical query (it still counts as the same
+    ``issued`` sequence number); only when retries are exhausted does the
+    client give up on that query and move on through its think time.
+    """
 
     def __init__(
         self,
@@ -37,6 +50,9 @@ class ClosedLoopClient:
         think_time: float = 5.0,
         max_queries: int = 10,
         master_seed: int = 0,
+        tenant: Optional[str] = None,
+        cache_key: Optional[str] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
     ):
         self.server = server
         self.query_fn = query_fn
@@ -44,10 +60,16 @@ class ClosedLoopClient:
         self.name = name
         self.think_time = think_time
         self.max_queries = max_queries
+        self.tenant = tenant
+        self.cache_key = cache_key
+        self.retry_policy = retry_policy
         self.rng = SeededRNG(master_seed, f"client/{name}")
         self.issued = 0
+        self.retries = 0
+        self.gave_up = 0
         self.finished = False
         self.records: List["QueryRecord"] = []
+        self._attempt = 0
 
     def start(self, delay: float = 0.0) -> None:
         """Schedule the first arrival ``delay`` simulated seconds from now."""
@@ -57,15 +79,38 @@ class ClosedLoopClient:
 
     def _arrive(self) -> None:
         self.issued += 1
+        self._attempt = 0
+        self._submit()
+
+    def _submit(self) -> None:
+        suffix = f"-r{self._attempt}" if self._attempt else ""
         self.server.submit_query(
             self.query_fn,
             pool=self.pool,
-            name=f"{self.name}-{self.issued}",
+            name=f"{self.name}-{self.issued}{suffix}",
+            tenant=self.tenant,
+            cache_key=self.cache_key,
             on_complete=self._completed,
         )
 
     def _completed(self, record: "QueryRecord") -> None:
         self.records.append(record)
+        if record.rejected:
+            policy = self.retry_policy
+            if policy is not None and self._attempt < policy.max_attempts:
+                # Shed, not served: back off and re-submit the same logical
+                # query.  (Without a policy the old behaviour stood — the
+                # rejection burned one of max_queries and the client never
+                # retried, so a shed client under-issued forever.)
+                self._attempt += 1
+                self.retries += 1
+                delay = policy.backoff(self._attempt, self.rng)
+                self.server.context.env.schedule_in(
+                    delay, f"{self.name}-retry",
+                    callback=lambda _ev: self._submit(),
+                )
+                return
+            self.gave_up += 1
         if self.issued >= self.max_queries:
             self.finished = True
             return
@@ -87,6 +132,8 @@ class OpenLoopClient:
         name: str = "open-client",
         max_queries: int = 10,
         master_seed: int = 0,
+        tenant: Optional[str] = None,
+        cache_key: Optional[str] = None,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -96,6 +143,8 @@ class OpenLoopClient:
         self.pool = pool
         self.name = name
         self.max_queries = max_queries
+        self.tenant = tenant
+        self.cache_key = cache_key
         self.rng = SeededRNG(master_seed, f"client/{name}")
         self.issued = 0
         self.finished = False
@@ -124,5 +173,7 @@ class OpenLoopClient:
             self.query_fn,
             pool=self.pool,
             name=f"{self.name}-{self.issued}",
+            tenant=self.tenant,
+            cache_key=self.cache_key,
             on_complete=self.records.append,
         )

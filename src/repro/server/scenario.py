@@ -8,6 +8,14 @@ under FIFO the analyst's queries sit behind the in-flight batch job's ready
 tasks until its stage barrier; under fair sharing the interactive pool's
 priority gets them slots as soon as running tasks retire.
 
+The hardened-server features are all optional and off by default (the
+policy-comparison numbers stay bit-identical to the un-hardened server):
+``tenancy`` switches on per-tenant quotas/rate limits/breakers (each analyst
+is its own tenant), ``retry`` gives analysts seeded backoff-retry on
+rejection, ``journal_path`` journals every query lifecycle to JSONL, and
+``result_cache`` fingerprints the Q3 lineage so identical analyst queries
+across sessions share one result.
+
 Everything is deterministic in ``seed`` — table sizes, think times, and the
 optional mid-stream revocation — so two runs differing only in policy are
 directly comparable, and repeated runs are diffable.
@@ -21,6 +29,8 @@ from typing import Any, Callable, Dict, Optional
 from repro.analysis.experiments import build_engine_context
 from repro.server.clients import ClosedLoopClient
 from repro.server.jobserver import JobServer, PoolConfig, ServerConfig
+from repro.server.result_cache import ResultCache, lineage_fingerprint
+from repro.server.tenancy import RetryPolicy, TenancyConfig
 from repro.workloads import PageRankWorkload, TPCHSession
 
 #: Simulated second at which the optional revocation fires (mid-batch).
@@ -39,6 +49,11 @@ def run_multitenant(
     interactive_cap: Optional[int] = None,
     batch_iterations: int = 3,
     clients: int = 1,
+    tenancy: Optional[TenancyConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal_path: Optional[str] = None,
+    result_cache: bool = False,
+    validate_cache: bool = False,
     context_hook: Optional[Callable[[Any], None]] = None,
 ) -> Dict[str, Any]:
     """Run the scenario under one policy; returns the server's SLO report.
@@ -63,6 +78,11 @@ def run_multitenant(
                        priority="interactive", max_concurrent=interactive_cap),
             PoolConfig("batch", policy="fifo", weight=1.0, priority="batch"),
         ),
+        tenancy=tenancy,
+        journal_path=journal_path,
+        result_cache=(
+            ResultCache(validate=validate_cache) if result_cache else None
+        ),
     ))
     session = TPCHSession(
         ctx, data_gb=2.0, lineitem_rows=6_000, orders_rows=1_500,
@@ -74,6 +94,12 @@ def run_multitenant(
     shared.put("orders", session.orders)
     shared.put("customer", session.customer)
 
+    q3_key = (
+        lineage_fingerprint(session.q3_plan(), action="collect",
+                            params=("q3-top10",))
+        if result_cache
+        else None
+    )
     pagerank = PageRankWorkload(
         ctx, data_gb=8.0, num_edges=96_000, num_vertices=96_000 // 5,
         partitions=48 * num_workers, iterations=batch_iterations, seed=seed,
@@ -82,6 +108,8 @@ def run_multitenant(
         ClosedLoopClient(
             server, session.q3, pool="interactive", name=f"analyst-{i}",
             think_time=think_time, max_queries=queries, master_seed=seed,
+            tenant=f"analyst-{i}" if tenancy is not None else None,
+            cache_key=q3_key, retry_policy=retry,
         )
         for i in range(clients)
     ]
@@ -98,12 +126,13 @@ def run_multitenant(
                                    delay=REPLACEMENT_DELAY)
         ctx.env.schedule_at(REVOKE_AT, "revocation", callback=_revoke)
 
-    server.run_query(pagerank.run, pool="batch", name="pagerank")
+    server.run_query(pagerank.run, pool="batch", name="pagerank",
+                     tenant="batch" if tenancy is not None else None)
     while not all(a.finished for a in analysts):
         if not ctx.env.events:
             raise RuntimeError("multi-tenant scenario stalled before analysts finished")
         ctx.env.step()
-        ctx.scheduler._schedule_round()
+        ctx.scheduler.pump()
 
     report = server.slo_report()
     report["revocations"] = len(ctx.cluster.revocation_log)
@@ -113,4 +142,6 @@ def run_multitenant(
         "record_size_memo_hits": ctx.record_size_memo_hits,
         "record_size_memo_misses": ctx.record_size_memo_misses,
     }
+    report["client_retries"] = sum(a.retries for a in analysts)
+    server.close()
     return report

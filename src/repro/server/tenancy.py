@@ -1,0 +1,260 @@
+"""Per-tenant isolation policies: quotas, rate limits, breakers, retries.
+
+A *tenant* is the unit of isolation at the job server's front door — a
+session, a named pool, or any caller-chosen identity string.  Massive
+multi-tenancy means one misbehaving tenant (a retry storm, a query-of-death
+loop, a runaway dashboard) must degrade *its own* service, never the
+cluster's.  Four policy objects provide that, all on the simulated clock and
+all deterministic under seeds:
+
+- :class:`TokenBucket` — per-tenant admission rate limit (``rate`` tokens
+  per simulated second, ``burst`` capacity).  Arrivals beyond the refill
+  rate are *throttled*: shed immediately with a distinct reason so clients
+  can back off rather than queue-jam everyone.
+- A per-tenant **quota** (``max_in_flight``) bounds queued+running queries,
+  so no tenant can monopolise the shared admission queue.
+- :class:`CircuitBreaker` — closed → open → half-open.  A tenant whose
+  queries fail repeatedly (poisoned query, broken dataset) is shed at
+  admission for ``reset_timeout`` simulated seconds, then probed with a
+  bounded number of half-open queries before fully closing again.
+- :class:`RetryPolicy` — seeded exponential backoff with jitter, used by
+  clients to retry shed queries without synchronised thundering herds.
+
+:class:`TenancyConfig` maps tenant names to policies (a default plus
+overrides); :class:`TenantState` is the live bookkeeping the
+:class:`~repro.server.jobserver.JobServer` keeps per tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.simulation.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff for retrying shed queries.
+
+    ``backoff(attempt, rng)`` is deterministic given the rng stream: the
+    base delay doubles (``multiplier``) per attempt up to ``max_delay``,
+    plus a uniform jitter fraction so a fleet of clients sharing a policy
+    (but not an rng stream) never retries in lockstep.
+    """
+
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    max_attempts: int = 5
+    #: Fraction of the backoff added as a uniform random jitter in
+    #: ``[0, jitter * backoff)``; 0 disables jitter entirely.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("retry multiplier must be >= 1")
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def backoff(self, attempt: int, rng: SeededRNG) -> float:
+        """Delay before retry number ``attempt`` (1-based), in simulated s."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter:
+            raw += raw * self.jitter * float(rng.uniform())
+        return raw
+
+
+class TokenBucket:
+    """A token bucket on the simulated clock: ``rate`` tokens/s, ``burst`` cap.
+
+    The bucket starts full, refills continuously (fractional tokens), and
+    never buffers beyond ``burst`` — a tenant idle for an hour gets a burst,
+    not an hour of stored credit.
+    """
+
+    def __init__(self, rate: float, burst: float = 1.0, start: float = 0.0):
+        if rate <= 0:
+            raise ValueError("token rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_refill = float(start)
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self._last_refill = max(self._last_refill, now)
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available; False means *throttle now*."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+#: Circuit-breaker states (string-valued for cheap reporting).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-tenant breaker: closed → open → half-open on the simulated clock.
+
+    ``failure_threshold`` *consecutive* failures open the circuit; while
+    open, every admission attempt is shed without touching the engine.
+    After ``reset_timeout`` simulated seconds the breaker admits up to
+    ``half_open_max`` probe queries: one success closes it (the failure
+    count resets), one failure re-opens it for another full timeout.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 60.0,
+        half_open_max: int = 1,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_max = half_open_max
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._half_open_inflight = 0
+        # Lifetime transition counters (reporting only).
+        self.times_opened = 0
+        self.shed = 0
+
+    def allow(self, now: float) -> bool:
+        """True if a query may be admitted at simulated time ``now``."""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if self.opened_at is not None and now >= self.opened_at + self.reset_timeout:
+                self.state = BREAKER_HALF_OPEN
+                self._half_open_inflight = 0
+            else:
+                self.shed += 1
+                return False
+        # Half-open: admit a bounded number of probes.
+        if self._half_open_inflight < self.half_open_max:
+            self._half_open_inflight += 1
+            return True
+        self.shed += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self.state = BREAKER_CLOSED
+            self.opened_at = None
+            self._half_open_inflight = 0
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN or (
+            self.state == BREAKER_CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BREAKER_OPEN
+            self.opened_at = now
+            self.times_opened += 1
+            self._half_open_inflight = 0
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Isolation limits for one tenant; ``None`` disables that dimension."""
+
+    #: Quota: queued + running queries at once (None = unlimited).
+    max_in_flight: Optional[int] = None
+    #: Token-bucket refill rate, queries per simulated second (None = off).
+    rate: Optional[float] = None
+    #: Token-bucket capacity (only meaningful with ``rate``).
+    burst: float = 4.0
+    #: Consecutive failures that open the circuit (None = breaker off).
+    breaker_threshold: Optional[int] = None
+    #: Simulated seconds the circuit stays open before half-open probes.
+    breaker_reset: float = 60.0
+    #: Probe queries admitted while half-open.
+    breaker_half_open_max: int = 1
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """A default :class:`TenantPolicy` plus named per-tenant overrides."""
+
+    default: TenantPolicy = TenantPolicy()
+    overrides: Mapping[str, TenantPolicy] = field(default_factory=dict)
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.overrides.get(tenant, self.default)
+
+
+class TenantState:
+    """Live admission bookkeeping for one tenant inside the job server."""
+
+    def __init__(self, name: str, policy: TenantPolicy, now: float):
+        self.name = name
+        self.policy = policy
+        self.in_flight = 0
+        self.bucket: Optional[TokenBucket] = (
+            TokenBucket(policy.rate, policy.burst, start=now)
+            if policy.rate is not None
+            else None
+        )
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(
+                policy.breaker_threshold,
+                policy.breaker_reset,
+                policy.breaker_half_open_max,
+            )
+            if policy.breaker_threshold is not None
+            else None
+        )
+        self.submitted = 0
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        #: Shed counts by reason ("quota", "throttled", "circuit-open",
+        #: "queue-full").
+        self.rejections: Dict[str, int] = {}
+
+    def note_rejection(self, reason: str) -> None:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "tenant": self.name,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "in_flight": self.in_flight,
+            "cache_hits": self.cache_hits,
+            "rejections": dict(sorted(self.rejections.items())),
+            "breaker_state": self.breaker.state if self.breaker else None,
+            "breaker_times_opened": (
+                self.breaker.times_opened if self.breaker else 0
+            ),
+            "tokens": round(self.bucket.tokens, 6) if self.bucket else None,
+        }

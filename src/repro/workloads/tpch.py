@@ -177,8 +177,12 @@ class TPCHSession:
         )
         return sorted(result, key=lambda kv: kv[0])
 
-    def q3(self, segment: str = "BUILDING", date: int = DATE_RANGE // 2) -> List[Tuple[int, float]]:
-        """Shipping priority: customer ⋈ orders ⋈ lineitem, top-10 revenue (short query)."""
+    def q3_plan(self, segment: str = "BUILDING", date: int = DATE_RANGE // 2):
+        """The Q3 revenue RDD, pre-collect — the plan the result cache keys on.
+
+        Exposed separately from :meth:`q3` so callers can fingerprint the
+        lineage (``repro.server.lineage_fingerprint``) before running it.
+        """
         self._require_loaded()
         customers = self.customer.filter(lambda c: c["mktsegment"] == segment).map(
             lambda c: (c["custkey"], 1)
@@ -193,14 +197,17 @@ class TPCHSession:
         items = self.lineitem.filter(lambda r: r["shipdate"] > date).map(
             lambda r: (r["orderkey"], r["extendedprice"] * (1.0 - r["discount"]))
         )
-        revenue = (
+        return (
             order_keys.cogroup(items, self.partitions)
             .flat_map(
                 lambda kv: [(kv[0], sum(kv[1][1]))] if kv[1][0] and kv[1][1] else []
             )
             .reduce_by_key(lambda a, b: a + b, self.partitions)
-            .collect()
         )
+
+    def q3(self, segment: str = "BUILDING", date: int = DATE_RANGE // 2) -> List[Tuple[int, float]]:
+        """Shipping priority: customer ⋈ orders ⋈ lineitem, top-10 revenue (short query)."""
+        revenue = self.q3_plan(segment, date).collect()
         return sorted(revenue, key=lambda kv: -kv[1])[:10]
 
     def q6(

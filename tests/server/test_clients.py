@@ -20,7 +20,7 @@ def _drive_to_completion(server, *clients):
         if not ctx.env.events:
             raise AssertionError("clients stalled with no pending events")
         ctx.env.step()
-        ctx.scheduler._schedule_round()
+        ctx.scheduler.pump()
 
 
 def _make_server(seed=0, policy="fair", **config_kwargs):
@@ -104,6 +104,88 @@ def test_open_loop_rejects_bad_rate():
     ctx, server = _make_server()
     with pytest.raises(ValueError):
         OpenLoopClient(server, _query(ctx), rate=0.0)
+
+
+def test_closed_loop_retries_rejection_with_backoff():
+    """A shed query is retried after seeded backoff, not silently dropped.
+
+    The old client treated a rejection like a completion: the shed query
+    burned one of ``max_queries`` and the client moved on, so a client at a
+    loaded front door quietly under-issued.  With a policy, the same
+    logical query re-submits until admitted (or retries exhaust).
+    """
+    from repro.server import RetryPolicy, TenancyConfig, TenantPolicy
+
+    ctx, server = _make_server(
+        seed=5,
+        # Refill is slow enough that back-to-back arrivals throttle, fast
+        # enough that one backoff later a token exists again.
+        tenancy=TenancyConfig(default=TenantPolicy(rate=0.05, burst=1.0)),
+    )
+    client = ClosedLoopClient(
+        server, _query(ctx), pool="interactive", name="c",
+        think_time=2.0, max_queries=4, master_seed=5, tenant="t",
+        retry_policy=RetryPolicy(base_delay=30.0, jitter=0.25, max_attempts=4),
+    )
+    client.start(delay=1.0)
+    _drive_to_completion(server, client)
+    assert client.issued == 4
+    assert client.retries > 0
+    assert client.gave_up == 0
+    completed = [r for r in client.records if r.ok]
+    assert len(completed) == 4  # every logical query eventually served
+    shed = [r for r in client.records if r.rejected]
+    assert len(shed) == client.retries
+    assert all(r.reject_reason == "throttled" for r in shed)
+    # Retry attempts are named so the journal and SLO records stay distinct.
+    assert any("-r1" in r.name for r in shed + completed)
+
+
+def test_closed_loop_retry_schedule_is_deterministic():
+    from repro.server import RetryPolicy, TenancyConfig, TenantPolicy
+
+    def run():
+        ctx, server = _make_server(
+            seed=5,
+            tenancy=TenancyConfig(default=TenantPolicy(rate=0.05, burst=1.0)),
+        )
+        client = ClosedLoopClient(
+            server, _query(ctx), pool="interactive", name="c",
+            think_time=2.0, max_queries=4, master_seed=5, tenant="t",
+            retry_policy=RetryPolicy(base_delay=30.0, jitter=0.25,
+                                     max_attempts=4),
+        )
+        client.start(delay=1.0)
+        _drive_to_completion(server, client)
+        return (
+            client.retries,
+            [(r.name, r.arrived_at, r.finished_at, r.rejected)
+             for r in client.records],
+        )
+
+    assert run() == run()
+
+
+def test_closed_loop_gives_up_after_max_attempts():
+    from repro.server import RetryPolicy, TenancyConfig, TenantPolicy
+
+    ctx, server = _make_server(
+        seed=2,
+        # One token ever (rate is per ~17 simulated minutes): the second
+        # logical query exhausts its retries long before a refill.
+        tenancy=TenancyConfig(default=TenantPolicy(rate=0.001, burst=1.0)),
+    )
+    client = ClosedLoopClient(
+        server, _query(ctx), pool="interactive", name="c",
+        think_time=2.0, max_queries=2, master_seed=2, tenant="t",
+        retry_policy=RetryPolicy(base_delay=5.0, jitter=0.0, max_attempts=2),
+    )
+    client.start(delay=1.0)
+    _drive_to_completion(server, client)
+    assert client.issued == 2
+    assert client.gave_up >= 1
+    assert client.retries == 2 * client.gave_up
+    assert client.finished
 
 
 def test_fair_beats_fifo_for_interactive_latency():

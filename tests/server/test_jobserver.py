@@ -159,6 +159,122 @@ def test_percentile_nearest_rank():
         percentile(values, 0.0)
 
 
+def test_percentile_matches_exact_rational_reference():
+    """Property check against ceil(q*n) computed in exact arithmetic.
+
+    The old ``int(q * 1000)`` truncation under-ranked every q whose float
+    is the below-decimal neighbour (0.29 -> 289.99...), so p29 of 1..1000
+    came back 289 instead of 290.
+    """
+    import math
+    from fractions import Fraction
+
+    for n in (1, 2, 3, 7, 10, 99, 100, 1000):
+        values = [float(v) for v in range(1, n + 1)]
+        for hundredths in range(1, 101):
+            q = hundredths / 100.0
+            rank = min(n, max(1, math.ceil(Fraction(hundredths, 100) * n)))
+            assert percentile(values, q) == float(rank), (n, q)
+
+
+def test_percentile_truncation_regression():
+    values = [float(v) for v in range(1, 1001)]
+    # int(0.29 * 1000) == 289: the truncation bug picked rank 289.
+    assert percentile(values, 0.29) == 290.0
+    assert percentile(values, 0.07) == 70.0
+    assert percentile(values, 0.58) == 580.0
+
+
+def test_escaping_non_engine_error_is_captured(ctx):
+    """A query raising KeyError must be recorded as failed, not half-done."""
+    server = JobServer(ctx)
+
+    def boom():
+        raise KeyError("missing column")
+
+    record = server.submit_query(boom, name="boom")
+    assert record.done and not record.ok
+    assert isinstance(record.error, KeyError)
+    assert server.stats.failed == 1
+    report = server.slo_report()
+    assert report["failed"] == 1
+    assert report["pools"]["default"]["failed"] == 1
+    # The blocking surface still re-raises the original exception.
+    with pytest.raises(KeyError):
+        server.run_query(boom)
+    assert server.stats.failed == 2
+
+
+def test_deep_queue_drains_without_stack_growth(ctx):
+    """Regression: draining N queued queries must not nest N Python frames.
+
+    The old ``_drain`` dropped its reentrancy guard around each nested
+    ``_execute``, so every drained completion recursed into ``_drain``
+    again — one stack frame per queued query.  The non-recursive loop keeps
+    at most the holder plus one drained query on the stack at once.
+    """
+    depth = 400
+    server = JobServer(ctx, ServerConfig(
+        max_queue=depth,
+        pools=(PoolConfig("interactive", max_concurrent=1),),
+    ))
+    frames = {"current": 0, "peak": 0}
+
+    def tracked():
+        frames["current"] += 1
+        frames["peak"] = max(frames["peak"], frames["current"])
+        try:
+            return 1
+        finally:
+            frames["current"] -= 1
+
+    def holder():
+        for i in range(depth):
+            server.submit_query(tracked, pool="interactive", name=f"q{i}")
+        assert server.queued() == depth
+        return tracked()
+
+    record = server.submit_query(holder, pool="interactive", name="holder")
+    assert record.ok
+    assert server.stats.completed == depth + 1
+    assert server.queued() == 0
+    # Holder + at most one drained query live at once; never a recursion
+    # chain through the queue.
+    assert frames["peak"] <= 2
+
+
+def test_scheduler_pump_is_public(ctx):
+    """Drivers use scheduler.pump(), not the private _schedule_round."""
+    scheduler = ctx.scheduler
+    scheduler.pump()  # nothing in flight: a cheap no-op
+    rdd = ctx.parallelize(list(range(40)), 4)
+    handle = ctx.submit_job(rdd, len, name="bg")
+    while not handle.done:
+        if ctx.env.events:
+            ctx.env.step()
+        scheduler.pump()
+    assert not handle.failed
+    assert handle.finished_at is not None
+
+
+def test_rejected_query_fires_on_complete_per_reason(ctx):
+    """Every admission stage's rejection fires on_complete exactly once."""
+    from repro.server import TenancyConfig, TenantPolicy
+
+    server = JobServer(ctx, ServerConfig(
+        tenancy=TenancyConfig(default=TenantPolicy(rate=0.001, burst=1.0)),
+    ))
+    fn = _count_query(ctx)
+    seen = []
+    server.submit_query(fn, tenant="t", name="ok",
+                        on_complete=lambda r: seen.append(r))
+    throttled = server.submit_query(fn, tenant="t", name="shed",
+                                    on_complete=lambda r: seen.append(r))
+    assert throttled.rejected and throttled.reject_reason == "throttled"
+    assert [r.name for r in seen] == ["ok", "shed"]
+    assert seen[1].response is None
+
+
 def test_server_configures_scheduler_pools(ctx):
     server = JobServer(ctx, ServerConfig(
         scheduling_policy="fair",

@@ -1,0 +1,80 @@
+"""Open-loop saturation load generator: determinism and curve shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import run_load_point, saturation_curve
+
+
+def test_load_point_accounts_for_every_query():
+    point = run_load_point(
+        4.0, num_clients=50, queries_per_client=2, num_workers=4,
+        seed=7, pool_cap=8, max_queue=64,
+    )
+    assert point.submitted == 100
+    assert point.completed + point.rejected == point.submitted
+    assert point.clients == 50
+    assert point.sim_makespan > 0
+    assert point.throughput_rps > 0
+    assert point.p50_response <= point.p95_response <= point.p99_response
+    payload = point.as_dict()
+    assert payload["offered_rps"] == 4.0
+    assert payload["submitted"] == 100
+
+
+def test_load_point_is_deterministic():
+    def run():
+        return run_load_point(
+            8.0, num_clients=40, queries_per_client=2, num_workers=4,
+            seed=13, pool_cap=4, max_queue=32,
+        ).as_dict()
+
+    assert run() == run()
+
+
+def test_overload_sheds_at_the_queue_bound():
+    """Far past saturation the bounded queue sheds instead of melting."""
+    point = run_load_point(
+        200.0, num_clients=100, queries_per_client=2, num_workers=4,
+        seed=7, pool_cap=2, max_queue=8,
+    )
+    assert point.rejected > 0
+    assert point.queued_peak <= 8
+    assert point.completed + point.rejected == point.submitted
+
+
+def test_saturation_curve_p95_rises_with_load():
+    points = saturation_curve(
+        (2.0, 30.0), num_clients=60, queries_per_client=2,
+        num_workers=4, seed=7, pool_cap=4, max_queue=64,
+    )
+    assert len(points) == 2
+    underloaded, overloaded = points
+    assert overloaded.p95_response > underloaded.p95_response
+    assert overloaded.throughput_rps > underloaded.throughput_rps
+
+
+def test_thousand_clients_drain_with_bounded_stack():
+    """1k clients against a capped pool: the non-recursive drain holds.
+
+    This is the regression guard for the recursion fix at benchmark scale —
+    before it, deep overload queues nested one Python frame per queued
+    query and 1k clients could blow the recursion limit.
+    """
+    point = run_load_point(
+        40.0, num_clients=1000, queries_per_client=1, num_workers=4,
+        seed=7, pool_cap=8, max_queue=512,
+    )
+    assert point.submitted == 1000
+    assert point.completed + point.rejected == 1000
+    assert point.queued_peak <= 512
+
+
+def test_load_point_validates_inputs():
+    with pytest.raises(ValueError):
+        run_load_point(0.0)
+    with pytest.raises(ValueError):
+        run_load_point(1.0, num_clients=0)
+    with pytest.raises(ValueError):
+        saturation_curve(())

@@ -1,0 +1,158 @@
+"""Lineage fingerprinting and the invariant-checked result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import build_engine_context
+from repro.server import (
+    CacheInvariantError,
+    JobServer,
+    ResultCache,
+    ServerConfig,
+    lineage_fingerprint,
+)
+
+
+@pytest.fixture
+def ctx():
+    return build_engine_context(num_workers=4, seed=0)
+
+
+def _plan(ctx, n=60, parts=4, threshold=10):
+    return (
+        ctx.parallelize(list(range(n)), parts)
+        .map(lambda x: x * 3)
+        .filter(lambda x: x > threshold)
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_stable_across_sessions():
+    a = build_engine_context(num_workers=4, seed=0)
+    b = build_engine_context(num_workers=4, seed=0)
+    # Allocate extra RDDs in one session first, so rdd_id sequences differ:
+    # the fingerprint must be structural, not id-based.
+    b.parallelize([1, 2, 3], 1)
+    b.parallelize([4, 5], 1)
+    assert lineage_fingerprint(_plan(a)) == lineage_fingerprint(_plan(b))
+
+
+def test_fingerprint_distinguishes_plans(ctx):
+    base = lineage_fingerprint(_plan(ctx))
+    assert lineage_fingerprint(_plan(ctx, n=61)) != base  # different data
+    assert lineage_fingerprint(_plan(ctx, parts=5)) != base  # partitioning
+    assert lineage_fingerprint(_plan(ctx, threshold=11)) != base  # closure cell
+    different_op = ctx.parallelize(list(range(60)), 4).map(lambda x: x * 4)
+    assert lineage_fingerprint(different_op) != base
+    assert lineage_fingerprint(_plan(ctx), action="count") != base
+    assert lineage_fingerprint(_plan(ctx), params=("x",)) != base
+
+
+def test_fingerprint_ignores_names_and_persistence(ctx):
+    plain = _plan(ctx)
+    decorated = _plan(ctx)
+    decorated.name = "friendly-name"
+    decorated.persist()
+    assert lineage_fingerprint(plain) == lineage_fingerprint(decorated)
+
+
+def test_fingerprint_on_tpch_q3_is_reproducible():
+    from repro.workloads import TPCHSession
+
+    keys = []
+    for _ in range(2):
+        ctx = build_engine_context(num_workers=4, seed=5)
+        session = TPCHSession(
+            ctx, data_gb=1.0, lineitem_rows=600, orders_rows=150,
+            customer_rows=40, partitions=4, seed=5,
+        )
+        session.load()
+        keys.append(lineage_fingerprint(session.q3_plan(), params=("q3",)))
+    assert keys[0] == keys[1]
+
+
+# ----------------------------------------------------------------------
+# The cache object
+# ----------------------------------------------------------------------
+def test_cache_lru_eviction():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.lookup("a") == (True, 1)  # refreshes a
+    cache.put("c", 3)  # evicts b, the least recently used
+    assert cache.lookup("b") == (False, None)
+    assert cache.lookup("a") == (True, 1)
+    assert cache.lookup("c") == (True, 3)
+    assert cache.evictions == 1
+    assert cache.describe()["entries"] == 2
+
+
+def test_cache_check_raises_on_divergence():
+    cache = ResultCache(validate=True)
+    cache.check("k" * 64, [1, 2], [1, 2])  # equal: fine
+    with pytest.raises(CacheInvariantError):
+        cache.check("k" * 64, [1, 2], [1, 3])
+    assert cache.validated == 2
+
+
+# ----------------------------------------------------------------------
+# Through the server
+# ----------------------------------------------------------------------
+def test_server_cache_hit_is_instant_and_slotless(ctx):
+    server = JobServer(ctx, ServerConfig(result_cache=ResultCache()))
+    plan = _plan(ctx)
+    key = lineage_fingerprint(plan, action="count")
+    fn = plan.count
+    miss = server.submit_query(fn, name="first", cache_key=key)
+    assert miss.ok and not miss.cached
+    assert miss.response > 0  # the miss ran tasks in simulated time
+    hit = server.submit_query(fn, name="second", cache_key=key)
+    assert hit.ok and hit.cached
+    assert hit.result == miss.result
+    assert hit.response == 0.0  # served at the front door, zero latency
+    assert server.stats.cache_hits == 1
+    report = server.slo_report()
+    assert report["result_cache"]["hits"] == 1
+    assert report["result_cache"]["misses"] == 1
+    assert report["pools"]["default"]["cached"] == 1
+
+
+def test_server_cache_validate_mode_recomputes(ctx):
+    cache = ResultCache(validate=True)
+    server = JobServer(ctx, ServerConfig(result_cache=cache))
+    plan = _plan(ctx)
+    key = lineage_fingerprint(plan, action="count")
+    server.submit_query(plan.count, name="fill", cache_key=key)
+    hit = server.submit_query(plan.count, name="check", cache_key=key)
+    assert hit.cached and cache.validated == 1
+    # A poisoned entry is caught at the next validated hit, not served.
+    cache.put(key, -999)
+    with pytest.raises(CacheInvariantError):
+        server.submit_query(plan.count, name="poisoned", cache_key=key)
+
+
+def test_server_cache_hit_counts_in_obs_metrics(monkeypatch):
+    monkeypatch.setenv("FLINT_TRACE", "1")
+    ctx = build_engine_context(num_workers=4, seed=0)
+    assert ctx.obs.enabled
+    server = JobServer(ctx, ServerConfig(result_cache=ResultCache()))
+    plan = _plan(ctx)
+    key = lineage_fingerprint(plan, action="count")
+    server.submit_query(plan.count, name="a", cache_key=key)
+    server.submit_query(plan.count, name="b", cache_key=key)
+    assert ctx.obs.metrics.counters.get("server.cache_hits") == 1
+    cached_spans = ctx.obs.bus.count("query", status="cached")
+    assert cached_spans == 1
+
+
+def test_queries_without_keys_bypass_the_cache(ctx):
+    cache = ResultCache()
+    server = JobServer(ctx, ServerConfig(result_cache=cache))
+    plan = _plan(ctx)
+    server.submit_query(plan.count, name="anon")
+    server.submit_query(plan.count, name="anon2")
+    assert cache.hits == cache.misses == 0
+    assert len(cache) == 0

@@ -1,0 +1,68 @@
+"""The serving scenario with every hardening feature switched on at once."""
+
+from __future__ import annotations
+
+from repro.server import RetryPolicy, TenancyConfig, TenantPolicy
+from repro.server.journal import load_events, pending_queries
+from repro.server.scenario import run_multitenant
+
+
+def _run(journal_path=None, **overrides):
+    return run_multitenant(
+        policy="fair", num_workers=4, seed=11, queries=2, clients=2,
+        think_time=10.0, batch_iterations=1,
+        tenancy=TenancyConfig(default=TenantPolicy(
+            max_in_flight=8, breaker_threshold=10,
+        )),
+        retry=RetryPolicy(max_attempts=2),
+        journal_path=journal_path,
+        result_cache=True,
+        validate_cache=True,
+        **overrides,
+    )
+
+
+def test_hardened_scenario_end_to_end(tmp_path):
+    path = str(tmp_path / "scenario.jsonl")
+    report = _run(journal_path=path)
+    assert report["failed"] == 0
+    assert report["completed"] == report["submitted"]
+    # Each analyst is its own tenant; the batch program is a fourth.
+    assert sorted(report["tenants"]) == ["analyst-0", "analyst-1", "batch"]
+    for tenant in ("analyst-0", "analyst-1"):
+        stats = report["tenants"][tenant]
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 2
+        assert stats["breaker_state"] == "closed"
+    # Identical Q3 plans share one cache entry; hits were invariant-checked
+    # against recomputation (validate mode) and still counted as cached.
+    cache = report["result_cache"]
+    assert cache["entries"] == 1
+    assert cache["hits"] >= 1
+    assert cache["validated"] == cache["hits"]
+    cached_total = sum(p["cached"] for p in report["pools"].values())
+    assert cached_total == cache["hits"]
+    # The journal captured every lifecycle and nothing is left pending.
+    events = load_events(path)
+    assert {e["event"] for e in events} <= {"submitted", "started",
+                                           "finished", "rejected"}
+    assert pending_queries(path) == []
+    assert report["client_retries"] == 0
+
+
+def test_hardened_scenario_is_deterministic(tmp_path):
+    a = _run(journal_path=str(tmp_path / "a.jsonl"))
+    b = _run(journal_path=str(tmp_path / "b.jsonl"))
+    for key in ("submitted", "completed", "failed", "rejected", "pools",
+                "result_cache", "client_retries"):
+        assert a[key] == b[key], key
+
+
+def test_default_scenario_reports_no_hardening_keys():
+    report = run_multitenant(
+        policy="fair", num_workers=4, seed=11, queries=2,
+        batch_iterations=1,
+    )
+    assert "tenants" not in report
+    assert "result_cache" not in report
+    assert "rejected_by_reason" not in report
