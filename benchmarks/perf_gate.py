@@ -19,6 +19,12 @@ Runs the engine perf smoke and compares it against the checked-in
   (``--min-stream-rps``) and within the regression threshold of the
   committed baseline; its simulated batch latencies and recovery metrics
   ride the determinism gate like every other simulated time.
+- **Long-horizon gate** — the analytic market plane's
+  ``simulated_seconds_per_wall_second`` (a 1000-node two-week portfolio
+  sweep) must stay above an absolute floor (``--min-sims-per-wall``) and
+  within the regression threshold of the baseline: the O(breakpoints)
+  billing/market machinery is what keeps month-long 10k-node what-ifs
+  interactive.
 - **Columnar gate** — the data-plane microbench (row closures vs columnar
   batch kernels) must keep each workload's speedup above an absolute floor
   (``--min-columnar-speedup``) and its columnar tasks/second within the
@@ -86,6 +92,8 @@ def _sim_runtimes(entry: dict) -> dict:
         out[f"streaming_{k}"] = v
     for k, v in entry.get("saturation", {}).get("simulated_seconds", {}).items():
         out[f"saturation_{k}"] = v
+    for k, v in entry.get("longhorizon", {}).get("simulated_seconds", {}).items():
+        out[f"longhorizon_{k}"] = v
     return out
 
 
@@ -94,7 +102,7 @@ def _close(a: float, b: float) -> bool:
 
 
 def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float,
-            min_stream_rps: float = 0.0):
+            min_stream_rps: float = 0.0, min_sims_per_wall: float = 0.0):
     """Returns (failures, notes): gate violations and informational lines."""
     failures = []
     notes = []
@@ -187,6 +195,42 @@ def compare(baseline: dict, fresh: dict, threshold: float, min_wall: float,
                         f"(if intentional, re-baseline with: {_REBASELINE})"
                     )
                 elif rps_ratio < 1.0 / (1.0 + threshold):
+                    failures.append(
+                        line + f" falls below the {threshold * 100.0:.0f}% "
+                        f"throughput gate (if intentional, re-baseline "
+                        f"with: {_REBASELINE})"
+                    )
+                else:
+                    notes.append(line)
+        # Long-horizon floor: the analytic market plane must keep a wall
+        # second worth at least ``min_sims_per_wall`` simulated seconds, and
+        # may not regress more than the threshold against the baseline —
+        # this is the "10k-node month at interactive speed" guarantee.
+        fresh_spw = fresh_entry.get("simulated_seconds_per_wall_second")
+        if fresh_spw is not None:
+            base_spw = base_entry.get("simulated_seconds_per_wall_second")
+            if base_spw is None:
+                failures.append(
+                    f"{name}: gated counter simulated_seconds_per_wall_second "
+                    f"is missing from the committed baseline (observed fresh "
+                    f"value: {fresh_spw}) — the baseline predates the "
+                    f"long-horizon gate; re-baseline with: {_REBASELINE}"
+                )
+            else:
+                spw_ratio = fresh_spw / base_spw
+                line = (
+                    f"{name}: long-horizon throughput {fresh_spw:.3g} "
+                    f"simulated s per wall s vs baseline {base_spw:.3g} "
+                    f"({(spw_ratio - 1.0) * 100.0:+.1f}%, "
+                    f"floor {min_sims_per_wall:.3g})"
+                )
+                if fresh_spw < min_sims_per_wall:
+                    failures.append(
+                        line + " falls below the simulated-seconds-per-wall-"
+                        f"second floor (if intentional, re-baseline with: "
+                        f"{_REBASELINE})"
+                    )
+                elif spw_ratio < 1.0 / (1.0 + threshold):
                     failures.append(
                         line + f" falls below the {threshold * 100.0:.0f}% "
                         f"throughput gate (if intentional, re-baseline "
@@ -309,6 +353,13 @@ def main() -> int:
         "micro-batch-plane regressions even on slow shared runners)",
     )
     parser.add_argument(
+        "--min-sims-per-wall", type=float, default=1_000_000.0,
+        help="absolute floor for the long-horizon sweep's simulated seconds "
+        "per wall second (the committed baseline sits in the tens of "
+        "millions; the floor catches an accidental return to per-event "
+        "billing even on slow shared runners)",
+    )
+    parser.add_argument(
         "--min-columnar-speedup", type=float, default=2.5,
         help="absolute floor for the columnar microbench speedup per "
         "workload (the committed baseline sits above 3x; the floor leaves "
@@ -355,6 +406,7 @@ def main() -> int:
     failures, notes = compare(
         baseline, fresh, args.threshold, args.min_wall,
         min_stream_rps=args.min_stream_rps,
+        min_sims_per_wall=args.min_sims_per_wall,
     )
     col_failures, col_notes = compare_columnar(
         baseline, fresh, args.threshold, args.min_columnar_speedup

@@ -356,6 +356,57 @@ def _smoke_streaming():
     return entry, agg
 
 
+def _smoke_longhorizon():
+    """The analytic market plane at scale: a 1000-node, two-week portfolio
+    sweep through the canonical-job simulator.
+
+    The sweep exercises the O(breakpoints) machinery end to end — portfolio
+    ranking over MTTF estimates (vectorised exceedance queries), per-segment
+    billing via closed-form ``mean_price``, and revocation stamping — and
+    reports ``simulated_seconds_per_wall_second``, the interactivity metric
+    the perf gate floors: month-long 10k-node what-ifs only stay interactive
+    while a wall second buys tens of millions of simulated seconds.  Job
+    outcomes (cost, revocations) are deterministic simulated outputs and
+    ride the determinism gate.
+    """
+    from repro.analysis.longrun import LongHorizonConfig, run_long_horizon
+    from repro.factory import standard_provider
+
+    config = LongHorizonConfig(num_nodes=1000, weeks=2.0, portfolio_size=4)
+    wall_start = time.perf_counter()
+    report = run_long_horizon(standard_provider(seed=5), config)
+    wall = round(time.perf_counter() - wall_start, 3)
+
+    entry = {}
+    agg: dict = {field: 0 for field in _COUNTER_FIELDS}
+    # One simulated canonical job is the unit of work here; the engine's
+    # scheduler counters stay zero (this plane never builds a task graph).
+    agg["tasks_completed"] = report.jobs
+    agg["ready_queue_peak"] = 0
+    entry["wall_seconds"] = wall
+    entry["longhorizon"] = {
+        "num_nodes": config.num_nodes,
+        "weeks": config.weeks,
+        "portfolio_size": config.portfolio_size,
+        "portfolio": report.portfolio,
+        "jobs": report.jobs,
+        "simulated_seconds": {
+            "total_cost": report.total_cost,
+            "total_revocations": report.total_revocations,
+            "total_checkpoints": report.total_checkpoints,
+            "span": report.simulated_seconds,
+        },
+        "sweep_wall_seconds": round(report.wall_seconds, 3),
+    }
+    entry["simulated_seconds_per_wall_second"] = (
+        round(report.simulated_seconds_per_wall_second, 1)
+    )
+    entry["tasks_completed"] = agg["tasks_completed"]
+    entry["tasks_per_second"] = round(agg["tasks_completed"] / wall, 1) if wall else None
+    entry["scheduler_counters"] = _counters_payload(agg)
+    return entry, agg
+
+
 def run_smoke(
     out_path: str,
     mode: str = "incremental",
@@ -409,6 +460,7 @@ def run_smoke(
     smokes.append(("MultiTenant", _smoke_multitenant))
     smokes.append(("MultiTenantSaturation", _smoke_saturation))
     smokes.append(("Streaming", _smoke_streaming))
+    smokes.append(("LongHorizon", _smoke_longhorizon))
     for name, smoke in smokes:
         entry, agg = smoke()
         report["workloads"][name] = entry
@@ -739,6 +791,15 @@ def main() -> int:
             )
             breakdown = (
                 f"({entry['saturation']['clients']} clients, {knee}), "
+            )
+        elif "longhorizon" in entry:
+            horizon = entry["longhorizon"]
+            sims = horizon["simulated_seconds"]
+            breakdown = (
+                f"({horizon['num_nodes']} nodes x {horizon['weeks']:g} weeks, "
+                f"{horizon['jobs']} jobs, "
+                f"{entry['simulated_seconds_per_wall_second']:.3g} sim s/wall s, "
+                f"cost {sims['total_cost']:.2f}), "
             )
         else:
             sims = entry["streaming"]["simulated_seconds"]

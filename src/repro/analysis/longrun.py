@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.interval import optimal_checkpoint_interval
 from repro.core.selection import (
@@ -29,7 +32,7 @@ from repro.core.selection import (
 )
 from repro.market.market import Market, OnDemandMarket
 from repro.market.provider import CloudProvider
-from repro.simulation.clock import HOUR
+from repro.simulation.clock import DAY, HOUR, WEEK
 
 GB = 10**9
 
@@ -360,3 +363,178 @@ class CanonicalSimulator:
                 outcomes.append(self.run_batch_job(t))
             t += spacing
         return outcomes
+
+    def sweep_starts(
+        self,
+        starts: Sequence[float],
+        interactive_markets: Optional[Sequence[str]] = None,
+    ) -> List[RunOutcome]:
+        """One job per explicit start instant (a multi-week sweep hands the
+        whole batch of start times over at once — e.g. ``np.arange(0,
+        horizon, spacing)`` — instead of stepping ``sweep`` run-by-run)."""
+        starts = np.asarray(starts, dtype=float)
+        if interactive_markets is not None:
+            return [self.run_interactive_job(float(t), interactive_markets) for t in starts]
+        return [self.run_batch_job(float(t)) for t in starts]
+
+
+# ----------------------------------------------------------------------
+# Portfolio-of-markets long-horizon sweeps
+# ----------------------------------------------------------------------
+def select_portfolio(
+    provider: CloudProvider,
+    size: int,
+    t: float = 0.0,
+    bid_multiplier: float = 1.0,
+    mttf_window: float = 14 * DAY,
+) -> List[str]:
+    """The ``size`` spot markets with the best availability-adjusted price.
+
+    Ranks every spot market by its recent mean price inflated by an expected
+    revocation overhead (one replacement-plus-rework hour per MTTF), which is
+    the portfolio analogue of Eq. 2's expected-cost ranking: cheap-but-spiky
+    markets fall behind slightly dearer stable ones.  Ties break on market id
+    so the portfolio is deterministic for a given provider state.
+    """
+    if size <= 0:
+        raise ValueError("portfolio size must be positive")
+    scored = []
+    for market in provider.spot_markets():
+        bid = market.on_demand_price * bid_multiplier
+        mttf = market.estimate_mttf(bid, t, mttf_window)
+        price = market.mean_recent_price(t)
+        overhead = 0.0 if math.isinf(mttf) else HOUR / max(mttf, 1.0)
+        scored.append((price * (1.0 + overhead), market.market_id))
+    if not scored:
+        raise RuntimeError("provider has no spot markets to build a portfolio from")
+    scored.sort()
+    return [market_id for _, market_id in scored[:size]]
+
+
+def portfolio_selector(market_ids: Sequence[str]) -> Selector:
+    """Replacement selection restricted to a fixed portfolio.
+
+    Picks the cheapest currently-available portfolio market not excluded;
+    when the whole portfolio is excluded or priced out, falls back to the
+    on-demand market (the diversified job must keep its slice count).
+    """
+    portfolio = list(dict.fromkeys(market_ids))
+    if not portfolio:
+        raise ValueError("portfolio must name at least one market")
+
+    def select(provider: CloudProvider, t: float, exclude: Tuple[str, ...]) -> str:
+        excluded = set(exclude)
+        candidates = [
+            provider.market(mid)
+            for mid in portfolio
+            if mid not in excluded
+        ]
+        viable = [m for m in candidates if m.current_price(t) <= m.on_demand_price]
+        if not viable:
+            return _on_demand_id(provider)
+        return min(viable, key=lambda m: (m.current_price(t), m.market_id)).market_id
+
+    return select
+
+
+@dataclass(frozen=True)
+class LongHorizonConfig:
+    """Scale knobs for a portfolio sweep over weeks of simulated time.
+
+    The defaults are the perf-gate scenario: a 1000-node cluster diversified
+    over a 4-market portfolio, running back-to-back canonical jobs across two
+    weeks of trace.  ``repro longrun --nodes 10000 --weeks 4`` reaches the
+    paper-scale month-long, 10k-node question interactively because every
+    billing segment is an O(log breakpoints) curve query.
+    """
+
+    num_nodes: int = 1000
+    weeks: float = 2.0
+    portfolio_size: int = 4
+    job_length: float = 2 * HOUR
+    spacing: float = 6 * HOUR
+    checkpointing: bool = True
+    bid_multiplier: float = 1.0
+    interactive: bool = True
+
+    @property
+    def horizon(self) -> float:
+        """Swept span of simulated time, in seconds."""
+        return self.weeks * WEEK
+
+
+@dataclass
+class LongHorizonReport:
+    """Outcome of one long-horizon portfolio sweep, with throughput."""
+
+    config: LongHorizonConfig
+    portfolio: List[str]
+    outcomes: List[RunOutcome]
+    simulated_seconds: float
+    wall_seconds: float
+
+    @property
+    def jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(o.cost for o in self.outcomes)
+
+    @property
+    def total_revocations(self) -> int:
+        return sum(o.revocations for o in self.outcomes)
+
+    @property
+    def total_checkpoints(self) -> int:
+        return sum(o.checkpoints for o in self.outcomes)
+
+    @property
+    def simulated_seconds_per_wall_second(self) -> float:
+        """The headline interactivity metric: how much simulated market time
+        one wall-clock second buys at this scale."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.simulated_seconds / self.wall_seconds
+
+
+def run_long_horizon(
+    provider: CloudProvider,
+    config: Optional[LongHorizonConfig] = None,
+) -> LongHorizonReport:
+    """Run a portfolio-of-markets sweep at scale and report throughput.
+
+    Builds the availability-ranked portfolio once, then simulates one
+    canonical job per spacing across the configured horizon — interactive
+    jobs diversify the node count over the whole portfolio; batch jobs keep
+    it in one portfolio market at a time.
+    """
+    cfg = config or LongHorizonConfig()
+    canonical = CanonicalConfig(
+        job_length=cfg.job_length,
+        num_workers=cfg.num_nodes,
+        checkpointing=cfg.checkpointing,
+        bid_multiplier=cfg.bid_multiplier,
+    )
+    portfolio = select_portfolio(
+        provider, cfg.portfolio_size, bid_multiplier=cfg.bid_multiplier
+    )
+    simulator = CanonicalSimulator(
+        provider, canonical, selector=portfolio_selector(portfolio)
+    )
+    starts = np.arange(0.0, cfg.horizon, cfg.spacing)
+    wall_start = time.perf_counter()
+    outcomes = simulator.sweep_starts(
+        starts, interactive_markets=portfolio if cfg.interactive else None
+    )
+    wall_seconds = time.perf_counter() - wall_start
+    simulated_seconds = float(
+        max(s + o.runtime for s, o in zip(starts, outcomes))
+    ) if outcomes else 0.0
+    return LongHorizonReport(
+        config=cfg,
+        portfolio=portfolio,
+        outcomes=outcomes,
+        simulated_seconds=simulated_seconds,
+        wall_seconds=wall_seconds,
+    )

@@ -500,6 +500,41 @@ def cmd_canonical(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_longrun(args: argparse.Namespace) -> int:
+    """Portfolio sweep at scale: 1000s of nodes over weeks of trace."""
+    from repro.analysis.longrun import LongHorizonConfig, run_long_horizon
+
+    provider = standard_provider(seed=args.seed)
+    config = LongHorizonConfig(
+        num_nodes=args.nodes,
+        weeks=args.weeks,
+        portfolio_size=args.portfolio,
+        job_length=args.hours * HOUR,
+        spacing=args.spacing * HOUR,
+        checkpointing=not args.no_checkpointing,
+        bid_multiplier=args.bid_multiplier,
+        interactive=not args.batch,
+    )
+    report = run_long_horizon(provider, config)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["nodes", config.num_nodes],
+            ["weeks", config.weeks],
+            ["portfolio", ", ".join(report.portfolio)],
+            ["jobs", report.jobs],
+            ["total cost ($)", report.total_cost],
+            ["total revocations", report.total_revocations],
+            ["total checkpoints", report.total_checkpoints],
+            ["simulated seconds", report.simulated_seconds],
+            ["wall seconds", report.wall_seconds],
+            ["simulated s / wall s", report.simulated_seconds_per_wall_second],
+        ],
+        title=f"long-horizon portfolio sweep ({'batch' if args.batch else 'interactive'})",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Flint (EuroSys'16) reproduction CLI"
@@ -600,6 +635,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=20)
     p.add_argument("--hours", type=float, default=2.0)
     p.set_defaults(func=cmd_canonical)
+
+    p = sub.add_parser("longrun",
+                       help="portfolio sweep at scale (10k nodes, month-long)")
+    _add_common(p)
+    p.add_argument("--nodes", type=int, default=1000,
+                   help="cluster size diversified over the portfolio")
+    p.add_argument("--weeks", type=float, default=2.0,
+                   help="simulated horizon in weeks")
+    p.add_argument("--portfolio", type=int, default=4,
+                   help="number of spot markets in the portfolio")
+    p.add_argument("--hours", type=float, default=2.0, help="job length")
+    p.add_argument("--spacing", type=float, default=6.0,
+                   help="hours between job starts")
+    p.add_argument("--bid-multiplier", type=float, default=1.0)
+    p.add_argument("--no-checkpointing", action="store_true")
+    p.add_argument("--batch", action="store_true",
+                   help="single-market batch jobs instead of diversified")
+    p.set_defaults(func=cmd_longrun)
     return parser
 
 

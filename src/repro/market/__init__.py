@@ -17,7 +17,13 @@ from repro.market.market import (
     SpotMarket,
 )
 from repro.market.instance import Instance, InstanceState
-from repro.market.billing import ec2_hourly_cost, gce_preemptible_cost, on_demand_cost
+from repro.market.billing import (
+    billed_hour_prices,
+    ec2_hourly_cost,
+    gce_preemptible_cost,
+    on_demand_cost,
+)
+from repro.market.piecewise import PiecewiseConstantFunction, hour_transform
 from repro.market.provider import CloudProvider, REPLACEMENT_DELAY, REVOCATION_WARNING
 
 __all__ = [
@@ -27,6 +33,9 @@ __all__ = [
     "PreemptibleMarket",
     "Instance",
     "InstanceState",
+    "PiecewiseConstantFunction",
+    "hour_transform",
+    "billed_hour_prices",
     "ec2_hourly_cost",
     "gce_preemptible_cost",
     "on_demand_cost",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.market.market import Market
 from repro.simulation.clock import HOUR, MINUTE
 
@@ -39,11 +41,28 @@ def ec2_hourly_cost(
     if end == start:
         return 0.0
     full_hours = int(math.floor((end - start + BILLING_EPSILON) / HOUR))
-    cost = sum(market.current_price(start + h * HOUR) for h in range(full_hours))
+    # One vectorised trace lookup over the hour-start grid instead of a
+    # per-hour ``current_price`` probe; the sequential Python sum keeps the
+    # reduction order (and therefore the cost) bit-identical to the loop it
+    # replaced.
+    cost = sum(billed_hour_prices(market, start, full_hours).tolist())
     partial = (end - start) - full_hours * HOUR
     if partial > BILLING_EPSILON and not revoked_by_provider:
         cost += market.current_price(start + full_hours * HOUR)
     return float(cost)
+
+
+def billed_hour_prices(market: Market, start: float, hours: int) -> np.ndarray:
+    """Spot price at each billed-hour start: ``start + h*HOUR`` for ``h < hours``.
+
+    The grid reproduces the scalar arithmetic (``start + h * HOUR`` per
+    element) so each looked-up price matches ``market.current_price`` bit for
+    bit; both the hourly biller above and the provider's analytic charge
+    ledger draw their per-hour prices from here.
+    """
+    if hours <= 0:
+        return np.empty(0)
+    return market.prices_at(start + HOUR * np.arange(hours))
 
 
 def on_demand_cost(price_per_hour: float, start: float, end: float) -> float:
@@ -52,7 +71,10 @@ def on_demand_cost(price_per_hour: float, start: float, end: float) -> float:
         raise ValueError("end must be >= start")
     if end == start:
         return 0.0
-    return price_per_hour * math.ceil((end - start) / HOUR - 1e-9)
+    # The boundary tolerance lives in *seconds* (BILLING_EPSILON); this
+    # comparison is in hours, so it must be scaled — a bare 1e-9 here would
+    # be 3.6µs, three orders of magnitude looser than the other models.
+    return price_per_hour * math.ceil((end - start) / HOUR - BILLING_EPSILON / HOUR)
 
 
 def gce_preemptible_cost(

@@ -8,7 +8,10 @@ spot pool with a constant price and an infinite MTTF.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
+
+import numpy as np
 
 from repro.simulation.clock import DAY, HOUR
 from repro.simulation.rng import SeededRNG, derive_seed
@@ -76,6 +79,10 @@ class Market:
         """Spot price in effect at simulation time ``t``."""
         return self.trace.price_at(self._trace_time(t))
 
+    def prices_at(self, ts) -> np.ndarray:
+        """Vectorised :meth:`current_price` over an array of sim times."""
+        return self.trace.prices_at(np.asarray(ts, dtype=float) + self.history_offset)
+
     def mean_recent_price(self, t: float, window: float = 7 * DAY) -> float:
         """Time-weighted mean price over the trailing ``window`` seconds."""
         end = self._trace_time(t)
@@ -111,6 +118,13 @@ class SpotMarket(Market):
     #: Granularity of MTTF estimate caching; estimates change slowly.
     _MTTF_CACHE_REFRESH = 1 * DAY
 
+    #: LRU bound on cached MTTF estimates.  Month-long sweeps with
+    #: per-selection bids mint a fresh (bid, day, window) key per probe;
+    #: unbounded, the cache grew with the sweep.  The working set at any sim
+    #: instant is a handful of bids × windows, so a small bound keeps every
+    #: hot entry while pinning memory.
+    _MTTF_CACHE_MAX = 128
+
     def __init__(
         self,
         market_id: str,
@@ -119,17 +133,23 @@ class SpotMarket(Market):
         history_offset: float = DEFAULT_HISTORY_OFFSET,
     ):
         super().__init__(market_id, trace, on_demand_price, history_offset)
-        self._mttf_cache: dict = {}
+        self._mttf_cache: OrderedDict = OrderedDict()
 
     def estimate_mttf(self, bid: float, t: float, window: float = 14 * DAY) -> float:
         key = (round(bid, 6), int(self._trace_time(t) // self._MTTF_CACHE_REFRESH), window)
-        if key not in self._mttf_cache:
-            end = self._trace_time(t)
-            start = max(0.0, end - window)
-            self._mttf_cache[key] = estimate_mttf(
-                self.trace, bid, sample_interval=HOUR, start=start, end=end
-            )
-        return self._mttf_cache[key]
+        cached = self._mttf_cache.get(key)
+        if cached is not None:
+            self._mttf_cache.move_to_end(key)
+            return cached
+        end = self._trace_time(t)
+        start = max(0.0, end - window)
+        value = estimate_mttf(
+            self.trace, bid, sample_interval=HOUR, start=start, end=end
+        )
+        self._mttf_cache[key] = value
+        while len(self._mttf_cache) > self._MTTF_CACHE_MAX:
+            self._mttf_cache.popitem(last=False)
+        return value
 
     def revocation_time_for(self, launch_time: float, bid: float, instance_key: str) -> Optional[float]:
         exceed = self.trace.next_exceedance(self._trace_time(launch_time), bid)

@@ -9,12 +9,22 @@ that into simulator events (a warning event 120 seconds ahead, then the kill).
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, Iterable, List, Optional
 
-from repro.market.billing import ec2_hourly_cost, gce_preemptible_cost, on_demand_cost
+import numpy as np
+
+from repro.market.billing import (
+    BILLING_EPSILON,
+    billed_hour_prices,
+    ec2_hourly_cost,
+    gce_preemptible_cost,
+    on_demand_cost,
+)
 from repro.market.instance import Instance, InstanceState
 from repro.market.market import Market, OnDemandMarket, PreemptibleMarket
-from repro.simulation.clock import MINUTE
+from repro.market.piecewise import PiecewiseConstantFunction
+from repro.simulation.clock import HOUR, MINUTE
 
 #: EC2 gives a two-minute revocation warning (§2.1); GCE gives 30 seconds.
 REVOCATION_WARNING = 2 * MINUTE
@@ -31,7 +41,26 @@ class MarketUnavailableError(RuntimeError):
 
 
 class CloudProvider:
-    """A collection of markets plus instance lifecycle and cost accounting."""
+    """A collection of markets plus instance lifecycle and cost accounting.
+
+    Besides the per-instance books (``instances`` and ``accrued_cost``), the
+    provider maintains an *analytic ledger*: piecewise-constant breakpoint
+    curves updated incrementally at acquire/revoke/terminate —
+
+    - ``capacity``: running-instance count over time (plus one curve per
+      market), answering :meth:`capacity_at` in O(log breakpoints);
+    - ``cost_per_hour``: the settled $/hour burn rate, where every *charged*
+      billing quantum (an EC2 hour, an on-demand hour, a GCE billed span)
+      contributes its price over the quantum's full extent;
+    - a cumulative committed-charge curve placing each settled bill's dollars
+      at the instant the charge accrues (EC2/on-demand hour starts, GCE
+      settlement at instance end), answering :meth:`cost_between` without
+      re-billing ended instances.
+
+    The ledger agrees with the per-instance books to float tolerance (curve
+    sums re-associate additions), not bit-for-bit; the per-instance path
+    remains the ground truth the equivalence tests compare against.
+    """
 
     def __init__(self, markets: Iterable[Market], replacement_delay: float = REPLACEMENT_DELAY):
         self.markets: Dict[str, Market] = {}
@@ -46,12 +75,27 @@ class CloudProvider:
         #: instance bills land as per-market spend counters and instance
         #: spans.  None keeps billing paths free of any tracing branch.
         self.obs = None
+        # -- analytic ledger --------------------------------------------
+        #: Total running-instance count over time.
+        self.capacity = PiecewiseConstantFunction()
+        self._market_capacity: Dict[str, PiecewiseConstantFunction] = {
+            market_id: PiecewiseConstantFunction() for market_id in self.markets
+        }
+        #: Settled $/hour spend rate (query dollars between two instants as
+        #: ``cost_per_hour.integral(a, b, transform=hour_transform)``).
+        self.cost_per_hour = PiecewiseConstantFunction()
+        # Cumulative dollars committed by ended instances, stepped at each
+        # charge instant, plus a scalar running total for O(1) total_cost.
+        self._committed = PiecewiseConstantFunction()
+        self._committed_total = 0.0
+        self._running: Dict[str, Instance] = {}
 
     def add_market(self, market: Market) -> None:
         """Register an additional market."""
         if market.market_id in self.markets:
             raise ValueError(f"duplicate market id {market.market_id!r}")
         self.markets[market.market_id] = market
+        self._market_capacity[market.market_id] = PiecewiseConstantFunction()
 
     def market(self, market_id: str) -> Market:
         """Look up a market by id (raises KeyError on unknown ids)."""
@@ -93,13 +137,17 @@ class CloudProvider:
             )
             self.instances.append(instance)
             granted.append(instance)
+            self._running[instance_id] = instance
             market.note_revocation_draw(t, instance_id, revocation)
+        self.capacity.add_delta(t, float(count))
+        self._market_capacity[market_id].add_delta(t, float(count))
         return granted
 
     def terminate(self, instance: Instance, t: float) -> float:
         """User-initiated termination; returns the instance's final cost."""
         instance.mark_terminated(t)
         instance.cost = self._bill(instance, t, revoked_by_provider=False)
+        self._settle(instance, t, revoked_by_provider=False)
         self._record_spend(instance, t, revoked_by_provider=False)
         return instance.cost
 
@@ -107,8 +155,71 @@ class CloudProvider:
         """Provider-initiated revocation; returns the instance's final cost."""
         instance.mark_revoked(t)
         instance.cost = self._bill(instance, t, revoked_by_provider=True)
+        self._settle(instance, t, revoked_by_provider=True)
         self._record_spend(instance, t, revoked_by_provider=True)
         return instance.cost
+
+    # -- analytic ledger maintenance ------------------------------------
+    def _settle(self, instance: Instance, end: float, revoked_by_provider: bool) -> None:
+        """Fold one ended instance into the breakpoint curves.
+
+        Called exactly once per instance, at its end; every curve update is
+        an O(1) delta-log append, so a month-long 10k-node simulation pays
+        nothing per event beyond the appends (the curves compile lazily at
+        the next query).
+        """
+        self._running.pop(instance.instance_id, None)
+        self.capacity.add_delta(end, -1.0)
+        self._market_capacity[instance.market_id].add_delta(end, -1.0)
+        self._committed_total += instance.cost
+        market = self.market(instance.market_id)
+        start = instance.launch_time
+        if isinstance(market, OnDemandMarket):
+            hours = int(math.ceil((end - start) / HOUR - BILLING_EPSILON / HOUR))
+            if hours > 0:
+                h_times = start + HOUR * np.arange(hours)
+                prices = np.full(hours, market.on_demand_price)
+                self._charge_quanta(h_times, prices, HOUR)
+        elif isinstance(market, PreemptibleMarket):
+            if instance.cost > 0.0:
+                # GCE settles per-minute at instance end; the billed span can
+                # outrun ``end`` (10-minute minimum on user termination), so
+                # recover it from the bill itself.
+                billed_span = instance.cost / market.fixed_price * HOUR
+                self._committed.add_delta(end, instance.cost)
+                self.cost_per_hour.add_delta(start, market.fixed_price)
+                self.cost_per_hour.add_delta(start + billed_span, -market.fixed_price)
+        else:
+            prices = self._ec2_charged_hour_prices(market, start, end, revoked_by_provider)
+            if prices.size:
+                h_times = start + HOUR * np.arange(prices.size)
+                self._charge_quanta(h_times, prices, HOUR)
+
+    def _charge_quanta(self, starts: np.ndarray, prices: np.ndarray, span: float) -> None:
+        """Record charged billing quanta: a committed-dollar impulse at each
+        quantum start, and the quantum's price on the rate curve for its
+        duration."""
+        self._committed.add_deltas(starts, prices)
+        self.cost_per_hour.add_deltas(starts, prices)
+        self.cost_per_hour.add_deltas(starts + span, -prices)
+
+    @staticmethod
+    def _ec2_charged_hour_prices(
+        market: Market, start: float, end: float, revoked_by_provider: bool
+    ) -> np.ndarray:
+        """Price of every hour EC2 charges for ``[start, end]`` — the same
+        hours and prices ``ec2_hourly_cost`` sums (partial hour free on
+        provider revocation, charged in full otherwise)."""
+        if end <= start:
+            return np.empty(0)
+        full_hours = int(math.floor((end - start + BILLING_EPSILON) / HOUR))
+        prices = billed_hour_prices(market, start, full_hours)
+        partial = (end - start) - full_hours * HOUR
+        if partial > BILLING_EPSILON and not revoked_by_provider:
+            prices = np.append(
+                prices, market.current_price(start + full_hours * HOUR)
+            )
+        return prices
 
     def _record_spend(self, instance: Instance, end: float, revoked_by_provider: bool) -> None:
         """Observability: one final bill -> spend counter + instance span."""
@@ -134,12 +245,76 @@ class CloudProvider:
         return self._bill(instance, now, revoked_by_provider=False)
 
     def total_cost(self, now: float) -> float:
-        """Aggregate cost of every instance ever rented, as of ``now``."""
-        return sum(self.accrued_cost(inst, now) for inst in self.instances)
+        """Aggregate cost of every instance ever rented, as of ``now``.
+
+        Ended instances are served from the committed-charge scalar (O(1),
+        never re-billed); only the currently running set is billed live, so
+        the query scales with cluster size rather than with every instance a
+        month-long simulation ever rented.
+        """
+        return self._committed_total + sum(
+            self._bill(inst, now, revoked_by_provider=False)
+            for inst in self._running.values()
+        )
+
+    def cost_between(self, a: float, b: float) -> float:
+        """Dollars charged over the window ``[a, b]``.
+
+        Settled charges come from the committed-charge curve (two
+        ``searchsorted`` lookups); charges are attributed to the instant they
+        accrue — EC2 and on-demand hours at each billed hour's start, GCE
+        bills at the instance's settlement (its end).  Running instances add
+        their in-window accrual on top, billed as if they were terminated at
+        ``b`` (the in-progress EC2/on-demand hour lands at its hour start,
+        GCE accrues continuously).  ``cost_between(0, now)`` therefore agrees
+        with :meth:`total_cost` to float tolerance.
+        """
+        if b < a:
+            raise ValueError("end must be >= start")
+        settled = self._committed.call(b) - self._committed.call_before(a)
+        live = 0.0
+        for inst in self._running.values():
+            live += self._running_charges_in_window(inst, a, b)
+        return settled + live
+
+    def _running_charges_in_window(self, instance: Instance, a: float, b: float) -> float:
+        """Charges a still-running instance accrues at instants within [a, b]."""
+        start = instance.launch_time
+        if b <= start:
+            return 0.0
+        market = self.market(instance.market_id)
+        if isinstance(market, PreemptibleMarket):
+            # Per-minute billing accrues continuously: window charge is the
+            # difference of accruals-to-date at the window edges.
+            upper = gce_preemptible_cost(market.fixed_price, start, b, False)
+            lower = (
+                gce_preemptible_cost(market.fixed_price, start, a, False)
+                if a > start
+                else 0.0
+            )
+            return upper - lower
+        if isinstance(market, OnDemandMarket):
+            hours = int(math.ceil((b - start) / HOUR - BILLING_EPSILON / HOUR))
+            if hours <= 0:
+                return 0.0
+            h_times = start + HOUR * np.arange(hours)
+            return float(market.on_demand_price * np.count_nonzero(h_times >= a))
+        prices = self._ec2_charged_hour_prices(market, start, b, False)
+        if prices.size == 0:
+            return 0.0
+        h_times = start + HOUR * np.arange(prices.size)
+        return float(prices[h_times >= a].sum())
+
+    def capacity_at(self, t: float, market_id: Optional[str] = None) -> int:
+        """Number of instances running at ``t`` — cluster-wide, or in one
+        market — in O(log breakpoints) off the incremental capacity curves."""
+        if market_id is None:
+            return int(round(self.capacity.call(t)))
+        return int(round(self._market_capacity[market_id].call(t)))
 
     def running_instances(self) -> List[Instance]:
         """All instances currently in the RUNNING state."""
-        return [inst for inst in self.instances if inst.is_running]
+        return list(self._running.values())
 
     def _bill(self, instance: Instance, end: float, revoked_by_provider: bool) -> float:
         market = self.market(instance.market_id)

@@ -48,6 +48,7 @@ class SimClock:
 HOUR = 3600.0
 MINUTE = 60.0
 DAY = 24 * HOUR
+WEEK = 7 * DAY
 
 
 def hours(h: float) -> float:

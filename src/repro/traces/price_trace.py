@@ -9,6 +9,7 @@ rather than sampling.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 import numpy as np
@@ -47,6 +48,10 @@ class PriceTrace:
         # horizon endpoint), so mean_price is O(log n) instead of a scan.
         widths = np.diff(np.append(times_arr, horizon))
         self._cumint = np.concatenate([[0.0], np.cumsum(self._prices * widths)])
+        # Integral over one full period, for closed-form multi-period windows.
+        self._period_integral = float(
+            self._cumint[-2] + self._prices[-1] * (horizon - self._times[-1])
+        )
 
     @property
     def times(self) -> np.ndarray:
@@ -70,27 +75,46 @@ class PriceTrace:
         idx = int(np.searchsorted(self._times, tw, side="right")) - 1
         return float(self._prices[idx])
 
+    def prices_at(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`price_at` over an array of absolute times."""
+        ts = np.asarray(ts, dtype=float)
+        if ts.size and float(ts.min()) < 0:
+            raise ValueError(f"negative time {float(ts.min())}")
+        wrapped = np.mod(ts, self.horizon)
+        idx = np.searchsorted(self._times, wrapped, side="right") - 1
+        return self._prices[idx]
+
     def mean_price(self, start: float, end: float) -> float:
-        """Time-weighted mean price over ``[start, end]``."""
+        """Time-weighted mean price over ``[start, end]``.
+
+        Closed form over the periodic trace: the head partial period, a full-
+        period count × the cached period integral, and the tail partial — two
+        ``searchsorted`` calls total, instead of the chunked while-loop that
+        re-integrated every spanned period.
+        """
         if end < start:
             raise ValueError("end must be >= start")
         if end == start:
             return self.price_at(start)
-        # Integrate in horizon-sized chunks to respect periodicity.  Guard
-        # against float round-off at period boundaries (where the remaining
-        # span of the current period collapses to ~0 and the loop would
-        # stall).
-        total = 0.0
-        t = start
-        while t < end - 1e-12:
-            offset = self._wrap(t)
-            remaining = self.horizon - offset
-            if remaining <= 1e-9:
-                offset = 0.0
-                remaining = self.horizon
-            chunk_end = min(end, t + remaining)
-            total += self._integrate_within(offset, offset + (chunk_end - t))
-            t = chunk_end
+        offset = self._wrap(start)
+        remaining = self.horizon - offset
+        if remaining <= 1e-9:
+            offset = 0.0
+            remaining = self.horizon
+        span = end - start
+        if span <= remaining:
+            # Whole window inside one period: a single exact integral (this
+            # is the hot path — the long-run simulator's billing segments are
+            # hours long against multi-month traces).
+            total = self._integrate_within(offset, offset + span)
+        else:
+            total = self._integrate_within(offset, self.horizon)
+            rest = span - remaining
+            full_periods = int(math.floor(rest / self.horizon))
+            tail = rest - full_periods * self.horizon
+            total += full_periods * self._period_integral
+            if tail > 1e-12:
+                total += self._integral_to(tail)
         return total / (end - start)
 
     def _integrate_within(self, a: float, b: float) -> float:
@@ -123,16 +147,110 @@ class PriceTrace:
         first = int(np.nonzero(self._prices > threshold)[0][0])
         return self._snap_above(base + self.horizon + float(self._times[first]), threshold)
 
+    #: Linear nudges tried before the snap widens geometrically, and the cap
+    #: on geometric doublings before the snap gives up loudly.
+    _SNAP_LINEAR_NUDGES = 4
+    _SNAP_GEOMETRIC_LIMIT = 64
+
     def _snap_above(self, t_abs: float, threshold: float) -> float:
         """Nudge a reconstructed absolute time forward past float round-off
         so the price at the returned instant genuinely exceeds the threshold
-        (``base + times[i]`` can land an ulp before the segment boundary)."""
+        (``base + times[i]`` can land an ulp before the segment boundary).
+
+        The first nudges are linear (1e-9 relative, the round-off scale); if
+        those do not cross the boundary the step widens geometrically, and
+        after ``_SNAP_GEOMETRIC_LIMIT`` doublings the snap raises instead of
+        silently returning an instant at which the price does *not* exceed
+        the threshold — a silent miss here would mint a revocation time at
+        which the instance survives.
+        """
         candidate = t_abs
-        for _ in range(4):
+        for _ in range(self._SNAP_LINEAR_NUDGES):
             if self.price_at(candidate) > threshold:
                 return candidate
             candidate += 1e-9 * max(1.0, abs(candidate))
-        return candidate
+        step = 1e-9 * max(1.0, abs(candidate))
+        for _ in range(self._SNAP_GEOMETRIC_LIMIT):
+            if self.price_at(candidate) > threshold:
+                return candidate
+            candidate += step
+            step *= 2.0
+        if self.price_at(candidate) > threshold:
+            return candidate
+        raise RuntimeError(
+            f"price trace snap failed: no price > {threshold} reachable from "
+            f"t={t_abs} after {self._SNAP_LINEAR_NUDGES} linear and "
+            f"{self._SNAP_GEOMETRIC_LIMIT} geometric nudges (reached "
+            f"{candidate}); the reconstructed exceedance instant is invalid"
+        )
+
+    def next_exceedance_grid(
+        self, ts: np.ndarray, threshold: float
+    ) -> Optional[np.ndarray]:
+        """Vectorised :meth:`next_exceedance` over an array of times.
+
+        Returns the first instant ``>= ts[i]`` at which the (periodic) price
+        strictly exceeds ``threshold``, for every grid point at once, or None
+        when the trace never exceeds the threshold anywhere.  Lane-for-lane
+        this replicates the scalar path — segment scan, periodic wrap, and
+        the forward snap past float round-off — so MTTF estimation over a
+        month of hourly launch instants is a few array passes instead of one
+        ``next_exceedance`` probe per point.
+        """
+        above = self._prices > threshold
+        if not np.any(above):
+            return None
+        ts = np.asarray(ts, dtype=float)
+        if ts.size == 0:
+            return np.empty(0)
+        if float(ts.min()) < 0:
+            raise ValueError(f"negative time {float(ts.min())}")
+        tw = np.mod(ts, self.horizon)
+        base = ts - tw
+        idx = np.searchsorted(self._times, tw, side="right") - 1
+        above_positions = np.nonzero(above)[0]
+        # First above-threshold segment strictly after the current one; wrap
+        # to the first anywhere in the next period when none remains.
+        pos = np.searchsorted(above_positions, idx, side="right")
+        wraps = pos >= len(above_positions)
+        nxt = above_positions[np.minimum(pos, len(above_positions) - 1)]
+        first = above_positions[0]
+        candidates = np.where(
+            wraps,
+            base + self.horizon + float(self._times[first]),
+            base + self._times[nxt],
+        )
+        immediate = above[idx]
+        result = np.where(immediate, ts, candidates)
+        # Vectorised snap: every non-immediate lane walks the same nudge
+        # schedule as the scalar `_snap_above`.
+        pending = ~immediate
+        for _ in range(self._SNAP_LINEAR_NUDGES):
+            if not pending.any():
+                return result
+            pending &= self.prices_at(result) <= threshold
+            result = np.where(
+                pending,
+                result + 1e-9 * np.maximum(1.0, np.abs(result)),
+                result,
+            )
+        steps = 1e-9 * np.maximum(1.0, np.abs(result))
+        for _ in range(self._SNAP_GEOMETRIC_LIMIT):
+            pending &= self.prices_at(result) <= threshold
+            if not pending.any():
+                return result
+            result = np.where(pending, result + steps, result)
+            steps = steps * 2.0
+        pending &= self.prices_at(result) <= threshold
+        if pending.any():
+            bad = float(ts[np.nonzero(pending)[0][0]])
+            raise RuntimeError(
+                f"price trace snap failed: no price > {threshold} reachable "
+                f"from t={bad} after {self._SNAP_LINEAR_NUDGES} linear and "
+                f"{self._SNAP_GEOMETRIC_LIMIT} geometric nudges; the "
+                f"reconstructed exceedance instant is invalid"
+            )
+        return result
 
     def next_drop_below(self, t: float, threshold: float) -> Optional[float]:
         """First absolute time ``>= t`` at which price is ``<= threshold``."""

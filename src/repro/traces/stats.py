@@ -16,6 +16,18 @@ import numpy as np
 from repro.traces.price_trace import PriceTrace
 
 
+def _launch_grid(start: float, end_time: float, sample_interval: float) -> np.ndarray:
+    """The uniform launch grid, built by the same float accumulation the
+    original per-point loop used (``t += interval``), so grid instants are
+    bit-identical to the pre-vectorised path."""
+    grid = []
+    t = start
+    while t < end_time:
+        grid.append(t)
+        t += sample_interval
+    return np.asarray(grid)
+
+
 def time_to_failure_samples(
     trace: PriceTrace,
     bid: float,
@@ -27,18 +39,22 @@ def time_to_failure_samples(
 
     A launch instant is viable when the spot price is at or below the bid
     (EC2 only grants the instance then).  The time to failure from a viable
-    instant is the gap to the next strict exceedance of the bid.
+    instant is the gap to the next strict exceedance of the bid.  One
+    vectorised exceedance query answers the whole grid; probing month-long
+    windows point-by-point used to dominate MTTF estimation.
     """
     end_time = trace.horizon if end is None else end
-    samples = []
-    t = start
-    while t < end_time:
-        if trace.price_at(t) <= bid:
-            failure = trace.next_exceedance(t, bid)
-            if failure is not None:
-                samples.append(failure - t)
-        t += sample_interval
-    return np.asarray(samples)
+    grid = _launch_grid(start, end_time, sample_interval)
+    if grid.size == 0:
+        return np.asarray([])
+    viable = grid[trace.prices_at(grid) <= bid]
+    if viable.size == 0:
+        return np.asarray([])
+    exceedances = trace.next_exceedance_grid(viable, bid)
+    if exceedances is None:
+        # The (periodic) trace never exceeds the bid: no launch ever fails.
+        return np.asarray([])
+    return exceedances - viable
 
 
 def estimate_mttf(

@@ -1,0 +1,144 @@
+"""Portfolio-of-markets long-horizon sweeps and their scale machinery."""
+
+import math
+
+import pytest
+
+from repro.analysis.longrun import (
+    CanonicalConfig,
+    CanonicalSimulator,
+    LongHorizonConfig,
+    flint_batch_selector,
+    portfolio_selector,
+    run_long_horizon,
+    select_portfolio,
+)
+from repro.factory import standard_provider, uniform_mttf_provider
+from repro.market.market import OnDemandMarket, SpotMarket
+from repro.simulation.clock import HOUR, WEEK
+
+
+@pytest.fixture(scope="module")
+def provider():
+    return standard_provider(seed=5)
+
+
+def test_select_portfolio_is_deterministic_and_sized(provider):
+    first = select_portfolio(provider, 4)
+    second = select_portfolio(standard_provider(seed=5), 4)
+    assert first == second
+    assert len(first) == 4
+    assert len(set(first)) == 4
+    for mid in first:
+        assert not isinstance(provider.market(mid), OnDemandMarket)
+
+
+def test_select_portfolio_prefers_stable_markets():
+    """Between a cheap-but-fragile and a stable market, the ranking adjusts
+    price by expected revocation overhead."""
+    provider = uniform_mttf_provider(seed=6, mttf_hours=0.25, num_markets=4)
+    ranked = select_portfolio(provider, len(provider.spot_markets()))
+    assert len(ranked) == len(provider.spot_markets())
+
+
+def test_select_portfolio_rejects_bad_size(provider):
+    with pytest.raises(ValueError):
+        select_portfolio(provider, 0)
+
+
+def test_portfolio_selector_stays_inside_portfolio(provider):
+    portfolio = select_portfolio(provider, 3)
+    selector = portfolio_selector(portfolio)
+    choice = selector(provider, 0.0, ())
+    assert choice in portfolio
+
+
+def test_portfolio_selector_falls_back_to_on_demand(provider):
+    portfolio = select_portfolio(provider, 2)
+    selector = portfolio_selector(portfolio)
+    choice = selector(provider, 0.0, tuple(portfolio))
+    assert isinstance(provider.market(choice), OnDemandMarket)
+
+
+def test_portfolio_selector_rejects_empty():
+    with pytest.raises(ValueError):
+        portfolio_selector([])
+
+
+def test_sweep_starts_matches_sweep(provider):
+    sim = CanonicalSimulator(
+        provider, CanonicalConfig(job_length=1 * HOUR), flint_batch_selector()
+    )
+    via_sweep = sim.sweep(3, spacing=8 * HOUR, start=0.0)
+    sim2 = CanonicalSimulator(
+        standard_provider(seed=5), CanonicalConfig(job_length=1 * HOUR),
+        flint_batch_selector(),
+    )
+    via_starts = sim2.sweep_starts([0.0, 8 * HOUR, 16 * HOUR])
+    assert [o.cost for o in via_starts] == [o.cost for o in via_sweep]
+    assert [o.runtime for o in via_starts] == [o.runtime for o in via_sweep]
+
+
+def test_run_long_horizon_at_scale(provider):
+    """The acceptance scenario: >=1000 nodes over >=2 weeks of trace."""
+    config = LongHorizonConfig(num_nodes=1000, weeks=2.0, portfolio_size=4)
+    report = run_long_horizon(provider, config)
+    assert config.num_nodes >= 1000
+    assert config.horizon >= 2 * WEEK
+    assert report.jobs == math.ceil(config.horizon / config.spacing)
+    assert len(report.portfolio) == 4
+    assert report.total_cost > 0.0
+    assert report.simulated_seconds >= config.horizon - config.spacing
+    assert report.wall_seconds > 0.0
+    assert report.simulated_seconds_per_wall_second > 0.0
+    for outcome in report.outcomes:
+        assert outcome.work == config.job_length
+        assert outcome.runtime >= outcome.work
+
+
+def test_run_long_horizon_batch_mode(provider):
+    config = LongHorizonConfig(
+        num_nodes=1000, weeks=0.5, portfolio_size=3, interactive=False
+    )
+    report = run_long_horizon(standard_provider(seed=5), config)
+    assert report.jobs == math.ceil(config.horizon / config.spacing)
+    for outcome in report.outcomes:
+        assert set(outcome.markets_used) <= set(report.portfolio) | {
+            m.market_id
+            for m in standard_provider(seed=5).markets.values()
+            if isinstance(m, OnDemandMarket)
+        }
+
+
+def test_run_long_horizon_is_deterministic():
+    a = run_long_horizon(standard_provider(seed=5),
+                         LongHorizonConfig(num_nodes=1000, weeks=1.0))
+    b = run_long_horizon(standard_provider(seed=5),
+                         LongHorizonConfig(num_nodes=1000, weeks=1.0))
+    assert [o.cost for o in a.outcomes] == [o.cost for o in b.outcomes]
+    assert a.total_revocations == b.total_revocations
+
+
+def test_mttf_cache_stays_bounded_over_long_horizon():
+    """Satellite: the per-market MTTF cache is a bounded LRU, asserted after
+    a multi-week sweep that probes many (bid, day, window) keys."""
+    provider = standard_provider(seed=5)
+    run_long_horizon(provider, LongHorizonConfig(num_nodes=1000, weeks=3.0))
+    spot = [m for m in provider.markets.values() if isinstance(m, SpotMarket)]
+    assert spot, "expected spot markets in the standard provider"
+    for market in spot:
+        assert len(market._mttf_cache) <= SpotMarket._MTTF_CACHE_MAX
+
+
+def test_mttf_cache_evicts_least_recently_used():
+    provider = standard_provider(seed=5)
+    market = provider.spot_markets()[0]
+    assert isinstance(market, SpotMarket)
+    market._mttf_cache.clear()
+    for i in range(SpotMarket._MTTF_CACHE_MAX + 10):
+        market.estimate_mttf(0.05 + i * 1e-4, 0.0)
+    assert len(market._mttf_cache) == SpotMarket._MTTF_CACHE_MAX
+    # The very first key has been evicted; a repeat probe is a miss that
+    # recomputes and re-inserts (still bounded).
+    market.estimate_mttf(0.05, 0.0)
+    assert len(market._mttf_cache) == SpotMarket._MTTF_CACHE_MAX

@@ -1,5 +1,7 @@
 """Billing models: EC2 hourly, on-demand, GCE per-minute."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -170,6 +172,45 @@ def test_exact_hour_boundaries_bill_whole_hours_only(hours):
     assert ec2_hourly_cost(market, 0.0, hours * HOUR, False) == pytest.approx(hours * 0.10)
     assert ec2_hourly_cost(market, 0.0, hours * HOUR, True) == pytest.approx(hours * 0.10)
     assert on_demand_cost(0.10, 0.0, hours * HOUR) == pytest.approx(hours * 0.10)
+
+
+@pytest.mark.parametrize("hours", [1, 4, 24, 7 * 24])
+def test_exact_hour_boundary_one_ulp_all_models(hours):
+    """Exactly N hours, and one float ulp either side, bills N whole hours
+    in every model.
+
+    Regression for the epsilon-unit mismatch in ``on_demand_cost``: its
+    boundary tolerance was a bare ``1e-9`` compared against a duration in
+    *hours* — 3.6 microseconds of slack, three orders of magnitude looser
+    than the other models' 1e-9 *seconds* — so sub-3.6µs partial hours were
+    silently dropped while EC2 charged them.
+    """
+    exact = hours * HOUR
+    ends = (math.nextafter(exact, 0.0), exact, math.nextafter(exact, math.inf))
+    market = flat_market(0.10)
+    for end in ends:
+        assert ec2_hourly_cost(market, 0.0, end, False) == pytest.approx(hours * 0.10)
+        assert ec2_hourly_cost(market, 0.0, end, True) == pytest.approx(hours * 0.10)
+        assert on_demand_cost(0.10, 0.0, end) == pytest.approx(hours * 0.10)
+        assert gce_preemptible_cost(0.60, 0.0, end, False) == pytest.approx(0.60 * hours)
+
+
+def test_on_demand_microsecond_past_boundary_starts_an_hour():
+    """A genuine 1µs partial hour starts a new billed hour; the old 3.6µs
+    tolerance swallowed it."""
+    assert on_demand_cost(0.10, 0.0, 4 * HOUR + 1e-6) == pytest.approx(0.50)
+    assert on_demand_cost(0.10, 0.0, 4 * HOUR - 1e-6) == pytest.approx(0.40)
+
+
+def test_on_demand_epsilon_matches_ec2_classification():
+    """EC2 and on-demand agree on how many hours a near-boundary duration
+    spans (the epsilon now lives in the same units for both)."""
+    market = flat_market(0.10)
+    for delta in (-1e-10, 0.0, 1e-10, 5e-10, 9e-10):
+        end = 3 * HOUR + delta
+        ec2_hours = round(ec2_hourly_cost(market, 0.0, end, False) / 0.10)
+        od_hours = round(on_demand_cost(0.10, 0.0, end) / 0.10)
+        assert ec2_hours == od_hours == 3, delta
 
 
 @given(st.integers(10, 24 * 60))

@@ -169,3 +169,74 @@ def test_streaming_recovery_latency_drift_fails():
     assert any(
         "behaviour-identical" in f and "recovery" in f for f in failures
     )
+
+
+def _longhorizon_entry(wall=0.5, tps=100.0, spw=50_000_000.0, cost=3984.4):
+    return {
+        "wall_seconds": wall,
+        "tasks_per_second": tps,
+        "simulated_seconds_per_wall_second": spw,
+        "longhorizon": {
+            "simulated_seconds": {"total_cost": cost, "span": 1_195_320.0}
+        },
+    }
+
+
+def test_longhorizon_healthy_passes():
+    baseline = {"workloads": {"LongHorizon": _longhorizon_entry()}}
+    fresh = {"workloads": {"LongHorizon": _longhorizon_entry(spw=48_000_000.0)}}
+    failures, notes = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2,
+        min_sims_per_wall=1_000_000.0,
+    )
+    assert failures == []
+    assert any("long-horizon throughput" in n for n in notes)
+
+
+def test_longhorizon_below_floor_fails():
+    baseline = {"workloads": {"LongHorizon": _longhorizon_entry()}}
+    fresh = {"workloads": {"LongHorizon": _longhorizon_entry(spw=500_000.0)}}
+    failures, _ = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2,
+        min_sims_per_wall=1_000_000.0,
+    )
+    [failure] = [f for f in failures if "per-wall-second floor" in f]
+    assert _REBASELINE in failure
+
+
+def test_longhorizon_regression_fails_even_above_floor():
+    baseline = {"workloads": {"LongHorizon": _longhorizon_entry(spw=50_000_000.0)}}
+    fresh = {"workloads": {"LongHorizon": _longhorizon_entry(spw=20_000_000.0)}}
+    failures, _ = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2,
+        min_sims_per_wall=1_000_000.0,
+    )
+    assert any(
+        "throughput gate" in f and "long-horizon" in f for f in failures
+    )
+
+
+def test_longhorizon_missing_from_baseline_fails_actionably():
+    stale = _longhorizon_entry()
+    del stale["simulated_seconds_per_wall_second"]
+    baseline = {"workloads": {"LongHorizon": stale}}
+    fresh = {"workloads": {"LongHorizon": _longhorizon_entry(spw=47_000_000.5)}}
+    failures, _ = compare(
+        baseline, fresh, threshold=0.30, min_wall=0.2,
+        min_sims_per_wall=1_000_000.0,
+    )
+    [failure] = [f for f in failures if "simulated_seconds_per_wall_second" in f]
+    assert "47000000.5" in failure
+    assert _REBASELINE in failure
+
+
+def test_longhorizon_simulated_cost_drift_fails():
+    """The sweep's simulated outputs (total cost etc.) ride the determinism
+    gate: an analytic-ledger bug that shifts a bill fails CI."""
+    baseline = {"workloads": {"LongHorizon": _longhorizon_entry(cost=3984.4)}}
+    fresh = {"workloads": {"LongHorizon": _longhorizon_entry(cost=3984.5)}}
+    failures, _ = compare(baseline, fresh, threshold=0.30, min_wall=0.2)
+    assert any(
+        "behaviour-identical" in f and "longhorizon_total_cost" in f
+        for f in failures
+    )

@@ -1,0 +1,178 @@
+"""Vectorised trace paths vs their scalar counterparts, and snap hardening.
+
+The rewrites (``prices_at``, ``next_exceedance_grid``, closed-form
+``mean_price``, grid-based ``time_to_failure_samples``) must be lane-for-lane
+equivalent to the scalar paths they replaced; ``_snap_above`` must recover
+from adversarial float round-off or fail loudly instead of minting an
+invalid revocation instant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.clock import DAY, HOUR
+from repro.simulation.rng import SeededRNG
+from repro.traces.generators import mean_reverting_trace, peaky_trace
+from repro.traces.price_trace import PriceTrace
+from repro.traces.stats import estimate_mttf, time_to_failure_samples
+
+
+def make_traces():
+    return [
+        PriceTrace([0.0], [0.05], 10 * HOUR),
+        PriceTrace([0.0, HOUR, 2.5 * HOUR], [0.05, 0.50, 0.08], 8 * HOUR),
+        peaky_trace(SeededRNG(3, "vec"), on_demand_price=0.175,
+                    spike_rate_per_hour=0.5, horizon=2 * DAY),
+        mean_reverting_trace(SeededRNG(5, "vec"), on_demand_price=0.175,
+                             horizon=3 * DAY),
+    ]
+
+
+@pytest.mark.parametrize("trace_idx", range(4))
+def test_prices_at_matches_price_at(trace_idx):
+    trace = make_traces()[trace_idx]
+    rng = SeededRNG(7, f"grid-{trace_idx}")
+    ts = np.asarray([rng.uniform(0.0, 5 * trace.horizon) for _ in range(500)])
+    # Include exact breakpoints and wraps of them.
+    ts = np.concatenate([ts, trace.times, trace.times + trace.horizon])
+    vec = trace.prices_at(ts)
+    for t, p in zip(ts, vec):
+        assert p == trace.price_at(float(t))
+
+
+@pytest.mark.parametrize("trace_idx", range(4))
+def test_next_exceedance_grid_matches_scalar(trace_idx):
+    trace = make_traces()[trace_idx]
+    rng = SeededRNG(9, f"exc-{trace_idx}")
+    thresholds = sorted({0.04, 0.06, 0.1, 0.2, float(trace.prices.max())})
+    for threshold in thresholds:
+        ts = np.asarray([rng.uniform(0.0, 4 * trace.horizon) for _ in range(200)])
+        ts = np.concatenate([ts, trace.times, trace.times + 2 * trace.horizon])
+        grid = trace.next_exceedance_grid(ts, threshold)
+        scalar = [trace.next_exceedance(float(t), threshold) for t in ts]
+        if grid is None:
+            assert all(s is None for s in scalar)
+            continue
+        for t, g, s in zip(ts, grid, scalar):
+            assert g == s, f"lane mismatch at t={t} threshold={threshold}"
+
+
+def test_next_exceedance_grid_empty_and_negative():
+    trace = PriceTrace([0.0, HOUR], [0.05, 0.50], 2 * HOUR)
+    assert trace.next_exceedance_grid(np.empty(0), 0.1).size == 0
+    with pytest.raises(ValueError):
+        trace.next_exceedance_grid(np.asarray([-1.0]), 0.1)
+
+
+@pytest.mark.parametrize("trace_idx", range(4))
+def test_mean_price_matches_segment_walk(trace_idx):
+    """Closed-form mean_price vs an exact walk over wrapped segments."""
+    trace = make_traces()[trace_idx]
+
+    def reference(a, b):
+        if b == a:
+            return trace.price_at(a)
+        total, t = 0.0, a
+        while t < b - 1e-12:
+            tw = t % trace.horizon
+            idx = int(np.searchsorted(trace.times, tw, side="right")) - 1
+            seg_end = (
+                float(trace.times[idx + 1])
+                if idx + 1 < len(trace.times)
+                else trace.horizon
+            )
+            step = min(b, t + (seg_end - tw))
+            if step <= t:
+                step = float(np.nextafter(t, np.inf))
+            total += trace.price_at(t) * (step - t)
+            t = step
+        return total / (b - a)
+
+    rng = SeededRNG(11, f"mean-{trace_idx}")
+    for _ in range(60):
+        a = rng.uniform(0.0, 2 * trace.horizon)
+        b = a + rng.uniform(0.0, 3 * trace.horizon)
+        assert trace.mean_price(a, b) == pytest.approx(reference(a, b), rel=1e-9)
+
+
+@pytest.mark.parametrize("trace_idx", range(4))
+def test_time_to_failure_samples_matches_scalar_loop(trace_idx):
+    """The grid rewrite vs the original per-launch-point probe loop."""
+    trace = make_traces()[trace_idx]
+
+    def reference(bid, interval, start, end):
+        samples = []
+        t = start
+        while t < end:
+            if trace.price_at(t) <= bid:
+                exceed = trace.next_exceedance(t, bid)
+                if exceed is None:
+                    return np.asarray([])
+                samples.append(exceed - t)
+            t += interval
+        return np.asarray(samples)
+
+    for bid in (0.04, 0.06, 0.175, 1.0):
+        got = time_to_failure_samples(trace, bid, HOUR, 0.0, 2 * trace.horizon)
+        want = reference(bid, HOUR, 0.0, 2 * trace.horizon)
+        assert got.tolist() == want.tolist()
+
+
+def test_estimate_mttf_infinite_when_never_exceeded():
+    trace = PriceTrace([0.0], [0.05], 10 * HOUR)
+    assert estimate_mttf(trace, 0.06) == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# _snap_above hardening (satellite: fail loudly instead of silently missing)
+# ---------------------------------------------------------------------------
+def test_snap_above_recovers_from_ulp_short_candidate():
+    """A reconstructed instant one ulp before the spike still snaps onto it."""
+    trace = PriceTrace([0.0, HOUR], [0.05, 0.50], 2 * HOUR)
+    boundary = float(HOUR)
+    candidate = float(np.nextafter(boundary, 0.0))
+    assert trace.price_at(candidate) <= 0.1  # genuinely before the spike
+    snapped = trace._snap_above(candidate, 0.1)
+    assert trace.price_at(snapped) > 0.1
+    assert snapped - boundary < 1e-3
+
+
+def test_snap_above_raises_when_no_exceedance_reachable():
+    """Handed an instant from which no price ever exceeds the threshold, the
+    snap raises instead of returning an invalid revocation instant."""
+    trace = PriceTrace([0.0], [0.05], 10 * HOUR)
+    with pytest.raises(RuntimeError, match="snap failed"):
+        trace._snap_above(0.0, 0.99)
+
+
+def test_next_exceedance_grid_snap_raises_loudly_too():
+    trace = PriceTrace([0.0], [0.05], 10 * HOUR)
+    # Bypass the early "never exceeds" return by snapping directly: drive the
+    # vectorised path with a threshold the trace only nominally exceeds on a
+    # zero-width reconstruction.  The public API's None contract covers the
+    # never-exceeds case; here we assert the scalar and vector snaps agree on
+    # an adversarial boundary trace instead.
+    boundary_trace = PriceTrace(
+        [0.0, HOUR / 3.0, 2 * HOUR / 3.0], [0.05, 0.50, 0.05], HOUR
+    )
+    ts = np.asarray([float(np.nextafter(HOUR / 3.0, 0.0)),
+                     float(np.nextafter(4 * HOUR / 3.0, 0.0))])
+    grid = boundary_trace.next_exceedance_grid(ts, 0.1)
+    for t, g in zip(ts, grid):
+        assert g == boundary_trace.next_exceedance(float(t), 0.1)
+        assert boundary_trace.price_at(float(g)) > 0.1
+
+
+@given(st.floats(0.0, 100 * HOUR, allow_nan=False), st.floats(0.04, 0.6))
+@settings(max_examples=100, deadline=None)
+def test_next_exceedance_price_really_exceeds(t, threshold):
+    """Whatever instant next_exceedance returns, the price there exceeds."""
+    trace = PriceTrace([0.0, HOUR, 2.5 * HOUR], [0.05, 0.50, 0.08], 8 * HOUR)
+    result = trace.next_exceedance(t, threshold)
+    if result is None:
+        assert float(trace.prices.max()) <= threshold
+    else:
+        assert result >= t
+        assert trace.price_at(result) > threshold
